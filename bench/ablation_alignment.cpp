@@ -1,0 +1,81 @@
+// Ablation A2: sensitivity of the HAND kernels to data alignment and to
+// non-contiguous (ROI) layouts — the "data alignment" issue the paper cites
+// from the vectorizing-compiler study [11].
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "bench/images.hpp"
+#include "core/convert.hpp"
+#include "imgproc/threshold.hpp"
+
+using namespace simdcv;
+
+namespace {
+
+double timeIt(const std::function<void()>& fn, int reps) {
+  bench::Timer t;
+  t.start();
+  for (int i = 0; i < reps; ++i) fn();
+  return t.stop() / reps;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHostBanner("Ablation A2: alignment and layout sensitivity");
+  const std::size_t n = 1 << 22;
+  const int reps = 20;
+
+  // Offset the source by 0..3 floats from a 64-byte boundary.
+  std::vector<float> storage(n + 16);
+  bench::Rng rng(5);
+  for (auto& v : storage) v = static_cast<float>(rng.uniform(-40000, 40000));
+  std::vector<std::int16_t> dst(n + 16);
+
+  std::printf("cvt32f16s, %zu px, source misaligned by K floats:\n", n);
+  bench::Table t({"path", "K=0", "K=1", "K=2", "K=3"});
+  for (KernelPath p : {KernelPath::Auto, KernelPath::Sse2, KernelPath::Neon}) {
+    if (!pathAvailable(p)) continue;
+    std::vector<std::string> row{toString(p)};
+    for (int k = 0; k < 4; ++k) {
+      const float* src = storage.data() + k;
+      row.push_back(bench::fmtSeconds(
+          timeIt([&] { core::cvt32f16s(src, dst.data(), n, p); }, reps)));
+    }
+    t.addRow(std::move(row));
+  }
+  t.print();
+
+  // ROI (non-continuous rows) versus full-frame processing.
+  std::printf("\nthreshold u8, full frame vs interior ROI (per-row dispatch):\n");
+  const Mat full = bench::makeScene(bench::Scene::Noise, {2048, 2048}, 1);
+  const Mat roi = full.roi({3, 3, 2011, 2011});  // odd size, misaligned start
+  bench::Table t2({"path", "full 2048x2048", "ROI 2011x2011", "ns/px full",
+                   "ns/px roi"});
+  for (KernelPath p : {KernelPath::Auto, KernelPath::Sse2, KernelPath::Neon}) {
+    if (!pathAvailable(p)) continue;
+    Mat d1, d2;
+    const double tf = timeIt(
+        [&] {
+          imgproc::threshold(full, d1, 128, 255, imgproc::ThresholdType::Binary, p);
+        },
+        reps);
+    const double tr = timeIt(
+        [&] {
+          imgproc::threshold(roi, d2, 128, 255, imgproc::ThresholdType::Binary, p);
+        },
+        reps);
+    char f1[32], f2[32];
+    std::snprintf(f1, sizeof(f1), "%.3f", tf / static_cast<double>(full.total()) * 1e9);
+    std::snprintf(f2, sizeof(f2), "%.3f", tr / static_cast<double>(roi.total()) * 1e9);
+    t2.addRow({toString(p), bench::fmtSeconds(tf), bench::fmtSeconds(tr), f1, f2});
+  }
+  t2.print();
+  std::printf(
+      "\nReading: the HAND kernels use unaligned loads, so K-offsets cost\n"
+      "little on modern x86; ROI traversal pays per-row dispatch overhead\n"
+      "plus alignment loss, which is why OpenCV (and this library) keep row\n"
+      "starts cache-line aligned for owned storage.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation A1: how much of the paper's HAND-vs-AUTO gap was really
+// "intrinsics beat the compiler" versus "the 2012 compiler failed to
+// vectorize at all"?
+//
+// Three arms per kernel: scalar with the vectorizer disabled (2012-style
+// AUTO), scalar with today's gcc vectorizer (modern AUTO), and hand
+// intrinsics. If modern-AUTO ~= HAND, the paper's gap was a compiler
+// limitation, not an intrinsic advantage — the paper's own §V conclusion.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace simdcv;
+using platform::BenchKernel;
+
+int main(int argc, char** argv) {
+  bench::printHostBanner("Ablation A1: auto-vectorizer contribution");
+  const auto proto = bench::Protocol::fromArgs(argc, argv);
+  const Size size{2592, 1920};  // 5 mpx keeps the run short
+
+  const BenchKernel kernels[] = {
+      BenchKernel::ConvertF32S16, BenchKernel::ThresholdU8,
+      BenchKernel::GaussianBlur, BenchKernel::Sobel, BenchKernel::EdgeDetect};
+
+  bench::Table t({"Benchmark", "novec", "AUTO (gcc)", "HAND", "HAND/novec",
+                  "HAND/AUTO", "AUTO/novec"});
+  std::vector<std::vector<std::string>> csv;
+  const KernelPath hand =
+      pathAvailable(KernelPath::Sse2) ? KernelPath::Sse2 : KernelPath::Neon;
+  for (BenchKernel k : kernels) {
+    const auto novec =
+        bench::measureKernel(k, KernelPath::ScalarNoVec, size, proto);
+    const auto autov = bench::measureKernel(k, KernelPath::Auto, size, proto);
+    const auto handm = bench::measureKernel(k, hand, size, proto);
+    std::vector<std::string> row{
+        platform::toString(k),
+        bench::fmtSeconds(novec.stats.mean),
+        bench::fmtSeconds(autov.stats.mean),
+        bench::fmtSeconds(handm.stats.mean),
+        bench::fmtSpeedup(novec.stats.mean / handm.stats.mean),
+        bench::fmtSpeedup(autov.stats.mean / handm.stats.mean),
+        bench::fmtSpeedup(novec.stats.mean / autov.stats.mean)};
+    csv.push_back(row);
+    t.addRow(std::move(row));
+  }
+  t.print();
+  bench::writeCsv("ablation_autovec.csv",
+                  {"bench", "novec", "auto", "hand", "hand_vs_novec",
+                   "hand_vs_auto", "auto_vs_novec"},
+                  csv);
+  std::printf(
+      "\nReading: HAND/novec reproduces the paper's regime (compiler does\n"
+      "not vectorize); HAND/AUTO is the same experiment against a modern\n"
+      "vectorizer. The difference between the two columns is the decade of\n"
+      "compiler progress the paper's Section VI anticipated.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Ablation A3: AVX2 versus SSE2 — the extension the paper's Section VI
+// names as future work. Related work it cites measured AVX at 1.58-1.88x
+// over SSE on compute-bound HPC kernels [19] and >=1.63x on single-precision
+// data mining kernels [21][22]; memory-bound image kernels cap lower.
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "bench/images.hpp"
+#include "core/convert.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/threshold.hpp"
+
+using namespace simdcv;
+
+namespace {
+
+double timeIt(const std::function<void()>& fn, int reps) {
+  bench::Timer t;
+  t.start();
+  for (int i = 0; i < reps; ++i) fn();
+  return t.stop() / reps;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHostBanner("Ablation A3: AVX2 vs SSE2 (paper future work)");
+  if (!pathAvailable(KernelPath::Avx2)) {
+    std::printf("host has no AVX2; nothing to compare.\n");
+    return 0;
+  }
+  const int reps = 30;
+
+  bench::Table t({"kernel", "SSE2", "AVX2", "AVX2/SSE2", "paper-cited AVX/SSE"});
+
+  {
+    // Compute-light, memory-bound conversion.
+    const std::size_t n = 1 << 22;
+    const Mat img = bench::makeFloatScene(bench::Scene::Natural, {2048, 2048}, 1);
+    const float* src = img.ptr<float>(0);
+    std::vector<std::int16_t> dst(n);
+    const double sse = timeIt(
+        [&] { core::cvt32f16s(src, dst.data(), n, KernelPath::Sse2); }, reps);
+    const double avx = timeIt(
+        [&] { core::cvt32f16s(src, dst.data(), n, KernelPath::Avx2); }, reps);
+    t.addRow({"cvt 32f->16s (4M px)", bench::fmtSeconds(sse),
+              bench::fmtSeconds(avx), bench::fmtSpeedup(sse / avx), "-"});
+  }
+  {
+    // L1-resident conversion: the compute-bound case the citations cover.
+    const std::size_t n = 2048;
+    std::vector<float> src(n);
+    bench::Rng rng(2);
+    for (auto& v : src) v = static_cast<float>(rng.uniform(-4e4, 4e4));
+    std::vector<std::int16_t> dst(n);
+    const double sse = timeIt(
+        [&] { core::cvt32f16s(src.data(), dst.data(), n, KernelPath::Sse2); },
+        reps * 2000);
+    const double avx = timeIt(
+        [&] { core::cvt32f16s(src.data(), dst.data(), n, KernelPath::Avx2); },
+        reps * 2000);
+    t.addRow({"cvt 32f->16s (L1, 2k px)", bench::fmtSeconds(sse),
+              bench::fmtSeconds(avx), bench::fmtSpeedup(sse / avx),
+              "1.58-1.88x [19]"});
+  }
+  {
+    const Mat img = bench::makeScene(bench::Scene::Noise, {2048, 2048}, 3);
+    Mat d1, d2;
+    const double sse = timeIt(
+        [&] {
+          imgproc::threshold(img, d1, 128, 255, imgproc::ThresholdType::Binary,
+                             KernelPath::Sse2);
+        },
+        reps);
+    const double avx = timeIt(
+        [&] {
+          imgproc::threshold(img, d2, 128, 255, imgproc::ThresholdType::Binary,
+                             KernelPath::Avx2);
+        },
+        reps);
+    t.addRow({"threshold u8 (4M px)", bench::fmtSeconds(sse),
+              bench::fmtSeconds(avx), bench::fmtSpeedup(sse / avx), "-"});
+  }
+  {
+    // Compute-heavy separable blur, single precision.
+    const Mat img = bench::makeScene(bench::Scene::Natural, {1024, 1024}, 4);
+    Mat d1, d2;
+    const double sse = timeIt(
+        [&] {
+          imgproc::GaussianBlur(img, d1, {7, 7}, 1.0, 0.0,
+                                imgproc::BorderType::Reflect101,
+                                KernelPath::Sse2);
+        },
+        reps);
+    const double avx = timeIt(
+        [&] {
+          imgproc::GaussianBlur(img, d2, {7, 7}, 1.0, 0.0,
+                                imgproc::BorderType::Reflect101,
+                                KernelPath::Avx2);
+        },
+        reps);
+    t.addRow({"GaussianBlur 7x7 (1M px)", bench::fmtSeconds(sse),
+              bench::fmtSeconds(avx), bench::fmtSpeedup(sse / avx),
+              ">=1.63x sp [21]"});
+  }
+  t.print();
+  std::printf(
+      "\nReading: doubling register width only pays where compute dominates;\n"
+      "streaming kernels hit the memory roofline and show little gain —\n"
+      "consistent with the cited AVX studies, which used cache-resident\n"
+      "LINPACK/data-mining kernels.\n");
+  return 0;
+}

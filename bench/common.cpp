@@ -1,0 +1,134 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "core/convert.hpp"
+#include "imgproc/edge.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/threshold.hpp"
+
+namespace simdcv::bench {
+
+namespace {
+
+using platform::BenchKernel;
+
+// Build the per-iteration closure for a kernel. Destination Mats are
+// preallocated outside the timed region (as OpenCV reuses buffers); the
+// timed work is exactly the kernel, as in the paper.
+std::function<void(int)> makeRunner(BenchKernel kernel, KernelPath path,
+                                    const std::vector<Mat>& images,
+                                    std::vector<Mat>& dsts,
+                                    std::vector<Mat>& dsts2) {
+  switch (kernel) {
+    case BenchKernel::ConvertF32S16:
+      return [&, path](int i) {
+        const Mat& src = images[static_cast<std::size_t>(i)];
+        core::convertTo(src, dsts[static_cast<std::size_t>(i)], Depth::S16,
+                        1.0, 0.0, path);
+      };
+    case BenchKernel::ThresholdU8:
+      return [&, path](int i) {
+        imgproc::threshold(images[static_cast<std::size_t>(i)],
+                           dsts[static_cast<std::size_t>(i)], 128.0, 255.0,
+                           imgproc::ThresholdType::Binary, path);
+      };
+    case BenchKernel::GaussianBlur:
+      return [&, path](int i) {
+        imgproc::GaussianBlur(images[static_cast<std::size_t>(i)],
+                              dsts[static_cast<std::size_t>(i)], {7, 7}, 1.0,
+                              1.0, imgproc::BorderType::Reflect101, path);
+      };
+    case BenchKernel::Sobel:
+      return [&, path](int i) {
+        imgproc::Sobel(images[static_cast<std::size_t>(i)],
+                       dsts2[static_cast<std::size_t>(i)], Depth::S16, 1, 0, 3,
+                       1.0, imgproc::BorderType::Reflect101, path);
+      };
+    case BenchKernel::EdgeDetect:
+      return [&, path](int i) {
+        imgproc::edgeDetect(images[static_cast<std::size_t>(i)],
+                            dsts[static_cast<std::size_t>(i)], 100.0, 3,
+                            imgproc::BorderType::Reflect101, path);
+      };
+  }
+  return {};
+}
+
+}  // namespace
+
+Measurement measureKernel(platform::BenchKernel kernel, KernelPath path,
+                          Size size, const Protocol& proto) {
+  const Depth srcDepth =
+      kernel == platform::BenchKernel::ConvertF32S16 ? Depth::F32 : Depth::U8;
+  const auto images = makeImageSet(size, srcDepth);
+  std::vector<Mat> dsts(images.size());
+  std::vector<Mat> dsts2(images.size());
+  auto fn = makeRunner(kernel, path, images, dsts, dsts2);
+  // One untimed warm-up pass per image (page faults, allocation).
+  for (std::size_t i = 0; i < images.size(); ++i) fn(static_cast<int>(i));
+  Measurement m;
+  m.stats = summarize(runProtocol(proto, fn));
+  m.path = path;
+  m.kernel = kernel;
+  m.size = size;
+  return m;
+}
+
+std::vector<KernelPath> benchPaths() {
+  std::vector<KernelPath> out = {KernelPath::ScalarNoVec, KernelPath::Auto};
+  if (pathAvailable(KernelPath::Sse2)) out.push_back(KernelPath::Sse2);
+  if (pathAvailable(KernelPath::Avx2)) out.push_back(KernelPath::Avx2);
+  if (pathAvailable(KernelPath::Neon)) out.push_back(KernelPath::Neon);
+  return out;
+}
+
+std::string pathLabel(KernelPath p) {
+  if (p == KernelPath::Neon && !cpuFeatures().neon) return "neon(emu)";
+  if (p == KernelPath::Auto) return "AUTO";
+  if (p == KernelPath::Sse2) return "HAND(sse2)";
+  if (p == KernelPath::Avx2) return "HAND(avx2)";
+  return toString(p);
+}
+
+double speedupOf(const Measurement& autoArm, const Measurement& handArm) {
+  return handArm.stats.mean > 0 ? autoArm.stats.mean / handArm.stats.mean : 0;
+}
+
+void printSimulatedPlatformTable(platform::BenchKernel kernel, Size size) {
+  const auto& catalog = platform::platformCatalog();
+  Table t({"arm", "Atom D510", "Core2 Q9400", "i7 2820QM", "i5 3360M",
+           "DM3730", "Ex-3110", "OMAP4460", "Ex-4412", "ODROID-X", "Tegra T30"});
+  std::vector<std::string> autoRow{"AUTO"}, handRow{"HAND"}, spRow{"Speed-up"};
+  for (const auto& p : catalog) {
+    const auto r = platform::simulate(p, kernel, size);
+    autoRow.push_back(fmtSeconds(r.auto_seconds));
+    handRow.push_back(fmtSeconds(r.hand_seconds));
+    spRow.push_back(fmtSpeedup(r.speedup()));
+  }
+  t.addRow(autoRow);
+  t.addRow(handRow);
+  t.addRow(spRow);
+  t.print();
+}
+
+void printAnchorComparison(platform::BenchKernel kernel) {
+  const auto& catalog = platform::platformCatalog();
+  bool any = false;
+  for (const auto& a : platform::paperAnchors()) {
+    if (a.kernel != kernel) continue;
+    for (const auto& p : catalog) {
+      if (p.name != a.platform) continue;
+      const auto r = platform::simulate(p, kernel, {3264, 2448});
+      if (!any) {
+        std::printf("paper-published speedup anchors (8mpx) vs model:\n");
+        any = true;
+      }
+      std::printf("  %-26s paper %.2fx | model %.2fx\n", p.name.c_str(),
+                  a.speedup, r.speedup());
+    }
+  }
+  if (any) std::printf("\n");
+}
+
+}  // namespace simdcv::bench

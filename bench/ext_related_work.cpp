@@ -1,0 +1,77 @@
+// Extension bench: the OpenCV routines the paper's related work ([23],
+// Pulli et al., CACM 2012) reports NEON speedups for on Tegra 3 — median
+// blur (23x), color conversion (9.5x), resizing (7.6x) — measured here with
+// our kernels, HAND vs the 2012-style no-vectorizer baseline and vs today's
+// auto-vectorizer.
+#include <cstdio>
+#include <functional>
+
+#include "bench/harness.hpp"
+#include "bench/images.hpp"
+#include "imgproc/canny.hpp"
+#include "imgproc/color.hpp"
+#include "imgproc/median.hpp"
+#include "imgproc/pyramid.hpp"
+#include "imgproc/resize.hpp"
+
+using namespace simdcv;
+
+namespace {
+
+double timeIt(const std::function<void()>& fn, int reps) {
+  bench::Timer t;
+  t.start();
+  for (int i = 0; i < reps; ++i) fn();
+  return t.stop() / reps;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHostBanner("Extension: related-work kernels ([23] Tegra 3 NEON)");
+  const int reps = 10;
+  const Size size{1920, 1080};  // 1080p, the video size [23] targets
+  const KernelPath hand =
+      pathAvailable(KernelPath::Sse2) ? KernelPath::Sse2 : KernelPath::Neon;
+
+  const Mat gray = bench::makeScene(bench::Scene::Natural, size, 1);
+  Mat bgr;
+  imgproc::cvtColor(gray, bgr, imgproc::ColorCode::GRAY2BGR);
+
+  bench::Table t({"kernel", "novec", "AUTO", "HAND", "HAND/novec", "HAND/AUTO",
+                  "paper-cited NEON"});
+
+  auto addRow = [&](const char* name, const char* cited,
+                    const std::function<void(KernelPath)>& fn) {
+    const double novec = timeIt([&] { fn(KernelPath::ScalarNoVec); }, reps);
+    const double autov = timeIt([&] { fn(KernelPath::Auto); }, reps);
+    const double handt = timeIt([&] { fn(hand); }, reps);
+    t.addRow({name, bench::fmtSeconds(novec), bench::fmtSeconds(autov),
+              bench::fmtSeconds(handt), bench::fmtSpeedup(novec / handt),
+              bench::fmtSpeedup(autov / handt), cited});
+  };
+
+  Mat dst;
+  addRow("medianBlur 3x3", "23x", [&](KernelPath p) {
+    imgproc::medianBlur(gray, dst, 3, p);
+  });
+  addRow("cvtColor BGR->GRAY", "9.5x", [&](KernelPath p) {
+    imgproc::cvtColor(bgr, dst, imgproc::ColorCode::BGR2GRAY, p);
+  });
+  addRow("resize 1080p -> 720p", "7.6x", [&](KernelPath p) {
+    imgproc::resize(gray, dst, {1280, 720}, imgproc::Interp::Linear, p);
+  });
+  addRow("pyrDown", "-", [&](KernelPath p) { imgproc::pyrDown(gray, dst, p); });
+  addRow("Canny 80/200", "1.6x", [&](KernelPath p) {
+    imgproc::Canny(gray, dst, 80, 200, 3, p);
+  });
+  t.print();
+
+  std::printf(
+      "\nNotes: [23]'s factors compare NEON against OpenCV's scalar builds\n"
+      "on a Cortex-A9 (closest column: HAND/novec). The x86 SSE2 ratios\n"
+      "here differ because (a) the scalar ISA is stronger, (b) median's\n"
+      "min/max network auto-vectorizes poorly but the gather-heavy parts of\n"
+      "resize do not vectorize at all on either compiler generation.\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Figure 2 reproduction: Convert Float to Short relative speedup factor,
+// all platforms and image sizes.
+#include "fig_speedup_common.hpp"
+
+int main(int argc, char** argv) {
+  return simdcv::bench::runSpeedupFigure(
+      "Figure 2: Convert Float to Short relative speed-up", "fig2_cvt_speedup",
+      simdcv::platform::BenchKernel::ConvertF32S16, argc, argv);
+}

@@ -1,0 +1,9 @@
+// Figure 3 reproduction: Binary Image Thresholding relative speed-up.
+#include "fig_speedup_common.hpp"
+
+int main(int argc, char** argv) {
+  return simdcv::bench::runSpeedupFigure(
+      "Figure 3: Binary Image Thresholding relative speed-up",
+      "fig3_threshold_speedup", simdcv::platform::BenchKernel::ThresholdU8,
+      argc, argv);
+}

@@ -1,0 +1,8 @@
+// Figure 4 reproduction: Gaussian Blur relative speed-up factor.
+#include "fig_speedup_common.hpp"
+
+int main(int argc, char** argv) {
+  return simdcv::bench::runSpeedupFigure(
+      "Figure 4: Gaussian Blur relative speed-up", "fig4_gaussian_speedup",
+      simdcv::platform::BenchKernel::GaussianBlur, argc, argv);
+}

@@ -1,0 +1,8 @@
+// Figure 5 reproduction: Sobel Filter relative speed-up factor.
+#include "fig_speedup_common.hpp"
+
+int main(int argc, char** argv) {
+  return simdcv::bench::runSpeedupFigure(
+      "Figure 5: Sobel Filter relative speed-up", "fig5_sobel_speedup",
+      simdcv::platform::BenchKernel::Sobel, argc, argv);
+}

@@ -1,0 +1,60 @@
+// Table II reproduction: time to convert Float to Short Int across the four
+// paper resolutions.
+//
+// Part 1 measures the real experiment on this host (gcc auto-vectorized
+// scalar vs hand SSE2 intrinsics vs NEON intrinsics through the emulation
+// layer). Part 2 prints the model-simulated table for the paper's ten
+// platforms. Run with --paper for the full 5-images x 25-cycles protocol.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace simdcv;
+using platform::BenchKernel;
+
+int main(int argc, char** argv) {
+  bench::printHostBanner("Table II: Convert Float to Short");
+  const auto proto = bench::Protocol::fromArgs(argc, argv);
+
+  std::printf("-- host-measured (mean over %d runs per cell) --\n",
+              proto.images * proto.cycles);
+  std::vector<std::string> header{"Image Size"};
+  for (auto p : bench::benchPaths()) header.push_back(bench::pathLabel(p));
+  header.push_back("SSE2 speedup");
+  header.push_back("NEON(emu) speedup");
+  bench::Table t(header);
+  std::vector<std::vector<std::string>> csv;
+  for (const auto& res : bench::paperResolutions()) {
+    std::vector<std::string> row{res.label};
+    bench::Measurement autoArm, sse2Arm, neonArm;
+    for (auto p : bench::benchPaths()) {
+      const auto m =
+          bench::measureKernel(BenchKernel::ConvertF32S16, p, res.size, proto);
+      row.push_back(bench::fmtSeconds(m.stats.mean));
+      if (p == KernelPath::Auto) autoArm = m;
+      if (p == KernelPath::Sse2) sse2Arm = m;
+      if (p == KernelPath::Neon) neonArm = m;
+    }
+    row.push_back(bench::fmtSpeedup(bench::speedupOf(autoArm, sse2Arm)));
+    row.push_back(bench::fmtSpeedup(bench::speedupOf(autoArm, neonArm)));
+    csv.push_back(row);
+    t.addRow(std::move(row));
+  }
+  t.print();
+  bench::writeCsv("table2_host.csv", header, csv);
+
+  std::printf(
+      "\nNote: the 2012 paper measured gcc-4.6, whose auto-vectorizer could\n"
+      "not vectorize this loop (Section V); modern gcc largely can, so host\n"
+      "AUTO-vs-HAND gaps are smaller than the paper's. The scalar-novec\n"
+      "column shows the 2012-style baseline. NEON timings go through the\n"
+      "x86 emulation layer: functional, not representative of ARM silicon.\n\n");
+
+  std::printf("-- model-simulated Table II (paper platforms) --\n");
+  for (const auto& res : bench::paperResolutions()) {
+    std::printf("%s (%s):\n", res.label, res.mpx);
+    bench::printSimulatedPlatformTable(BenchKernel::ConvertF32S16, res.size);
+  }
+  bench::printAnchorComparison(BenchKernel::ConvertF32S16);
+  return 0;
+}

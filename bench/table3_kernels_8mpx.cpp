@@ -1,0 +1,51 @@
+// Table III reproduction: Binary Thresholding, Gaussian Blur, Sobel Filter
+// and Edge Detection on the 8 mpx (3264x2448) image.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace simdcv;
+using platform::BenchKernel;
+
+int main(int argc, char** argv) {
+  bench::printHostBanner("Table III: BinThr / GauBlu / SobFil / EdgDet @ 8mpx");
+  const auto proto = bench::Protocol::fromArgs(argc, argv);
+  const Size size{3264, 2448};
+
+  const BenchKernel kernels[] = {BenchKernel::ThresholdU8,
+                                 BenchKernel::GaussianBlur, BenchKernel::Sobel,
+                                 BenchKernel::EdgeDetect};
+
+  std::printf("-- host-measured (mean over %d runs per cell) --\n",
+              proto.images * proto.cycles);
+  std::vector<std::string> header{"Benchmark"};
+  for (auto p : bench::benchPaths()) header.push_back(bench::pathLabel(p));
+  header.push_back("SSE2 speedup");
+  header.push_back("NEON(emu) speedup");
+  bench::Table t(header);
+  std::vector<std::vector<std::string>> csv;
+  for (BenchKernel k : kernels) {
+    std::vector<std::string> row{platform::toString(k)};
+    bench::Measurement autoArm, sse2Arm, neonArm;
+    for (auto p : bench::benchPaths()) {
+      const auto m = bench::measureKernel(k, p, size, proto);
+      row.push_back(bench::fmtSeconds(m.stats.mean));
+      if (p == KernelPath::Auto) autoArm = m;
+      if (p == KernelPath::Sse2) sse2Arm = m;
+      if (p == KernelPath::Neon) neonArm = m;
+    }
+    row.push_back(bench::fmtSpeedup(bench::speedupOf(autoArm, sse2Arm)));
+    row.push_back(bench::fmtSpeedup(bench::speedupOf(autoArm, neonArm)));
+    csv.push_back(row);
+    t.addRow(std::move(row));
+  }
+  t.print();
+  bench::writeCsv("table3_host.csv", header, csv);
+
+  std::printf("\n-- model-simulated Table III (paper platforms, 8mpx) --\n");
+  for (BenchKernel k : kernels) {
+    std::printf("%s:\n", platform::toString(k));
+    bench::printSimulatedPlatformTable(k, size);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// SIMD path comparison tool: run every paper benchmark on every available
+// kernel path at a chosen resolution and print a compact scoreboard —
+// a one-binary miniature of the paper's whole evaluation.
+//
+//   ./simd_comparison [width height] [--paper|--quick]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hpp"  // bench/common.hpp: measured-kernel machinery
+
+using namespace simdcv;
+using platform::BenchKernel;
+
+int main(int argc, char** argv) {
+  Size size{1024, 960};
+  if (argc >= 3 && std::atoi(argv[1]) > 0 && std::atoi(argv[2]) > 0) {
+    size = {std::atoi(argv[1]), std::atoi(argv[2])};
+  }
+  bench::printHostBanner("simd_comparison");
+  const auto proto = bench::Protocol::fromArgs(argc, argv);
+  std::printf("image size %dx%d, %d runs per cell\n\n", size.width,
+              size.height, proto.images * proto.cycles);
+
+  const BenchKernel kernels[] = {
+      BenchKernel::ConvertF32S16, BenchKernel::ThresholdU8,
+      BenchKernel::GaussianBlur, BenchKernel::Sobel, BenchKernel::EdgeDetect};
+
+  std::vector<std::string> header{"Benchmark"};
+  for (auto p : bench::benchPaths()) header.push_back(bench::pathLabel(p));
+  header.push_back("best HAND speedup");
+  bench::Table t(header);
+  for (BenchKernel k : kernels) {
+    std::vector<std::string> row{platform::toString(k)};
+    double autoMean = 0, bestHand = 1e30;
+    for (auto p : bench::benchPaths()) {
+      const auto m = bench::measureKernel(k, p, size, proto);
+      row.push_back(bench::fmtSeconds(m.stats.mean));
+      if (p == KernelPath::Auto) autoMean = m.stats.mean;
+      if (p == KernelPath::Sse2 || p == KernelPath::Neon)
+        bestHand = std::min(bestHand, m.stats.mean);
+    }
+    row.push_back(bench::fmtSpeedup(autoMean / bestHand));
+    t.addRow(std::move(row));
+  }
+  t.print();
+  std::printf(
+      "\n(Emulated NEON timings are functional only; on ARM silicon the\n"
+      "same sources compile against the real <arm_neon.h>.)\n");
+  return 0;
+}

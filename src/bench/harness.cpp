@@ -1,0 +1,150 @@
+#include "bench/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+
+#include "platform/platform.hpp"
+
+namespace simdcv::bench {
+
+Stats summarize(std::vector<double> samples) {
+  Stats s;
+  if (samples.empty()) return s;
+  s.runs = static_cast<int>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = samples[samples.size() / 2];
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  double var = 0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+const std::vector<Resolution>& paperResolutions() {
+  static const std::vector<Resolution> r = {
+      {{640, 480}, "640x480", "0.3mpx"},
+      {{1024, 960}, "1024x960", "1mpx"},
+      {{2592, 1920}, "2592x1920", "5mpx"},
+      {{3264, 2448}, "3264x2448", "8mpx"},
+  };
+  return r;
+}
+
+Protocol Protocol::fromArgs(int argc, char** argv) {
+  Protocol p;
+  // Default to a fast-but-statistical protocol; --paper restores the full
+  // 5x25 traversal, --quick shrinks further for smoke runs.
+  p.cycles = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper") == 0) p.cycles = 25;
+    if (std::strcmp(argv[i], "--quick") == 0) p.cycles = 1;
+  }
+  return p;
+}
+
+std::vector<double> runProtocol(const Protocol& proto,
+                                const std::function<void(int)>& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(proto.images) *
+                static_cast<std::size_t>(proto.cycles));
+  Timer t;
+  for (int c = 0; c < proto.cycles; ++c) {
+    for (int i = 0; i < proto.images; ++i) {
+      t.start();
+      fn(i);
+      times.push_back(t.stop());
+    }
+  }
+  return times;
+}
+
+Table::Table(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+void Table::addRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void Table::print() const {
+  if (rows_.empty()) return;
+  std::vector<std::size_t> width(rows_[0].size(), 0);
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  auto rule = [&] {
+    std::fputc('+', stdout);
+    for (std::size_t w : width) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::fputc('-', stdout);
+      std::fputc('+', stdout);
+    }
+    std::fputc('\n', stdout);
+  };
+  rule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::fputc('|', stdout);
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < rows_[r].size() ? rows_[r][c] : std::string();
+      std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
+    }
+    std::fputc('\n', stdout);
+    if (r == 0) rule();
+  }
+  rule();
+}
+
+std::string fmtSeconds(double s) {
+  char buf[64];
+  if (s >= 0.1)
+    std::snprintf(buf, sizeof(buf), "%.3f", s);
+  else if (s >= 1e-3)
+    std::snprintf(buf, sizeof(buf), "%.4f", s);
+  else
+    std::snprintf(buf, sizeof(buf), "%.3e", s);
+  return buf;
+}
+
+std::string fmtSpeedup(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", s);
+  return buf;
+}
+
+void writeCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream f(path);
+  if (!f.good()) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  auto writeRow = [&f](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) f << ',';
+      f << row[i];
+    }
+    f << '\n';
+  };
+  writeRow(header);
+  for (const auto& row : rows) writeRow(row);
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+void printHostBanner(const std::string& benchName) {
+  const auto host = platform::queryHost();
+  std::printf("== %s ==\n", benchName.c_str());
+  std::printf("host: %s (%s), %d logical cpus, L1d %dK / L2 %dK / L3 %dK\n",
+              host.brand.empty() ? "unknown" : host.brand.c_str(),
+              host.vendor.c_str(), host.logical_cpus, host.l1d_kb, host.l2_kb,
+              host.l3_kb);
+  std::printf("paths: auto=yes sse2=%s neon=%s%s scalar-novec=yes\n\n",
+              pathAvailable(KernelPath::Sse2) ? "yes" : "no",
+              pathAvailable(KernelPath::Neon) ? "yes" : "no",
+              cpuFeatures().neon ? " (native)" : " (emulated)");
+}
+
+}  // namespace simdcv::bench

@@ -1,0 +1,95 @@
+// Benchmark harness: high-resolution timing, robust statistics, the paper's
+// measurement protocol (5 images per resolution cycled 25 times), and
+// plain-text table/CSV output that mirrors the paper's Tables II/III and
+// Figures 2-6.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::bench {
+
+/// Monotonic nanosecond timer (resolution well under the paper's stated
+/// 1e-6 s requirement on any modern clocksource).
+class Timer {
+ public:
+  void start() { t0_ = clock::now(); }
+  /// Seconds since start().
+  double stop() const {
+    return std::chrono::duration<double>(clock::now() - t0_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point t0_;
+};
+
+/// Summary statistics over repeated runs.
+struct Stats {
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  int runs = 0;
+};
+Stats summarize(std::vector<double> samples);
+
+/// The paper's four evaluation resolutions.
+struct Resolution {
+  Size size;
+  const char* label;   ///< "640x480"
+  const char* mpx;     ///< "0.3mpx"
+};
+const std::vector<Resolution>& paperResolutions();
+
+/// Measurement protocol configuration. Paper defaults: 5 images x 25 cycles.
+struct Protocol {
+  int images = 5;
+  int cycles = 25;
+  /// Scale factor applied from the command line (--quick shrinks cycles).
+  static Protocol fromArgs(int argc, char** argv);
+};
+
+/// Run `fn(imageIndex)` over the protocol (images cycled cycles times,
+/// matching the paper's cache-defeating traversal) and return per-run
+/// second timings.
+std::vector<double> runProtocol(const Protocol& proto,
+                                const std::function<void(int)>& fn);
+
+/// Fixed-width ASCII table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void addRow(std::vector<std::string> cells);
+  void print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds with the paper's 3-decimal style; speedups as "4.21x".
+std::string fmtSeconds(double s);
+std::string fmtSpeedup(double s);
+
+/// Emit a CSV file next to stdout output (for replotting the figures).
+void writeCsv(const std::string& path,
+              const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows);
+
+/// Print the standard bench banner: host info and path availability.
+void printHostBanner(const std::string& benchName);
+
+/// Prevent the optimizer from discarding a result.
+template <typename T>
+inline void doNotOptimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace simdcv::bench

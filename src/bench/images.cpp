@@ -1,0 +1,138 @@
+#include "bench/images.hpp"
+
+#include <cmath>
+
+#include "core/saturate.hpp"
+
+namespace simdcv::bench {
+
+const char* toString(Scene s) noexcept {
+  switch (s) {
+    case Scene::Gradient: return "gradient";
+    case Scene::Blobs: return "blobs";
+    case Scene::Checker: return "checker";
+    case Scene::Noise: return "noise";
+    case Scene::Natural: return "natural";
+  }
+  return "?";
+}
+
+namespace {
+
+// Smooth value noise: bilinear interpolation of a coarse random lattice.
+// Summed over octaves this gives roughly 1/f ("natural image") statistics.
+class ValueNoise {
+ public:
+  ValueNoise(std::uint32_t seed, int cell) : cell_(cell), seed_(seed) {}
+
+  double at(int x, int y) const {
+    const int gx = x / cell_, gy = y / cell_;
+    const double fx = static_cast<double>(x % cell_) / cell_;
+    const double fy = static_cast<double>(y % cell_) / cell_;
+    const double v00 = lattice(gx, gy), v10 = lattice(gx + 1, gy);
+    const double v01 = lattice(gx, gy + 1), v11 = lattice(gx + 1, gy + 1);
+    const double sx = fx * fx * (3 - 2 * fx);  // smoothstep
+    const double sy = fy * fy * (3 - 2 * fy);
+    const double a = v00 + (v10 - v00) * sx;
+    const double b = v01 + (v11 - v01) * sx;
+    return a + (b - a) * sy;
+  }
+
+ private:
+  double lattice(int gx, int gy) const {
+    std::uint32_t h = seed_;
+    h ^= static_cast<std::uint32_t>(gx) * 0x85ebca6bu;
+    h ^= static_cast<std::uint32_t>(gy) * 0xc2b2ae35u;
+    h ^= h >> 16;
+    h *= 0x7feb352du;
+    h ^= h >> 15;
+    return h * (1.0 / 4294967296.0);
+  }
+  int cell_;
+  std::uint32_t seed_;
+};
+
+// Scene intensity in [0,1] at pixel (x,y).
+double sceneValue(Scene scene, int x, int y, Size size, std::uint32_t seed,
+                  Rng& rng) {
+  switch (scene) {
+    case Scene::Gradient:
+      return (static_cast<double>(x) / size.width +
+              static_cast<double>(y) / size.height) *
+             0.5;
+    case Scene::Blobs: {
+      // Three fixed Gaussian blobs whose centers depend on the seed.
+      static constexpr double amp[3] = {0.9, 0.7, 0.5};
+      double v = 0.05;
+      for (int b = 0; b < 3; ++b) {
+        const double cx = ((seed >> (4 * b)) % 7 + 1) / 8.0 * size.width;
+        const double cy = ((seed >> (4 * b + 2)) % 7 + 1) / 8.0 * size.height;
+        const double s = size.width / (6.0 + b * 2);
+        const double dx = x - cx, dy = y - cy;
+        v += amp[b] * std::exp(-(dx * dx + dy * dy) / (2 * s * s));
+      }
+      return v > 1.0 ? 1.0 : v;
+    }
+    case Scene::Checker: {
+      const int c = 8 + static_cast<int>(seed % 9);
+      const bool sq = ((x / c) + (y / c)) & 1;
+      const bool bar = (x / (c / 2 + 1)) & 1;
+      return sq ? (bar ? 0.95 : 0.75) : (bar ? 0.25 : 0.05);
+    }
+    case Scene::Noise:
+      return rng.uniform();
+    case Scene::Natural: {
+      const ValueNoise o1(seed + 1, 64), o2(seed + 2, 16), o3(seed + 3, 4);
+      return 0.55 * o1.at(x, y) + 0.3 * o2.at(x, y) + 0.15 * o3.at(x, y);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Mat makeScene(Scene scene, Size size, std::uint32_t seed) {
+  Mat img(size, U8C1);
+  Rng rng(seed * 2654435761u + static_cast<std::uint32_t>(scene) + 1);
+  for (int y = 0; y < size.height; ++y) {
+    std::uint8_t* row = img.ptr<std::uint8_t>(y);
+    for (int x = 0; x < size.width; ++x) {
+      row[x] = saturate_cast<std::uint8_t>(
+          sceneValue(scene, x, y, size, seed, rng) * 255.0);
+    }
+  }
+  return img;
+}
+
+Mat makeFloatScene(Scene scene, Size size, std::uint32_t seed) {
+  Mat img(size, F32C1);
+  Rng rng(seed * 2654435761u + static_cast<std::uint32_t>(scene) + 17);
+  // Span beyond the int16 range so saturation paths are exercised: values in
+  // [-40960, 40959].
+  const double scale = 81920.0;
+  for (int y = 0; y < size.height; ++y) {
+    float* row = img.ptr<float>(y);
+    for (int x = 0; x < size.width; ++x) {
+      const double v = sceneValue(scene, x, y, size, seed, rng);
+      row[x] = static_cast<float>((v - 0.5) * scale);
+    }
+  }
+  return img;
+}
+
+std::vector<Mat> makeImageSet(Size size, Depth depth) {
+  SIMDCV_REQUIRE(depth == Depth::U8 || depth == Depth::F32,
+                 "makeImageSet: u8 or f32 only");
+  std::vector<Mat> set;
+  set.reserve(kSceneCount);
+  for (int s = 0; s < kSceneCount; ++s) {
+    set.push_back(depth == Depth::U8
+                      ? makeScene(static_cast<Scene>(s), size,
+                                  static_cast<std::uint32_t>(s) + 1)
+                      : makeFloatScene(static_cast<Scene>(s), size,
+                                       static_cast<std::uint32_t>(s) + 1));
+  }
+  return set;
+}
+
+}  // namespace simdcv::bench

@@ -1,0 +1,55 @@
+// Deterministic synthetic test images standing in for the paper's camera
+// bitmaps: five scene classes per resolution with distinct spectral content,
+// cycled during measurement to defeat cache residency exactly as the paper's
+// protocol does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mat.hpp"
+
+namespace simdcv::bench {
+
+enum class Scene : int {
+  Gradient = 0,   ///< smooth diagonal ramp (low frequency)
+  Blobs,          ///< sum of Gaussian blobs (mid frequency)
+  Checker,        ///< checkerboard + text-like bars (high frequency)
+  Noise,          ///< uniform pseudo-random noise (white spectrum)
+  Natural,        ///< value-noise octaves, 1/f-ish "natural" statistics
+};
+inline constexpr int kSceneCount = 5;
+const char* toString(Scene s) noexcept;
+
+/// Deterministic U8C1 image of the given scene at the given size.
+/// The same (scene, size, seed) always produces identical pixels.
+Mat makeScene(Scene scene, Size size, std::uint32_t seed = 0);
+
+/// Deterministic F32C1 image with values spanning [-32768*1.25, 32767*1.25]
+/// so the float->short conversion benchmark exercises saturation.
+Mat makeFloatScene(Scene scene, Size size, std::uint32_t seed = 0);
+
+/// The paper's working set: one image per scene class (5 images).
+std::vector<Mat> makeImageSet(Size size, Depth depth);
+
+/// Small xorshift PRNG used across the harness (deterministic, seedable).
+class Rng {
+ public:
+  explicit Rng(std::uint32_t seed) : state_(seed ? seed : 0x9e3779b9u) {}
+  std::uint32_t next() {
+    std::uint32_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    return state_ = x;
+  }
+  /// Uniform in [0, 1).
+  double uniform() { return next() * (1.0 / 4294967296.0); }
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+ private:
+  std::uint32_t state_;
+};
+
+}  // namespace simdcv::bench

@@ -1,0 +1,300 @@
+// Public array-op API: geometry checks, path resolution, row iteration.
+#include "core/array_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/array_ops_detail.hpp"
+#include "core/saturate.hpp"
+
+namespace simdcv::core {
+
+namespace {
+
+using detail::BinOp;
+
+void checkPair(const Mat& a, const Mat& b, const char* what) {
+  SIMDCV_REQUIRE(!a.empty() && !b.empty(), std::string(what) + ": empty input");
+  SIMDCV_REQUIRE(a.size() == b.size() && a.type() == b.type(),
+                 std::string(what) + ": geometry/type mismatch");
+}
+
+void binDispatch(BinOp op, Depth d, const void* a, const void* b, void* dst,
+                 std::size_t n, KernelPath p) {
+  switch (p) {
+    case KernelPath::Sse2:
+      if (detail::aops_sse2::binRange(op, d, a, b, dst, n)) return;
+      break;
+    case KernelPath::Neon:
+      if (detail::aops_neon::binRange(op, d, a, b, dst, n)) return;
+      break;
+    case KernelPath::ScalarNoVec:
+      detail::aops_novec::binRange(op, d, a, b, dst, n);
+      return;
+    default:
+      break;
+  }
+  detail::aops_autovec::binRange(op, d, a, b, dst, n);
+}
+
+void binaryOp(BinOp op, const Mat& a, const Mat& b, Mat& dst, KernelPath path,
+              const char* what) {
+  checkPair(a, b, what);
+  const KernelPath p = resolvePath(path);
+  Mat out = (dst.sharesStorageWith(a) || dst.sharesStorageWith(b))
+                ? Mat(a.rows(), a.cols(), a.type())
+                : std::move(dst);
+  out.create(a.rows(), a.cols(), a.type());
+  const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
+  if (a.isContinuous() && b.isContinuous() && out.isContinuous()) {
+    binDispatch(op, a.depth(), a.data(), b.data(), out.data(), n * a.rows(), p);
+  } else {
+    for (int r = 0; r < a.rows(); ++r)
+      binDispatch(op, a.depth(), a.ptr<std::uint8_t>(r), b.ptr<std::uint8_t>(r),
+                  out.ptr<std::uint8_t>(r), n, p);
+  }
+  dst = std::move(out);
+}
+
+}  // namespace
+
+void add(const Mat& a, const Mat& b, Mat& dst, KernelPath path) {
+  binaryOp(BinOp::Add, a, b, dst, path, "add");
+}
+void subtract(const Mat& a, const Mat& b, Mat& dst, KernelPath path) {
+  binaryOp(BinOp::Sub, a, b, dst, path, "subtract");
+}
+void absdiff(const Mat& a, const Mat& b, Mat& dst, KernelPath path) {
+  binaryOp(BinOp::AbsDiff, a, b, dst, path, "absdiff");
+}
+void min(const Mat& a, const Mat& b, Mat& dst, KernelPath path) {
+  binaryOp(BinOp::Min, a, b, dst, path, "min");
+}
+void max(const Mat& a, const Mat& b, Mat& dst, KernelPath path) {
+  binaryOp(BinOp::Max, a, b, dst, path, "max");
+}
+void bitwiseAnd(const Mat& a, const Mat& b, Mat& dst, KernelPath path) {
+  SIMDCV_REQUIRE(!isFloatDepth(a.depth()), "bitwiseAnd: integer depths only");
+  binaryOp(BinOp::And, a, b, dst, path, "bitwiseAnd");
+}
+void bitwiseOr(const Mat& a, const Mat& b, Mat& dst, KernelPath path) {
+  SIMDCV_REQUIRE(!isFloatDepth(a.depth()), "bitwiseOr: integer depths only");
+  binaryOp(BinOp::Or, a, b, dst, path, "bitwiseOr");
+}
+void bitwiseXor(const Mat& a, const Mat& b, Mat& dst, KernelPath path) {
+  SIMDCV_REQUIRE(!isFloatDepth(a.depth()), "bitwiseXor: integer depths only");
+  binaryOp(BinOp::Xor, a, b, dst, path, "bitwiseXor");
+}
+
+void bitwiseNot(const Mat& a, Mat& dst, KernelPath path) {
+  SIMDCV_REQUIRE(!a.empty(), "bitwiseNot: empty input");
+  SIMDCV_REQUIRE(!isFloatDepth(a.depth()), "bitwiseNot: integer depths only");
+  const KernelPath p = resolvePath(path);
+  Mat out = std::move(dst);  // element-wise: in-place aliasing is safe
+  out.create(a.rows(), a.cols(), a.type());
+  const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
+  auto run = p == KernelPath::ScalarNoVec ? &detail::aops_novec::notRange
+                                          : &detail::aops_autovec::notRange;
+  if (a.isContinuous() && out.isContinuous()) {
+    run(a.depth(), a.data(), out.data(), n * a.rows());
+  } else {
+    for (int r = 0; r < a.rows(); ++r)
+      run(a.depth(), a.ptr<std::uint8_t>(r), out.ptr<std::uint8_t>(r), n);
+  }
+  dst = std::move(out);
+}
+
+void scaleAdd(const Mat& a, double alpha, double beta, Mat& dst,
+              KernelPath path) {
+  SIMDCV_REQUIRE(!a.empty(), "scaleAdd: empty input");
+  const KernelPath p = resolvePath(path);
+  Mat out = std::move(dst);
+  out.create(a.rows(), a.cols(), a.type());
+  const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
+  auto run = p == KernelPath::ScalarNoVec ? &detail::aops_novec::scaleRange
+                                          : &detail::aops_autovec::scaleRange;
+  if (a.isContinuous() && out.isContinuous()) {
+    run(a.depth(), a.data(), out.data(), n * a.rows(), alpha, beta);
+  } else {
+    for (int r = 0; r < a.rows(); ++r)
+      run(a.depth(), a.ptr<std::uint8_t>(r), out.ptr<std::uint8_t>(r), n, alpha,
+          beta);
+  }
+  dst = std::move(out);
+}
+
+void addWeighted(const Mat& a, double alpha, const Mat& b, double beta,
+                 double gamma, Mat& dst, KernelPath path) {
+  checkPair(a, b, "addWeighted");
+  const KernelPath p = resolvePath(path);
+  Mat out = (dst.sharesStorageWith(a) || dst.sharesStorageWith(b))
+                ? Mat(a.rows(), a.cols(), a.type())
+                : std::move(dst);
+  out.create(a.rows(), a.cols(), a.type());
+  const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
+  auto run = p == KernelPath::ScalarNoVec ? &detail::aops_novec::weightedRange
+                                          : &detail::aops_autovec::weightedRange;
+  if (a.isContinuous() && b.isContinuous() && out.isContinuous()) {
+    run(a.depth(), a.data(), b.data(), out.data(), n * a.rows(), alpha, beta,
+        gamma);
+  } else {
+    for (int r = 0; r < a.rows(); ++r)
+      run(a.depth(), a.ptr<std::uint8_t>(r), b.ptr<std::uint8_t>(r),
+          out.ptr<std::uint8_t>(r), n, alpha, beta, gamma);
+  }
+  dst = std::move(out);
+}
+
+double sum(const Mat& a, KernelPath path) {
+  SIMDCV_REQUIRE(!a.empty(), "sum: empty input");
+  const KernelPath p = resolvePath(path);
+  const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
+  double total = 0;
+  for (int r = 0; r < a.rows(); ++r) {
+    const void* row = a.ptr<std::uint8_t>(r);
+    double partial = 0;
+    bool handled = false;
+    if (p == KernelPath::Sse2)
+      handled = detail::aops_sse2::sumRange(a.depth(), row, n, partial);
+    else if (p == KernelPath::Neon)
+      handled = detail::aops_neon::sumRange(a.depth(), row, n, partial);
+    if (!handled) {
+      partial = p == KernelPath::ScalarNoVec
+                    ? detail::aops_novec::sumRange(a.depth(), row, n)
+                    : detail::aops_autovec::sumRange(a.depth(), row, n);
+    }
+    total += partial;
+  }
+  return total;
+}
+
+double mean(const Mat& a, KernelPath path) {
+  return sum(a, path) /
+         (static_cast<double>(a.total()) * static_cast<double>(a.channels()));
+}
+
+std::size_t countNonZero(const Mat& a, KernelPath path) {
+  SIMDCV_REQUIRE(!a.empty(), "countNonZero: empty input");
+  const KernelPath p = resolvePath(path);
+  const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
+  std::size_t total = 0;
+  for (int r = 0; r < a.rows(); ++r) {
+    const void* row = a.ptr<std::uint8_t>(r);
+    total += p == KernelPath::ScalarNoVec
+                 ? detail::aops_novec::countNonZeroRange(a.depth(), row, n)
+                 : detail::aops_autovec::countNonZeroRange(a.depth(), row, n);
+  }
+  return total;
+}
+
+namespace {
+
+template <typename T>
+void normRows(const Mat& a, NormType type, double& acc) {
+  const int n = a.cols() * a.channels();
+  for (int row = 0; row < a.rows(); ++row) {
+    const T* p = a.ptr<T>(row);
+    for (int c = 0; c < n; ++c) {
+      const double v = std::abs(static_cast<double>(p[c]));
+      switch (type) {
+        case NormType::L1: acc += v; break;
+        case NormType::L2: acc += v * v; break;
+        case NormType::Inf: acc = std::max(acc, v); break;
+      }
+    }
+  }
+}
+
+template <typename T>
+void normDiffRows(const Mat& a, const Mat& b, NormType type, double& acc) {
+  const int n = a.cols() * a.channels();
+  for (int row = 0; row < a.rows(); ++row) {
+    const T* pa = a.ptr<T>(row);
+    const T* pb = b.ptr<T>(row);
+    for (int c = 0; c < n; ++c) {
+      const double v = std::abs(static_cast<double>(pa[c]) - static_cast<double>(pb[c]));
+      switch (type) {
+        case NormType::L1: acc += v; break;
+        case NormType::L2: acc += v * v; break;
+        case NormType::Inf: acc = std::max(acc, v); break;
+      }
+    }
+  }
+}
+
+void normDispatch(const Mat& a, const Mat* b, NormType type, double& acc) {
+  switch (a.depth()) {
+    case Depth::U8: b ? normDiffRows<std::uint8_t>(a, *b, type, acc) : normRows<std::uint8_t>(a, type, acc); break;
+    case Depth::S8: b ? normDiffRows<std::int8_t>(a, *b, type, acc) : normRows<std::int8_t>(a, type, acc); break;
+    case Depth::U16: b ? normDiffRows<std::uint16_t>(a, *b, type, acc) : normRows<std::uint16_t>(a, type, acc); break;
+    case Depth::S16: b ? normDiffRows<std::int16_t>(a, *b, type, acc) : normRows<std::int16_t>(a, type, acc); break;
+    case Depth::S32: b ? normDiffRows<std::int32_t>(a, *b, type, acc) : normRows<std::int32_t>(a, type, acc); break;
+    case Depth::F32: b ? normDiffRows<float>(a, *b, type, acc) : normRows<float>(a, type, acc); break;
+    case Depth::F64: b ? normDiffRows<double>(a, *b, type, acc) : normRows<double>(a, type, acc); break;
+  }
+}
+
+template <typename T>
+void minMaxRows(const Mat& a, MinMaxResult& r) {
+  for (int row = 0; row < a.rows(); ++row) {
+    const T* p = a.ptr<T>(row);
+    for (int col = 0; col < a.cols(); ++col) {
+      const double v = static_cast<double>(p[col]);
+      if (r.min_row < 0 || v < r.min_val) {
+        r.min_val = v;
+        r.min_row = row;
+        r.min_col = col;
+      }
+      if (r.max_row < 0 || v > r.max_val) {
+        r.max_val = v;
+        r.max_row = row;
+        r.max_col = col;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double norm(const Mat& a, NormType type, KernelPath /*path*/) {
+  SIMDCV_REQUIRE(!a.empty(), "norm: empty input");
+  double acc = 0;
+  normDispatch(a, nullptr, type, acc);
+  return type == NormType::L2 ? std::sqrt(acc) : acc;
+}
+
+double normDiff(const Mat& a, const Mat& b, NormType type, KernelPath /*path*/) {
+  checkPair(a, b, "normDiff");
+  double acc = 0;
+  normDispatch(a, &b, type, acc);
+  return type == NormType::L2 ? std::sqrt(acc) : acc;
+}
+
+MeanStdDev meanStdDev(const Mat& a, KernelPath path) {
+  SIMDCV_REQUIRE(!a.empty(), "meanStdDev: empty input");
+  const double n = static_cast<double>(a.total()) * a.channels();
+  MeanStdDev r;
+  r.mean = sum(a, path) / n;
+  const double l2 = norm(a, NormType::L2, path);
+  const double var = std::max(0.0, l2 * l2 / n - r.mean * r.mean);
+  r.stddev = std::sqrt(var);
+  return r;
+}
+
+MinMaxResult minMaxLoc(const Mat& a, KernelPath /*path*/) {
+  SIMDCV_REQUIRE(!a.empty(), "minMaxLoc: empty input");
+  SIMDCV_REQUIRE(a.channels() == 1, "minMaxLoc: single channel only");
+  MinMaxResult r;
+  switch (a.depth()) {
+    case Depth::U8: minMaxRows<std::uint8_t>(a, r); break;
+    case Depth::S8: minMaxRows<std::int8_t>(a, r); break;
+    case Depth::U16: minMaxRows<std::uint16_t>(a, r); break;
+    case Depth::S16: minMaxRows<std::int16_t>(a, r); break;
+    case Depth::S32: minMaxRows<std::int32_t>(a, r); break;
+    case Depth::F32: minMaxRows<float>(a, r); break;
+    case Depth::F64: minMaxRows<double>(a, r); break;
+  }
+  return r;
+}
+
+}  // namespace simdcv::core

@@ -1,0 +1,50 @@
+// Internal dispatch surface for array_ops: flat-range kernels per path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace simdcv::core::detail {
+
+enum class BinOp : std::uint8_t { Add, Sub, AbsDiff, Min, Max, And, Or, Xor };
+
+// Scalar arms (two TUs: vectorizer on / off).
+namespace aops_autovec {
+void binRange(BinOp op, Depth d, const void* a, const void* b, void* dst,
+              std::size_t n);
+void notRange(Depth d, const void* a, void* dst, std::size_t n);
+void scaleRange(Depth d, const void* a, void* dst, std::size_t n, double alpha,
+                double beta);
+void weightedRange(Depth d, const void* a, const void* b, void* dst,
+                   std::size_t n, double alpha, double beta, double gamma);
+double sumRange(Depth d, const void* a, std::size_t n);
+std::size_t countNonZeroRange(Depth d, const void* a, std::size_t n);
+}  // namespace aops_autovec
+namespace aops_novec {
+void binRange(BinOp op, Depth d, const void* a, const void* b, void* dst,
+              std::size_t n);
+void notRange(Depth d, const void* a, void* dst, std::size_t n);
+void scaleRange(Depth d, const void* a, void* dst, std::size_t n, double alpha,
+                double beta);
+void weightedRange(Depth d, const void* a, const void* b, void* dst,
+                   std::size_t n, double alpha, double beta, double gamma);
+double sumRange(Depth d, const void* a, std::size_t n);
+std::size_t countNonZeroRange(Depth d, const void* a, std::size_t n);
+}  // namespace aops_novec
+
+// SIMD arms; return false when the (op, depth) pair has no hand kernel so
+// the caller falls back to the scalar arm.
+namespace aops_sse2 {
+bool binRange(BinOp op, Depth d, const void* a, const void* b, void* dst,
+              std::size_t n);
+bool sumRange(Depth d, const void* a, std::size_t n, double& out);
+}  // namespace aops_sse2
+namespace aops_neon {
+bool binRange(BinOp op, Depth d, const void* a, const void* b, void* dst,
+              std::size_t n);
+bool sumRange(Depth d, const void* a, std::size_t n, double& out);
+}  // namespace aops_neon
+
+}  // namespace simdcv::core::detail

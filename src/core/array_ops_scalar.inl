@@ -1,0 +1,194 @@
+// Scalar array-op kernels, shared between the autovec / novec TUs.
+// SIMDCV_AOPS_NS selects the namespace (aops_autovec / aops_novec).
+
+#include <cmath>
+
+#include "core/array_ops_detail.hpp"
+#include "core/saturate.hpp"
+
+namespace simdcv::core::detail::SIMDCV_AOPS_NS {
+
+namespace {
+
+template <typename T>
+void binLoop(BinOp op, const T* a, const T* b, T* d, std::size_t n) {
+  // Wide type with saturate_cast specializations: int covers u8/s16 sums
+  // and differences exactly; f32 promotes to double.
+  using W = std::conditional_t<std::is_floating_point_v<T>, double, int>;
+  switch (op) {
+    case BinOp::Add:
+      for (std::size_t i = 0; i < n; ++i)
+        d[i] = saturate_cast<T>(static_cast<W>(a[i]) + static_cast<W>(b[i]));
+      break;
+    case BinOp::Sub:
+      for (std::size_t i = 0; i < n; ++i)
+        d[i] = saturate_cast<T>(static_cast<W>(a[i]) - static_cast<W>(b[i]));
+      break;
+    case BinOp::AbsDiff:
+      for (std::size_t i = 0; i < n; ++i) {
+        const W x = static_cast<W>(a[i]) - static_cast<W>(b[i]);
+        d[i] = saturate_cast<T>(x < 0 ? -x : x);
+      }
+      break;
+    case BinOp::Min:
+      for (std::size_t i = 0; i < n; ++i) d[i] = a[i] < b[i] ? a[i] : b[i];
+      break;
+    case BinOp::Max:
+      for (std::size_t i = 0; i < n; ++i) d[i] = a[i] > b[i] ? a[i] : b[i];
+      break;
+    default:
+      break;  // bitwise handled at byte level by the caller
+  }
+}
+
+void bitwiseLoop(BinOp op, const std::uint8_t* a, const std::uint8_t* b,
+                 std::uint8_t* d, std::size_t bytes) {
+  switch (op) {
+    case BinOp::And:
+      for (std::size_t i = 0; i < bytes; ++i) d[i] = a[i] & b[i];
+      break;
+    case BinOp::Or:
+      for (std::size_t i = 0; i < bytes; ++i) d[i] = a[i] | b[i];
+      break;
+    case BinOp::Xor:
+      for (std::size_t i = 0; i < bytes; ++i) d[i] = a[i] ^ b[i];
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void binRange(BinOp op, Depth depth, const void* a, const void* b, void* dst,
+              std::size_t n) {
+  if (op == BinOp::And || op == BinOp::Or || op == BinOp::Xor) {
+    bitwiseLoop(op, static_cast<const std::uint8_t*>(a),
+                static_cast<const std::uint8_t*>(b),
+                static_cast<std::uint8_t*>(dst), n * depthSize(depth));
+    return;
+  }
+  switch (depth) {
+    case Depth::U8:
+      binLoop(op, static_cast<const std::uint8_t*>(a),
+              static_cast<const std::uint8_t*>(b),
+              static_cast<std::uint8_t*>(dst), n);
+      break;
+    case Depth::S16:
+      binLoop(op, static_cast<const std::int16_t*>(a),
+              static_cast<const std::int16_t*>(b),
+              static_cast<std::int16_t*>(dst), n);
+      break;
+    case Depth::F32:
+      binLoop(op, static_cast<const float*>(a), static_cast<const float*>(b),
+              static_cast<float*>(dst), n);
+      break;
+    default:
+      throw Error("array op: unsupported depth");
+  }
+}
+
+void notRange(Depth d, const void* a, void* dst, std::size_t n) {
+  const std::size_t bytes = n * depthSize(d);
+  const auto* s = static_cast<const std::uint8_t*>(a);
+  auto* o = static_cast<std::uint8_t*>(dst);
+  for (std::size_t i = 0; i < bytes; ++i) o[i] = static_cast<std::uint8_t>(~s[i]);
+}
+
+namespace {
+
+template <typename T>
+void scaleLoop(const T* a, T* d, std::size_t n, double alpha, double beta) {
+  for (std::size_t i = 0; i < n; ++i)
+    d[i] = saturate_cast<T>(static_cast<double>(a[i]) * alpha + beta);
+}
+
+template <typename T>
+void weightedLoop(const T* a, const T* b, T* d, std::size_t n, double alpha,
+                  double beta, double gamma) {
+  for (std::size_t i = 0; i < n; ++i)
+    d[i] = saturate_cast<T>(static_cast<double>(a[i]) * alpha +
+                            static_cast<double>(b[i]) * beta + gamma);
+}
+
+}  // namespace
+
+void scaleRange(Depth d, const void* a, void* dst, std::size_t n, double alpha,
+                double beta) {
+  switch (d) {
+    case Depth::U8:
+      scaleLoop(static_cast<const std::uint8_t*>(a),
+                static_cast<std::uint8_t*>(dst), n, alpha, beta);
+      break;
+    case Depth::S16:
+      scaleLoop(static_cast<const std::int16_t*>(a),
+                static_cast<std::int16_t*>(dst), n, alpha, beta);
+      break;
+    case Depth::F32:
+      scaleLoop(static_cast<const float*>(a), static_cast<float*>(dst), n,
+                alpha, beta);
+      break;
+    default:
+      throw Error("scaleAdd: unsupported depth");
+  }
+}
+
+void weightedRange(Depth d, const void* a, const void* b, void* dst,
+                   std::size_t n, double alpha, double beta, double gamma) {
+  switch (d) {
+    case Depth::U8:
+      weightedLoop(static_cast<const std::uint8_t*>(a),
+                   static_cast<const std::uint8_t*>(b),
+                   static_cast<std::uint8_t*>(dst), n, alpha, beta, gamma);
+      break;
+    case Depth::S16:
+      weightedLoop(static_cast<const std::int16_t*>(a),
+                   static_cast<const std::int16_t*>(b),
+                   static_cast<std::int16_t*>(dst), n, alpha, beta, gamma);
+      break;
+    case Depth::F32:
+      weightedLoop(static_cast<const float*>(a), static_cast<const float*>(b),
+                   static_cast<float*>(dst), n, alpha, beta, gamma);
+      break;
+    default:
+      throw Error("addWeighted: unsupported depth");
+  }
+}
+
+namespace {
+
+template <typename T>
+double sumLoop(const T* a, std::size_t n) {
+  double s = 0;
+  for (std::size_t i = 0; i < n; ++i) s += static_cast<double>(a[i]);
+  return s;
+}
+
+template <typename T>
+std::size_t nzLoop(const T* a, std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) c += (a[i] != T{0});
+  return c;
+}
+
+}  // namespace
+
+double sumRange(Depth d, const void* a, std::size_t n) {
+  switch (d) {
+    case Depth::U8: return sumLoop(static_cast<const std::uint8_t*>(a), n);
+    case Depth::S16: return sumLoop(static_cast<const std::int16_t*>(a), n);
+    case Depth::F32: return sumLoop(static_cast<const float*>(a), n);
+    default: throw Error("sum: unsupported depth");
+  }
+}
+
+std::size_t countNonZeroRange(Depth d, const void* a, std::size_t n) {
+  switch (d) {
+    case Depth::U8: return nzLoop(static_cast<const std::uint8_t*>(a), n);
+    case Depth::S16: return nzLoop(static_cast<const std::int16_t*>(a), n);
+    case Depth::F32: return nzLoop(static_cast<const float*>(a), n);
+    default: throw Error("countNonZero: unsupported depth");
+  }
+}
+
+}  // namespace simdcv::core::detail::SIMDCV_AOPS_NS

@@ -1,0 +1,3 @@
+// Array-op scalar kernels, auto-vectorized build (paper "AUTO" arm).
+#define SIMDCV_AOPS_NS aops_autovec
+#include "core/array_ops_scalar.inl"

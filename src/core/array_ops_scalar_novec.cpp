@@ -1,0 +1,3 @@
+// Array-op scalar kernels, vectorizer-disabled ablation build.
+#define SIMDCV_AOPS_NS aops_novec
+#include "core/array_ops_scalar.inl"

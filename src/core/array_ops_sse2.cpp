@@ -1,0 +1,194 @@
+// Hand-written SSE2 array-op kernels.
+//
+// Saturating u8/s16 arithmetic maps 1:1 onto padds/paddus/psubs/psubus;
+// u8 absdiff uses the max-sub-or trick; f32 min/max/add/sub are direct.
+// The u8 sum uses PSADBW (sum of absolute differences against zero), the
+// classic 16-bytes-per-instruction reduction.
+#include "core/array_ops_detail.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace simdcv::core::detail::aops_sse2 {
+
+namespace {
+
+using LoadFn = __m128i (*)(const void*);
+
+inline __m128i load(const void* p) {
+  return _mm_loadu_si128(static_cast<const __m128i*>(p));
+}
+inline void store(void* p, __m128i v) {
+  _mm_storeu_si128(static_cast<__m128i*>(p), v);
+}
+
+bool binU8(BinOp op, const std::uint8_t* a, const std::uint8_t* b,
+           std::uint8_t* d, std::size_t n, std::size_t& done) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va = load(a + i), vb = load(b + i);
+    __m128i r;
+    switch (op) {
+      case BinOp::Add: r = _mm_adds_epu8(va, vb); break;
+      case BinOp::Sub: r = _mm_subs_epu8(va, vb); break;
+      case BinOp::AbsDiff:
+        r = _mm_or_si128(_mm_subs_epu8(va, vb), _mm_subs_epu8(vb, va));
+        break;
+      case BinOp::Min: r = _mm_min_epu8(va, vb); break;
+      case BinOp::Max: r = _mm_max_epu8(va, vb); break;
+      default: return false;
+    }
+    store(d + i, r);
+  }
+  done = i;
+  return true;
+}
+
+bool binS16(BinOp op, const std::int16_t* a, const std::int16_t* b,
+            std::int16_t* d, std::size_t n, std::size_t& done) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i va = load(a + i), vb = load(b + i);
+    __m128i r;
+    switch (op) {
+      case BinOp::Add: r = _mm_adds_epi16(va, vb); break;
+      case BinOp::Sub: r = _mm_subs_epi16(va, vb); break;
+      case BinOp::AbsDiff: {
+        // |a-b| with saturation: max(a,b) -sat- min(a,b).
+        const __m128i mx = _mm_max_epi16(va, vb);
+        const __m128i mn = _mm_min_epi16(va, vb);
+        r = _mm_subs_epi16(mx, mn);
+        break;
+      }
+      case BinOp::Min: r = _mm_min_epi16(va, vb); break;
+      case BinOp::Max: r = _mm_max_epi16(va, vb); break;
+      default: return false;
+    }
+    store(d + i, r);
+  }
+  done = i;
+  return true;
+}
+
+bool binF32(BinOp op, const float* a, const float* b, float* d, std::size_t n,
+            std::size_t& done) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 va = _mm_loadu_ps(a + i), vb = _mm_loadu_ps(b + i);
+    __m128 r;
+    switch (op) {
+      case BinOp::Add: r = _mm_add_ps(va, vb); break;
+      case BinOp::Sub: r = _mm_sub_ps(va, vb); break;
+      case BinOp::AbsDiff: {
+        const __m128 diff = _mm_sub_ps(va, vb);
+        r = _mm_andnot_ps(_mm_set1_ps(-0.0f), diff);  // clear sign bit
+        break;
+      }
+      case BinOp::Min: r = _mm_min_ps(va, vb); break;
+      case BinOp::Max: r = _mm_max_ps(va, vb); break;
+      default: return false;
+    }
+    _mm_storeu_ps(d + i, r);
+  }
+  done = i;
+  return true;
+}
+
+bool binBytes(BinOp op, const std::uint8_t* a, const std::uint8_t* b,
+              std::uint8_t* d, std::size_t bytes, std::size_t& done) {
+  std::size_t i = 0;
+  for (; i + 16 <= bytes; i += 16) {
+    const __m128i va = load(a + i), vb = load(b + i);
+    __m128i r;
+    switch (op) {
+      case BinOp::And: r = _mm_and_si128(va, vb); break;
+      case BinOp::Or: r = _mm_or_si128(va, vb); break;
+      case BinOp::Xor: r = _mm_xor_si128(va, vb); break;
+      default: return false;
+    }
+    store(d + i, r);
+  }
+  done = i;
+  return true;
+}
+
+}  // namespace
+
+bool binRange(BinOp op, Depth depth, const void* a, const void* b, void* dst,
+              std::size_t n) {
+  std::size_t done = 0;
+  bool handled = false;
+  if (op == BinOp::And || op == BinOp::Or || op == BinOp::Xor) {
+    const std::size_t bytes = n * depthSize(depth);
+    handled = binBytes(op, static_cast<const std::uint8_t*>(a),
+                       static_cast<const std::uint8_t*>(b),
+                       static_cast<std::uint8_t*>(dst), bytes, done);
+    if (handled && done < bytes) {
+      aops_autovec::binRange(op, Depth::U8,
+                             static_cast<const std::uint8_t*>(a) + done,
+                             static_cast<const std::uint8_t*>(b) + done,
+                             static_cast<std::uint8_t*>(dst) + done,
+                             bytes - done);
+    }
+    return handled;
+  }
+  switch (depth) {
+    case Depth::U8:
+      handled = binU8(op, static_cast<const std::uint8_t*>(a),
+                      static_cast<const std::uint8_t*>(b),
+                      static_cast<std::uint8_t*>(dst), n, done);
+      break;
+    case Depth::S16:
+      handled = binS16(op, static_cast<const std::int16_t*>(a),
+                       static_cast<const std::int16_t*>(b),
+                       static_cast<std::int16_t*>(dst), n, done);
+      break;
+    case Depth::F32:
+      handled = binF32(op, static_cast<const float*>(a),
+                       static_cast<const float*>(b), static_cast<float*>(dst),
+                       n, done);
+      break;
+    default:
+      return false;
+  }
+  if (handled && done < n) {
+    const std::size_t esz = depthSize(depth);
+    aops_autovec::binRange(op, depth,
+                           static_cast<const std::uint8_t*>(a) + done * esz,
+                           static_cast<const std::uint8_t*>(b) + done * esz,
+                           static_cast<std::uint8_t*>(dst) + done * esz,
+                           n - done);
+  }
+  return handled;
+}
+
+bool sumRange(Depth d, const void* a, std::size_t n, double& out) {
+  if (d != Depth::U8) return false;
+  const auto* p = static_cast<const std::uint8_t*>(a);
+  const __m128i zero = _mm_setzero_si128();
+  std::uint64_t acc = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i sad = _mm_sad_epu8(load(p + i), zero);  // two u64 partials
+    acc += static_cast<std::uint64_t>(_mm_cvtsi128_si64(sad)) +
+           static_cast<std::uint64_t>(
+               _mm_cvtsi128_si64(_mm_srli_si128(sad, 8)));
+  }
+  for (; i < n; ++i) acc += p[i];
+  out = static_cast<double>(acc);
+  return true;
+}
+
+}  // namespace simdcv::core::detail::aops_sse2
+
+#else
+
+namespace simdcv::core::detail::aops_sse2 {
+bool binRange(BinOp, Depth, const void*, const void*, void*, std::size_t) {
+  return false;
+}
+bool sumRange(Depth, const void*, std::size_t, double&) { return false; }
+}  // namespace simdcv::core::detail::aops_sse2
+
+#endif

@@ -1,0 +1,163 @@
+// Dispatch layer for conversions: resolves KernelPath, routes each (src,dst)
+// depth pair to the best kernel available on that path, and handles Mat
+// geometry (row-by-row for non-continuous ROIs).
+#include "core/convert.hpp"
+
+#include "core/saturate.hpp"
+
+namespace simdcv::core {
+
+namespace {
+
+// Identity-scale HAND kernel router. Returns true if a SIMD kernel ran.
+bool runHandKernel(Depth sd, Depth dd, const void* src, void* dst,
+                   std::size_t n, KernelPath path) {
+  if (path == KernelPath::Avx2) {
+    if (sd == Depth::F32 && dd == Depth::S16) {
+      avx2::cvt32f16s(static_cast<const float*>(src), static_cast<std::int16_t*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::F32 && dd == Depth::U8) {
+      avx2::cvt32f8u(static_cast<const float*>(src), static_cast<std::uint8_t*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::U8 && dd == Depth::F32) {
+      avx2::cvt8u32f(static_cast<const std::uint8_t*>(src), static_cast<float*>(dst), n);
+      return true;
+    }
+    // Pairs without a 256-bit kernel reuse the SSE2 HAND arm.
+    path = KernelPath::Sse2;
+  }
+  if (path == KernelPath::Sse2) {
+    if (sd == Depth::F32 && dd == Depth::S16) {
+      sse2::cvt32f16s(static_cast<const float*>(src), static_cast<std::int16_t*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::F32 && dd == Depth::U8) {
+      sse2::cvt32f8u(static_cast<const float*>(src), static_cast<std::uint8_t*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::U8 && dd == Depth::F32) {
+      sse2::cvt8u32f(static_cast<const std::uint8_t*>(src), static_cast<float*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::S16 && dd == Depth::F32) {
+      sse2::cvt16s32f(static_cast<const std::int16_t*>(src), static_cast<float*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::U8 && dd == Depth::S16) {
+      sse2::cvt8u16s(static_cast<const std::uint8_t*>(src), static_cast<std::int16_t*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::S16 && dd == Depth::U8) {
+      sse2::cvt16s8u(static_cast<const std::int16_t*>(src), static_cast<std::uint8_t*>(dst), n);
+      return true;
+    }
+  } else if (path == KernelPath::Neon) {
+    if (sd == Depth::F32 && dd == Depth::S16) {
+      neon::cvt32f16s(static_cast<const float*>(src), static_cast<std::int16_t*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::F32 && dd == Depth::U8) {
+      neon::cvt32f8u(static_cast<const float*>(src), static_cast<std::uint8_t*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::U8 && dd == Depth::F32) {
+      neon::cvt8u32f(static_cast<const std::uint8_t*>(src), static_cast<float*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::S16 && dd == Depth::F32) {
+      neon::cvt16s32f(static_cast<const std::int16_t*>(src), static_cast<float*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::U8 && dd == Depth::S16) {
+      neon::cvt8u16s(static_cast<const std::uint8_t*>(src), static_cast<std::int16_t*>(dst), n);
+      return true;
+    }
+    if (sd == Depth::S16 && dd == Depth::U8) {
+      neon::cvt16s8u(static_cast<const std::int16_t*>(src), static_cast<std::uint8_t*>(dst), n);
+      return true;
+    }
+  }
+  return false;
+}
+
+void cvtRow(Depth sd, Depth dd, const void* src, void* dst, std::size_t n,
+            double alpha, double beta, KernelPath path) {
+  const bool identity = alpha == 1.0 && beta == 0.0;
+  if (identity) {
+    if (sd == dd) {
+      std::memcpy(dst, src, n * depthSize(sd));
+      return;
+    }
+    if (runHandKernel(sd, dd, src, dst, n, path)) return;
+    if (path == KernelPath::ScalarNoVec) {
+      novec::cvtRange(sd, dd, src, dst, n);
+    } else {
+      autovec::cvtRange(sd, dd, src, dst, n);
+    }
+    return;
+  }
+  if (path == KernelPath::ScalarNoVec) {
+    novec::cvtRangeScaled(sd, dd, src, dst, n, alpha, beta);
+  } else {
+    autovec::cvtRangeScaled(sd, dd, src, dst, n, alpha, beta);
+  }
+}
+
+}  // namespace
+
+bool hasHandKernel(Depth sdepth, Depth ddepth, KernelPath path) {
+  if (path == KernelPath::Avx2) {
+    return (sdepth == Depth::F32 && (ddepth == Depth::S16 || ddepth == Depth::U8)) ||
+           (sdepth == Depth::U8 && ddepth == Depth::F32);
+  }
+  if (path != KernelPath::Sse2 && path != KernelPath::Neon) return false;
+  // Both HAND paths implement the same pair set.
+  return (sdepth == Depth::F32 && (ddepth == Depth::S16 || ddepth == Depth::U8)) ||
+         (sdepth == Depth::U8 && (ddepth == Depth::F32 || ddepth == Depth::S16)) ||
+         (sdepth == Depth::S16 && (ddepth == Depth::F32 || ddepth == Depth::U8));
+}
+
+void convertTo(const Mat& src, Mat& dst, Depth ddepth, double alpha,
+               double beta, KernelPath path) {
+  SIMDCV_REQUIRE(!src.empty(), "convertTo: empty source");
+  const KernelPath p = resolvePath(path);
+  Mat out;
+  // Writing in place (dst sharing storage with src) is safe only for
+  // same-or-smaller element size; be conservative and detach when shared.
+  if (dst.sharesStorageWith(src)) {
+    out = Mat(src.rows(), src.cols(), PixelType(ddepth, src.channels()));
+  } else {
+    out = std::move(dst);
+    out.create(src.rows(), src.cols(), PixelType(ddepth, src.channels()));
+  }
+  const std::size_t n = static_cast<std::size_t>(src.cols()) * src.channels();
+  if (src.isContinuous() && out.isContinuous()) {
+    cvtRow(src.depth(), ddepth, src.data(), out.data(), n * src.rows(), alpha,
+           beta, p);
+  } else {
+    for (int r = 0; r < src.rows(); ++r) {
+      cvtRow(src.depth(), ddepth, src.ptr<std::uint8_t>(r),
+             out.ptr<std::uint8_t>(r), n, alpha, beta, p);
+    }
+  }
+  dst = std::move(out);
+}
+
+void cvt32f16s(const float* src, std::int16_t* dst, std::size_t n,
+               KernelPath path) {
+  switch (resolvePath(path)) {
+    case KernelPath::Avx2: avx2::cvt32f16s(src, dst, n); break;
+    case KernelPath::Sse2: sse2::cvt32f16s(src, dst, n); break;
+    case KernelPath::Neon: neon::cvt32f16s(src, dst, n); break;
+    case KernelPath::ScalarNoVec: novec::cvt32f16s(src, dst, n); break;
+    default: autovec::cvt32f16s(src, dst, n); break;
+  }
+}
+
+void cvt32f16sNeonPaper(const float* src, std::int16_t* dst, std::size_t n) {
+  neon::cvt32f16sPaper(src, dst, n);
+}
+
+}  // namespace simdcv::core

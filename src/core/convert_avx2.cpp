@@ -1,0 +1,75 @@
+// Hand-written AVX2 conversion kernels — the ISA the paper's Section VI
+// names as future work ("extending our experiments to include AVX").
+// 256-bit registers double the per-instruction width of the SSE2 kernels;
+// note the lane-crossing fix-up AVX2 packs need (vpackssdw operates within
+// 128-bit lanes, so a vpermq reorder follows).
+//
+// This TU is compiled with -mavx2; callers reach it only after a runtime
+// CPUID check (KernelPath::Avx2 resolves to Sse2 on older hardware).
+#include "core/convert.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "core/saturate.hpp"
+
+namespace simdcv::core::avx2 {
+
+void cvt32f16s(const float* src, std::int16_t* dst, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m256i i0 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x));
+    const __m256i i1 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x + 8));
+    // packs works per 128-bit lane: reorder 64-bit quarters afterwards.
+    const __m256i packed = _mm256_packs_epi32(i0, i1);
+    const __m256i fixed = _mm256_permute4x64_epi64(packed, _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + x), fixed);
+  }
+  for (; x < n; ++x) dst[x] = saturate_cast<std::int16_t>(src[x]);
+}
+
+void cvt32f8u(const float* src, std::uint8_t* dst, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 32 <= n; x += 32) {
+    const __m256i i0 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x));
+    const __m256i i1 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x + 8));
+    const __m256i i2 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x + 16));
+    const __m256i i3 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x + 24));
+    const __m256i s01 = _mm256_packs_epi32(i0, i1);   // lanes interleaved
+    const __m256i s23 = _mm256_packs_epi32(i2, i3);
+    const __m256i u = _mm256_packus_epi16(s01, s23);  // still lane-local
+    // Undo both lane interleavings in one 32-bit-quarter permute.
+    const __m256i order = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    const __m256i fixed = _mm256_permutevar8x32_epi32(u, order);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + x), fixed);
+  }
+  for (; x < n; ++x) dst[x] = saturate_cast<std::uint8_t>(src[x]);
+}
+
+void cvt8u32f(const std::uint8_t* src, float* dst, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 8 <= n; x += 8) {
+    const __m128i v = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + x));
+    _mm256_storeu_ps(dst + x, _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(v)));
+  }
+  for (; x < n; ++x) dst[x] = static_cast<float>(src[x]);
+}
+
+}  // namespace simdcv::core::avx2
+
+#else
+
+namespace simdcv::core::avx2 {
+void cvt32f16s(const float* src, std::int16_t* dst, std::size_t n) {
+  sse2::cvt32f16s(src, dst, n);
+}
+void cvt32f8u(const float* src, std::uint8_t* dst, std::size_t n) {
+  sse2::cvt32f8u(src, dst, n);
+}
+void cvt8u32f(const std::uint8_t* src, float* dst, std::size_t n) {
+  sse2::cvt8u32f(src, dst, n);
+}
+}  // namespace simdcv::core::avx2
+
+#endif

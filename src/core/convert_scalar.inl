@@ -1,0 +1,87 @@
+// Scalar conversion kernels, textually shared between two translation units:
+//   convert_scalar_autovec.cpp  (-O3, vectorizer on  -> the paper's "AUTO")
+//   convert_scalar_novec.cpp    (-O3 -fno-tree-vectorize -> ablation baseline)
+// The including TU defines SIMDCV_SCALAR_NS to name the target namespace.
+//
+// These loops are written the way OpenCV's unoptimized template code is
+// written — a straight element loop through saturate_cast — which is exactly
+// the code shape the paper hands to the auto-vectorizer.
+
+#include "core/convert.hpp"
+#include "core/saturate.hpp"
+
+namespace simdcv::core::SIMDCV_SCALAR_NS {
+
+void cvt32f16s(const float* src, std::int16_t* dst, std::size_t n) {
+  for (std::size_t x = 0; x < n; ++x) dst[x] = saturate_cast<std::int16_t>(src[x]);
+}
+
+namespace {
+
+template <typename S, typename D>
+void cvtLoop(const S* src, D* dst, std::size_t n) {
+  for (std::size_t x = 0; x < n; ++x) dst[x] = saturate_cast<D>(src[x]);
+}
+
+template <typename S, typename D>
+void cvtLoopScaled(const S* src, D* dst, std::size_t n, double alpha,
+                   double beta) {
+  for (std::size_t x = 0; x < n; ++x)
+    dst[x] = saturate_cast<D>(static_cast<double>(src[x]) * alpha + beta);
+}
+
+template <typename S>
+void cvtFromTyped(Depth dd, const S* src, void* dst, std::size_t n) {
+  switch (dd) {
+    case Depth::U8: cvtLoop(src, static_cast<std::uint8_t*>(dst), n); break;
+    case Depth::S8: cvtLoop(src, static_cast<std::int8_t*>(dst), n); break;
+    case Depth::U16: cvtLoop(src, static_cast<std::uint16_t*>(dst), n); break;
+    case Depth::S16: cvtLoop(src, static_cast<std::int16_t*>(dst), n); break;
+    case Depth::S32: cvtLoop(src, static_cast<std::int32_t*>(dst), n); break;
+    case Depth::F32: cvtLoop(src, static_cast<float*>(dst), n); break;
+    case Depth::F64: cvtLoop(src, static_cast<double*>(dst), n); break;
+  }
+}
+
+template <typename S>
+void cvtFromTypedScaled(Depth dd, const S* src, void* dst, std::size_t n,
+                        double alpha, double beta) {
+  switch (dd) {
+    case Depth::U8: cvtLoopScaled(src, static_cast<std::uint8_t*>(dst), n, alpha, beta); break;
+    case Depth::S8: cvtLoopScaled(src, static_cast<std::int8_t*>(dst), n, alpha, beta); break;
+    case Depth::U16: cvtLoopScaled(src, static_cast<std::uint16_t*>(dst), n, alpha, beta); break;
+    case Depth::S16: cvtLoopScaled(src, static_cast<std::int16_t*>(dst), n, alpha, beta); break;
+    case Depth::S32: cvtLoopScaled(src, static_cast<std::int32_t*>(dst), n, alpha, beta); break;
+    case Depth::F32: cvtLoopScaled(src, static_cast<float*>(dst), n, alpha, beta); break;
+    case Depth::F64: cvtLoopScaled(src, static_cast<double*>(dst), n, alpha, beta); break;
+  }
+}
+
+}  // namespace
+
+void cvtRange(Depth sd, Depth dd, const void* src, void* dst, std::size_t n) {
+  switch (sd) {
+    case Depth::U8: cvtFromTyped(dd, static_cast<const std::uint8_t*>(src), dst, n); break;
+    case Depth::S8: cvtFromTyped(dd, static_cast<const std::int8_t*>(src), dst, n); break;
+    case Depth::U16: cvtFromTyped(dd, static_cast<const std::uint16_t*>(src), dst, n); break;
+    case Depth::S16: cvtFromTyped(dd, static_cast<const std::int16_t*>(src), dst, n); break;
+    case Depth::S32: cvtFromTyped(dd, static_cast<const std::int32_t*>(src), dst, n); break;
+    case Depth::F32: cvtFromTyped(dd, static_cast<const float*>(src), dst, n); break;
+    case Depth::F64: cvtFromTyped(dd, static_cast<const double*>(src), dst, n); break;
+  }
+}
+
+void cvtRangeScaled(Depth sd, Depth dd, const void* src, void* dst,
+                    std::size_t n, double alpha, double beta) {
+  switch (sd) {
+    case Depth::U8: cvtFromTypedScaled(dd, static_cast<const std::uint8_t*>(src), dst, n, alpha, beta); break;
+    case Depth::S8: cvtFromTypedScaled(dd, static_cast<const std::int8_t*>(src), dst, n, alpha, beta); break;
+    case Depth::U16: cvtFromTypedScaled(dd, static_cast<const std::uint16_t*>(src), dst, n, alpha, beta); break;
+    case Depth::S16: cvtFromTypedScaled(dd, static_cast<const std::int16_t*>(src), dst, n, alpha, beta); break;
+    case Depth::S32: cvtFromTypedScaled(dd, static_cast<const std::int32_t*>(src), dst, n, alpha, beta); break;
+    case Depth::F32: cvtFromTypedScaled(dd, static_cast<const float*>(src), dst, n, alpha, beta); break;
+    case Depth::F64: cvtFromTypedScaled(dd, static_cast<const double*>(src), dst, n, alpha, beta); break;
+  }
+}
+
+}  // namespace simdcv::core::SIMDCV_SCALAR_NS

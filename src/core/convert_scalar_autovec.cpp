@@ -1,0 +1,4 @@
+// Scalar conversion kernels, auto-vectorized build (the paper's "AUTO" arm).
+// Compiled at -O3 with gcc's tree vectorizer enabled (see core/CMakeLists.txt).
+#define SIMDCV_SCALAR_NS autovec
+#include "core/convert_scalar.inl"

@@ -1,0 +1,5 @@
+// Scalar conversion kernels, vectorizer-disabled build (ablation baseline:
+// what "AUTO" would be if the compiler vectorized nothing, i.e. the paper's
+// 2012-era worst case). Compiled with -fno-tree-vectorize -fno-tree-slp-vectorize.
+#define SIMDCV_SCALAR_NS novec
+#include "core/convert_scalar.inl"

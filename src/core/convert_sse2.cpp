@@ -1,0 +1,122 @@
+// Hand-written SSE2 conversion kernels (the paper's Intel "HAND" arm).
+// The 32F->16S kernel is the exact structure printed in the paper's Section
+// III-A: two 4-float loads, two cvtps->epi32, one packs, one store per eight
+// pixels.
+#include "core/convert.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include "core/saturate.hpp"
+
+namespace simdcv::core::sse2 {
+
+void cvt32f16s(const float* src, std::int16_t* dst, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 8 <= n; x += 8) {
+    __m128 src128 = _mm_loadu_ps(src + x);
+    __m128i src_int128 = _mm_cvtps_epi32(src128);  // round to nearest even
+
+    src128 = _mm_loadu_ps(src + x + 4);
+    __m128i src1_int128 = _mm_cvtps_epi32(src128);
+
+    src1_int128 = _mm_packs_epi32(src_int128, src1_int128);  // saturating pack
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + x), src1_int128);
+  }
+  for (; x < n; ++x) dst[x] = saturate_cast<std::int16_t>(src[x]);
+}
+
+void cvt32f8u(const float* src, std::uint8_t* dst, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m128i i0 = _mm_cvtps_epi32(_mm_loadu_ps(src + x));
+    const __m128i i1 = _mm_cvtps_epi32(_mm_loadu_ps(src + x + 4));
+    const __m128i i2 = _mm_cvtps_epi32(_mm_loadu_ps(src + x + 8));
+    const __m128i i3 = _mm_cvtps_epi32(_mm_loadu_ps(src + x + 12));
+    const __m128i s01 = _mm_packs_epi32(i0, i1);
+    const __m128i s23 = _mm_packs_epi32(i2, i3);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + x),
+                     _mm_packus_epi16(s01, s23));
+  }
+  for (; x < n; ++x) dst[x] = saturate_cast<std::uint8_t>(src[x]);
+}
+
+void cvt8u32f(const std::uint8_t* src, float* dst, std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + x));
+    const __m128i lo16 = _mm_unpacklo_epi8(v, zero);
+    const __m128i hi16 = _mm_unpackhi_epi8(v, zero);
+    _mm_storeu_ps(dst + x, _mm_cvtepi32_ps(_mm_unpacklo_epi16(lo16, zero)));
+    _mm_storeu_ps(dst + x + 4, _mm_cvtepi32_ps(_mm_unpackhi_epi16(lo16, zero)));
+    _mm_storeu_ps(dst + x + 8, _mm_cvtepi32_ps(_mm_unpacklo_epi16(hi16, zero)));
+    _mm_storeu_ps(dst + x + 12, _mm_cvtepi32_ps(_mm_unpackhi_epi16(hi16, zero)));
+  }
+  for (; x < n; ++x) dst[x] = static_cast<float>(src[x]);
+}
+
+void cvt16s32f(const std::int16_t* src, float* dst, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 8 <= n; x += 8) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + x));
+    // Sign-extend 16 -> 32 by interleaving with self then arithmetic shift.
+    const __m128i lo = _mm_srai_epi32(_mm_unpacklo_epi16(v, v), 16);
+    const __m128i hi = _mm_srai_epi32(_mm_unpackhi_epi16(v, v), 16);
+    _mm_storeu_ps(dst + x, _mm_cvtepi32_ps(lo));
+    _mm_storeu_ps(dst + x + 4, _mm_cvtepi32_ps(hi));
+  }
+  for (; x < n; ++x) dst[x] = static_cast<float>(src[x]);
+}
+
+void cvt8u16s(const std::uint8_t* src, std::int16_t* dst, std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + x));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + x),
+                     _mm_unpacklo_epi8(v, zero));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + x + 8),
+                     _mm_unpackhi_epi8(v, zero));
+  }
+  for (; x < n; ++x) dst[x] = static_cast<std::int16_t>(src[x]);
+}
+
+void cvt16s8u(const std::int16_t* src, std::uint8_t* dst, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + x));
+    const __m128i v1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + x + 8));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + x),
+                     _mm_packus_epi16(v0, v1));
+  }
+  for (; x < n; ++x) dst[x] = saturate_cast<std::uint8_t>(src[x]);
+}
+
+}  // namespace simdcv::core::sse2
+
+#else  // !__SSE2__: keep the symbols, delegate to the scalar path.
+
+namespace simdcv::core::sse2 {
+void cvt32f16s(const float* src, std::int16_t* dst, std::size_t n) {
+  autovec::cvt32f16s(src, dst, n);
+}
+void cvt32f8u(const float* src, std::uint8_t* dst, std::size_t n) {
+  autovec::cvtRange(Depth::F32, Depth::U8, src, dst, n);
+}
+void cvt8u32f(const std::uint8_t* src, float* dst, std::size_t n) {
+  autovec::cvtRange(Depth::U8, Depth::F32, src, dst, n);
+}
+void cvt16s32f(const std::int16_t* src, float* dst, std::size_t n) {
+  autovec::cvtRange(Depth::S16, Depth::F32, src, dst, n);
+}
+void cvt8u16s(const std::uint8_t* src, std::int16_t* dst, std::size_t n) {
+  autovec::cvtRange(Depth::U8, Depth::S16, src, dst, n);
+}
+void cvt16s8u(const std::int16_t* src, std::uint8_t* dst, std::size_t n) {
+  autovec::cvtRange(Depth::S16, Depth::U8, src, dst, n);
+}
+}  // namespace simdcv::core::sse2
+
+#endif

@@ -1,0 +1,116 @@
+// Fundamental pixel/element type system, mirroring OpenCV's CV_8UC1-style
+// encodings with a strongly typed C++20 surface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace simdcv {
+
+/// Element depth (the scalar type stored per channel).
+enum class Depth : std::uint8_t { U8 = 0, S8, U16, S16, S32, F32, F64 };
+
+inline constexpr int kDepthCount = 7;
+
+/// Size in bytes of one element of the given depth.
+constexpr std::size_t depthSize(Depth d) noexcept {
+  switch (d) {
+    case Depth::U8:
+    case Depth::S8: return 1;
+    case Depth::U16:
+    case Depth::S16: return 2;
+    case Depth::S32:
+    case Depth::F32: return 4;
+    case Depth::F64: return 8;
+  }
+  return 0;
+}
+
+constexpr bool isFloatDepth(Depth d) noexcept {
+  return d == Depth::F32 || d == Depth::F64;
+}
+
+const char* toString(Depth d) noexcept;
+
+/// Map a C++ scalar type to its Depth (primary template intentionally
+/// undefined: using an unsupported element type is a compile error).
+template <typename T> struct DepthOf;
+template <> struct DepthOf<std::uint8_t> { static constexpr Depth value = Depth::U8; };
+template <> struct DepthOf<std::int8_t> { static constexpr Depth value = Depth::S8; };
+template <> struct DepthOf<std::uint16_t> { static constexpr Depth value = Depth::U16; };
+template <> struct DepthOf<std::int16_t> { static constexpr Depth value = Depth::S16; };
+template <> struct DepthOf<std::int32_t> { static constexpr Depth value = Depth::S32; };
+template <> struct DepthOf<float> { static constexpr Depth value = Depth::F32; };
+template <> struct DepthOf<double> { static constexpr Depth value = Depth::F64; };
+
+template <typename T>
+inline constexpr Depth kDepthOf = DepthOf<T>::value;
+
+/// A pixel type: depth plus channel count (1..4).
+struct PixelType {
+  Depth depth = Depth::U8;
+  int channels = 1;
+
+  constexpr PixelType() = default;
+  constexpr PixelType(Depth d, int ch) : depth(d), channels(ch) {}
+
+  constexpr std::size_t elemSize() const noexcept {
+    return depthSize(depth) * static_cast<std::size_t>(channels);
+  }
+  constexpr std::size_t elemSize1() const noexcept { return depthSize(depth); }
+
+  friend constexpr bool operator==(PixelType a, PixelType b) noexcept {
+    return a.depth == b.depth && a.channels == b.channels;
+  }
+};
+
+std::string toString(PixelType t);
+
+/// Convenience constructors in OpenCV spelling.
+constexpr PixelType U8C1{Depth::U8, 1};
+constexpr PixelType U8C3{Depth::U8, 3};
+constexpr PixelType U8C4{Depth::U8, 4};
+constexpr PixelType S16C1{Depth::S16, 1};
+constexpr PixelType S32C1{Depth::S32, 1};
+constexpr PixelType F32C1{Depth::F32, 1};
+constexpr PixelType F64C1{Depth::F64, 1};
+
+/// 2-D size, rows/cols expressed as (width, height) like cv::Size.
+struct Size {
+  int width = 0;
+  int height = 0;
+  constexpr Size() = default;
+  constexpr Size(int w, int h) : width(w), height(h) {}
+  constexpr std::int64_t area() const noexcept {
+    return static_cast<std::int64_t>(width) * height;
+  }
+  friend constexpr bool operator==(Size a, Size b) noexcept {
+    return a.width == b.width && a.height == b.height;
+  }
+};
+
+/// Axis-aligned rectangle (x, y, width, height) for ROI selection.
+struct Rect {
+  int x = 0, y = 0, width = 0, height = 0;
+  constexpr Rect() = default;
+  constexpr Rect(int x_, int y_, int w, int h) : x(x_), y(y_), width(w), height(h) {}
+  friend constexpr bool operator==(Rect a, Rect b) noexcept {
+    return a.x == b.x && a.y == b.y && a.width == b.width && a.height == b.height;
+  }
+};
+
+/// Library error type; all precondition violations throw this.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Precondition check used across the library.
+#define SIMDCV_REQUIRE(cond, msg)                                   \
+  do {                                                              \
+    if (!(cond)) throw ::simdcv::Error(std::string("simdcv: ") + (msg)); \
+  } while (0)
+
+}  // namespace simdcv

@@ -1,0 +1,241 @@
+#include "imgproc/adaptive.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "core/saturate.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/kernels.hpp"
+#include "imgproc/morphology.hpp"
+
+namespace simdcv::imgproc {
+
+void adaptiveThreshold(const Mat& src, Mat& dst, double maxval,
+                       AdaptiveMethod method, ThresholdType type,
+                       int blockSize, double C, KernelPath path) {
+  SIMDCV_REQUIRE(!src.empty(), "adaptiveThreshold: empty source");
+  SIMDCV_REQUIRE(src.type() == U8C1, "adaptiveThreshold: u8c1 only");
+  SIMDCV_REQUIRE(blockSize >= 3 && (blockSize & 1),
+                 "adaptiveThreshold: blockSize must be odd >= 3");
+  SIMDCV_REQUIRE(type == ThresholdType::Binary || type == ThresholdType::BinaryInv,
+                 "adaptiveThreshold: Binary/BinaryInv only");
+  const KernelPath p = resolvePath(path);
+
+  // Local reference level: smoothed image (replicate border, like OpenCV).
+  Mat ref;
+  if (method == AdaptiveMethod::Mean) {
+    boxFilter(src, ref, {blockSize, blockSize}, BorderType::Replicate, p);
+  } else {
+    // OpenCV's sigma rule for the Gaussian variant.
+    const double sigma = 0.3 * ((blockSize - 1) * 0.5 - 1) + 0.8;
+    GaussianBlur(src, ref, {blockSize, blockSize}, sigma, sigma,
+                 BorderType::Replicate, p);
+  }
+
+  const std::uint8_t mv = saturate_cast<std::uint8_t>(cvRound(maxval));
+  const int ic = cvRound(C);
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(src.rows(), src.cols(), U8C1);
+  for (int y = 0; y < src.rows(); ++y) {
+    const std::uint8_t* s = src.ptr<std::uint8_t>(y);
+    const std::uint8_t* t = ref.ptr<std::uint8_t>(y);
+    std::uint8_t* d = out.ptr<std::uint8_t>(y);
+    for (int x = 0; x < src.cols(); ++x) {
+      const bool above = s[x] > t[x] - ic;
+      d[x] = (above == (type == ThresholdType::Binary)) ? mv : 0;
+    }
+  }
+  dst = std::move(out);
+}
+
+void Laplacian(const Mat& src, Mat& dst, Depth ddepth, int ksize, double scale,
+               BorderType border, KernelPath path) {
+  SIMDCV_REQUIRE(ddepth == Depth::S16 || ddepth == Depth::F32,
+                 "Laplacian: dst depth s16/f32");
+  SIMDCV_REQUIRE(ksize == 1 || ksize == 3 || ksize == 5 || ksize == 7,
+                 "Laplacian: ksize 1/3/5/7");
+  if (ksize == 1) {
+    const std::vector<float> k = {
+        0, 1 * static_cast<float>(scale), 0,
+        1 * static_cast<float>(scale), -4 * static_cast<float>(scale),
+        1 * static_cast<float>(scale), 0, 1 * static_cast<float>(scale), 0};
+    filter2D(src, dst, ddepth, k, 3, 3, border);
+    return;
+  }
+  // d2/dx2 + d2/dy2 via two separable passes, summed in float.
+  Mat dxx, dyy;
+  Sobel(src, dxx, Depth::F32, 2, 0, ksize, scale, border, path);
+  Sobel(src, dyy, Depth::F32, 0, 2, ksize, scale, border, path);
+  Mat out = std::move(dst);
+  out.create(src.rows(), src.cols(), PixelType(ddepth, 1));
+  for (int y = 0; y < src.rows(); ++y) {
+    const float* a = dxx.ptr<float>(y);
+    const float* b = dyy.ptr<float>(y);
+    if (ddepth == Depth::F32) {
+      float* d = out.ptr<float>(y);
+      for (int x = 0; x < src.cols(); ++x) d[x] = a[x] + b[x];
+    } else {
+      std::int16_t* d = out.ptr<std::int16_t>(y);
+      for (int x = 0; x < src.cols(); ++x)
+        d[x] = saturate_cast<std::int16_t>(a[x] + b[x]);
+    }
+  }
+  dst = std::move(out);
+}
+
+void applyLut(const Mat& src, Mat& dst, const std::array<std::uint8_t, 256>& lut,
+              KernelPath /*path*/) {
+  SIMDCV_REQUIRE(!src.empty(), "applyLut: empty source");
+  SIMDCV_REQUIRE(src.depth() == Depth::U8, "applyLut: u8 only");
+  Mat out = std::move(dst);
+  out.create(src.rows(), src.cols(), src.type());
+  const std::size_t n = static_cast<std::size_t>(src.cols()) * src.channels();
+  for (int y = 0; y < src.rows(); ++y) {
+    const std::uint8_t* s = src.ptr<std::uint8_t>(y);
+    std::uint8_t* d = out.ptr<std::uint8_t>(y);
+    for (std::size_t x = 0; x < n; ++x) d[x] = lut[s[x]];
+  }
+  dst = std::move(out);
+}
+
+void clahe(const Mat& src, Mat& dst, double clipLimit, int tilesX, int tilesY,
+           KernelPath /*path*/) {
+  SIMDCV_REQUIRE(!src.empty(), "clahe: empty source");
+  SIMDCV_REQUIRE(src.type() == U8C1, "clahe: u8c1 only");
+  SIMDCV_REQUIRE(tilesX >= 1 && tilesY >= 1, "clahe: need >=1 tile per axis");
+  SIMDCV_REQUIRE(clipLimit > 0, "clahe: clipLimit must be positive");
+  const int rows = src.rows(), cols = src.cols();
+
+  // Per-tile clipped-histogram equalization LUTs.
+  std::vector<std::array<std::uint8_t, 256>> luts(
+      static_cast<std::size_t>(tilesX) * static_cast<std::size_t>(tilesY));
+  auto tileRect = [&](int tx, int ty) {
+    const int x0 = cols * tx / tilesX;
+    const int x1 = cols * (tx + 1) / tilesX;
+    const int y0 = rows * ty / tilesY;
+    const int y1 = rows * (ty + 1) / tilesY;
+    return Rect(x0, y0, std::max(1, x1 - x0), std::max(1, y1 - y0));
+  };
+  for (int ty = 0; ty < tilesY; ++ty) {
+    for (int tx = 0; tx < tilesX; ++tx) {
+      const Rect r = tileRect(tx, ty);
+      std::array<std::uint32_t, 256> hist{};
+      for (int y = r.y; y < r.y + r.height; ++y) {
+        const std::uint8_t* s = src.ptr<std::uint8_t>(y);
+        for (int x = r.x; x < r.x + r.width; ++x) ++hist[s[x]];
+      }
+      const double area = static_cast<double>(r.width) * r.height;
+      const std::uint32_t clip = static_cast<std::uint32_t>(
+          std::max(1.0, clipLimit * area / 256.0));
+      // Clip and count the excess.
+      std::uint64_t excess = 0;
+      for (auto& h : hist) {
+        if (h > clip) {
+          excess += h - clip;
+          h = clip;
+        }
+      }
+      // Redistribute the excess uniformly.
+      const std::uint32_t add = static_cast<std::uint32_t>(excess / 256);
+      std::uint32_t rem = static_cast<std::uint32_t>(excess % 256);
+      for (int v = 0; v < 256; ++v) {
+        hist[static_cast<std::size_t>(v)] += add + (static_cast<std::uint32_t>(v) < rem ? 1 : 0);
+      }
+      // CDF -> LUT.
+      auto& lut = luts[static_cast<std::size_t>(ty) * tilesX + tx];
+      std::uint64_t cdf = 0;
+      for (int v = 0; v < 256; ++v) {
+        cdf += hist[static_cast<std::size_t>(v)];
+        lut[static_cast<std::size_t>(v)] = saturate_cast<std::uint8_t>(
+            cvRound(255.0 * static_cast<double>(cdf) / area));
+      }
+    }
+  }
+
+  // Bilinear interpolation between the four neighbouring tile LUTs.
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(rows, cols, U8C1);
+  const double tw = static_cast<double>(cols) / tilesX;
+  const double th = static_cast<double>(rows) / tilesY;
+  for (int y = 0; y < rows; ++y) {
+    const double fy = (y + 0.5) / th - 0.5;
+    int ty0 = static_cast<int>(std::floor(fy));
+    double wy = fy - ty0;
+    int ty1 = ty0 + 1;
+    ty0 = std::clamp(ty0, 0, tilesY - 1);
+    ty1 = std::clamp(ty1, 0, tilesY - 1);
+    const std::uint8_t* s = src.ptr<std::uint8_t>(y);
+    std::uint8_t* d = out.ptr<std::uint8_t>(y);
+    for (int x = 0; x < cols; ++x) {
+      const double fx = (x + 0.5) / tw - 0.5;
+      int tx0 = static_cast<int>(std::floor(fx));
+      double wx = fx - tx0;
+      int tx1 = tx0 + 1;
+      tx0 = std::clamp(tx0, 0, tilesX - 1);
+      tx1 = std::clamp(tx1, 0, tilesX - 1);
+      const std::uint8_t v = s[x];
+      const double v00 = luts[static_cast<std::size_t>(ty0) * tilesX + tx0][v];
+      const double v01 = luts[static_cast<std::size_t>(ty0) * tilesX + tx1][v];
+      const double v10 = luts[static_cast<std::size_t>(ty1) * tilesX + tx0][v];
+      const double v11 = luts[static_cast<std::size_t>(ty1) * tilesX + tx1][v];
+      const double top = v00 + (v01 - v00) * wx;
+      const double bot = v10 + (v11 - v10) * wx;
+      d[x] = saturate_cast<std::uint8_t>(top + (bot - top) * wy);
+    }
+  }
+  dst = std::move(out);
+}
+
+void bilateralFilter(const Mat& src, Mat& dst, int d, double sigmaColor,
+                     double sigmaSpace, BorderType border, KernelPath /*path*/) {
+  SIMDCV_REQUIRE(!src.empty(), "bilateralFilter: empty source");
+  SIMDCV_REQUIRE(src.type() == U8C1, "bilateralFilter: u8c1 only");
+  SIMDCV_REQUIRE(d >= 3 && (d & 1), "bilateralFilter: d must be odd >= 3");
+  SIMDCV_REQUIRE(sigmaColor > 0 && sigmaSpace > 0,
+                 "bilateralFilter: sigmas must be positive");
+  const int radius = d / 2;
+  const int rows = src.rows(), cols = src.cols();
+
+  // Precompute spatial weights and the 256-entry color-difference table.
+  std::vector<float> spaceW(static_cast<std::size_t>(d) * d);
+  const double gs = -0.5 / (sigmaSpace * sigmaSpace);
+  for (int dy = -radius; dy <= radius; ++dy)
+    for (int dx = -radius; dx <= radius; ++dx)
+      spaceW[static_cast<std::size_t>((dy + radius) * d + dx + radius)] =
+          static_cast<float>(std::exp(gs * (dx * dx + dy * dy)));
+  std::array<float, 256> colorW;
+  const double gc = -0.5 / (sigmaColor * sigmaColor);
+  for (int i = 0; i < 256; ++i)
+    colorW[static_cast<std::size_t>(i)] =
+        static_cast<float>(std::exp(gc * i * i));
+
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(rows, cols, U8C1);
+  for (int y = 0; y < rows; ++y) {
+    std::uint8_t* dptr = out.ptr<std::uint8_t>(y);
+    for (int x = 0; x < cols; ++x) {
+      const int center = src.at<std::uint8_t>(y, x);
+      float num = 0, den = 0;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        const int sy = borderInterpolate(y + dy, rows, border);
+        const std::uint8_t* srow = sy < 0 ? nullptr : src.ptr<std::uint8_t>(sy);
+        for (int dx = -radius; dx <= radius; ++dx) {
+          const int sx = borderInterpolate(x + dx, cols, border);
+          if (!srow || sx < 0) continue;  // Constant border: skip samples
+          const int v = srow[sx];
+          const float w =
+              spaceW[static_cast<std::size_t>((dy + radius) * d + dx + radius)] *
+              colorW[static_cast<std::size_t>(std::abs(v - center))];
+          num += w * static_cast<float>(v);
+          den += w;
+        }
+      }
+      dptr[x] = saturate_cast<std::uint8_t>(num / den);
+    }
+  }
+  dst = std::move(out);
+}
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,49 @@
+// Locally adaptive operations: adaptive thresholding (mean / Gaussian
+// neighbourhood), Laplacian, CLAHE (contrast-limited adaptive histogram
+// equalization), and bilateral filtering.
+#pragma once
+
+#include <array>
+
+#include "core/mat.hpp"
+#include "imgproc/border.hpp"
+#include "imgproc/threshold.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::imgproc {
+
+enum class AdaptiveMethod : std::uint8_t { Mean, Gaussian };
+
+/// cv::adaptiveThreshold semantics: per pixel, T(x,y) = neighbourhood
+/// mean/Gaussian-weighted mean minus `C`; Binary / BinaryInv only. U8C1.
+void adaptiveThreshold(const Mat& src, Mat& dst, double maxval,
+                       AdaptiveMethod method, ThresholdType type,
+                       int blockSize, double C,
+                       KernelPath path = KernelPath::Default);
+
+/// Laplacian: ksize==1 uses the 3x3 [0 1 0; 1 -4 1; 0 1 0] stencil;
+/// ksize 3/5/7 sums the two second-derivative separable Sobel kernels.
+/// dst depth S16 or F32.
+void Laplacian(const Mat& src, Mat& dst, Depth ddepth, int ksize = 1,
+               double scale = 1.0, BorderType border = BorderType::Reflect101,
+               KernelPath path = KernelPath::Default);
+
+/// 256-entry lookup-table transform of a U8 image (any channel count).
+void applyLut(const Mat& src, Mat& dst, const std::array<std::uint8_t, 256>& lut,
+              KernelPath path = KernelPath::Default);
+
+/// CLAHE: the image is tiled (tilesX x tilesY), each tile's histogram is
+/// clipped at `clipLimit` x the uniform bin height (excess redistributed),
+/// per-tile equalization LUTs are built, and every pixel is mapped by
+/// bilinear interpolation between the four surrounding tile LUTs. U8C1.
+void clahe(const Mat& src, Mat& dst, double clipLimit = 4.0, int tilesX = 8,
+           int tilesY = 8, KernelPath path = KernelPath::Default);
+
+/// Bilateral filter: Gaussian in space (sigmaSpace) and in intensity
+/// (sigmaColor); edge-preserving smoothing. U8C1; diameter d (odd).
+void bilateralFilter(const Mat& src, Mat& dst, int d, double sigmaColor,
+                     double sigmaSpace,
+                     BorderType border = BorderType::Reflect101,
+                     KernelPath path = KernelPath::Default);
+
+}  // namespace simdcv::imgproc

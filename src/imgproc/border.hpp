@@ -1,0 +1,51 @@
+// Border extrapolation for filtering, mirroring cv::BorderTypes.
+#pragma once
+
+#include <cstdlib>
+
+#include "core/types.hpp"
+
+namespace simdcv::imgproc {
+
+enum class BorderType : std::uint8_t {
+  Constant,   ///< iiiiii|abcdefgh|iiiiii  (value supplied separately)
+  Replicate,  ///< aaaaaa|abcdefgh|hhhhhh
+  Reflect,    ///< fedcba|abcdefgh|hgfedc
+  Reflect101, ///< gfedcb|abcdefgh|gfedcb  (OpenCV default)
+  Wrap,       ///< cdefgh|abcdefgh|abcdef
+};
+
+const char* toString(BorderType b) noexcept;
+
+/// Map an out-of-range coordinate p into [0, len) according to the border
+/// rule. Returns -1 for BorderType::Constant (caller substitutes the value).
+/// Matches cv::borderInterpolate.
+inline int borderInterpolate(int p, int len, BorderType type) {
+  if (static_cast<unsigned>(p) < static_cast<unsigned>(len)) return p;
+  switch (type) {
+    case BorderType::Replicate:
+      return p < 0 ? 0 : len - 1;
+    case BorderType::Reflect:
+    case BorderType::Reflect101: {
+      const int delta = type == BorderType::Reflect101 ? 1 : 0;
+      if (len == 1) return 0;
+      do {
+        if (p < 0)
+          p = -p - 1 + delta;
+        else
+          p = len - 1 - (p - len) - delta;
+      } while (static_cast<unsigned>(p) >= static_cast<unsigned>(len));
+      return p;
+    }
+    case BorderType::Wrap: {
+      if (p < 0) p -= ((p - len + 1) / len) * len;
+      if (p >= len) p %= len;
+      return p;
+    }
+    case BorderType::Constant:
+      return -1;
+  }
+  return -1;
+}
+
+}  // namespace simdcv::imgproc

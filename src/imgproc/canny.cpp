@@ -1,0 +1,115 @@
+// Canny implementation.
+//
+// Stages:
+//   1. Sobel gx/gy (S32 precision via S16 kernels — aperture<=7 fits S16
+//      for u8 input, so S16 is used throughout like OpenCV's u8 path),
+//   2. L1 magnitude per pixel (int, not clamped to u8 — NMS needs range),
+//   3. non-maximum suppression with the standard 4-sector quantization of
+//      the gradient direction (using the |gy| vs |gx| tan(22.5deg) trick),
+//   4. double threshold + BFS hysteresis from strong seeds.
+#include "imgproc/canny.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "imgproc/filter.hpp"
+
+namespace simdcv::imgproc {
+
+void Canny(const Mat& src, Mat& dst, double lowThresh, double highThresh,
+           int apertureSize, KernelPath path) {
+  SIMDCV_REQUIRE(!src.empty(), "Canny: empty source");
+  SIMDCV_REQUIRE(src.type() == U8C1, "Canny: u8c1 only");
+  SIMDCV_REQUIRE(apertureSize == 3 || apertureSize == 5 || apertureSize == 7,
+                 "Canny: aperture must be 3, 5 or 7");
+  SIMDCV_REQUIRE(lowThresh <= highThresh, "Canny: lowThresh > highThresh");
+  const KernelPath p = resolvePath(path);
+  const int rows = src.rows(), cols = src.cols();
+
+  Mat gx, gy;
+  Sobel(src, gx, Depth::S16, 1, 0, apertureSize, 1.0, BorderType::Reflect101, p);
+  Sobel(src, gy, Depth::S16, 0, 1, apertureSize, 1.0, BorderType::Reflect101, p);
+
+  // L1 magnitude in int precision.
+  std::vector<int> mag(static_cast<std::size_t>(rows) * cols);
+  for (int y = 0; y < rows; ++y) {
+    const std::int16_t* px = gx.ptr<std::int16_t>(y);
+    const std::int16_t* py = gy.ptr<std::int16_t>(y);
+    int* m = mag.data() + static_cast<std::size_t>(y) * cols;
+    for (int x = 0; x < cols; ++x)
+      m[x] = std::abs(static_cast<int>(px[x])) + std::abs(static_cast<int>(py[x]));
+  }
+
+  const int low = std::max(0, static_cast<int>(std::lround(lowThresh)));
+  const int high = std::max(low, static_cast<int>(std::lround(highThresh)));
+
+  // NMS + double threshold into a state map: 0 none, 1 weak, 2 strong.
+  std::vector<std::uint8_t> state(static_cast<std::size_t>(rows) * cols, 0);
+  auto magAt = [&](int y, int x) -> int {
+    if (static_cast<unsigned>(y) >= static_cast<unsigned>(rows) ||
+        static_cast<unsigned>(x) >= static_cast<unsigned>(cols))
+      return 0;
+    return mag[static_cast<std::size_t>(y) * cols + x];
+  };
+  // tan(22.5 deg) ~ 13573 / 2^15 (OpenCV's fixed-point constant).
+  constexpr int kTg22 = 13573;
+  for (int y = 0; y < rows; ++y) {
+    const std::int16_t* px = gx.ptr<std::int16_t>(y);
+    const std::int16_t* py = gy.ptr<std::int16_t>(y);
+    for (int x = 0; x < cols; ++x) {
+      const int m = magAt(y, x);
+      if (m <= low) continue;
+      const int ax = std::abs(static_cast<int>(px[x]));
+      const int ay = std::abs(static_cast<int>(py[x])) << 15;
+      bool isMax;
+      if (ay < static_cast<long long>(kTg22) * ax) {
+        // ~horizontal gradient: compare along x.
+        isMax = m > magAt(y, x - 1) && m >= magAt(y, x + 1);
+      } else if (ay > static_cast<long long>(1 << 16) * ax +
+                          static_cast<long long>(kTg22) * ax) {
+        // tan(67.5) = 2 + tan(22.5); ~vertical gradient: compare along y.
+        isMax = m > magAt(y - 1, x) && m >= magAt(y + 1, x);
+      } else {
+        // Diagonal: sign of gx*gy picks the diagonal.
+        const int s = (static_cast<int>(px[x]) ^ static_cast<int>(py[x])) < 0 ? -1 : 1;
+        isMax = m > magAt(y - 1, x - s) && m >= magAt(y + 1, x + s);
+      }
+      if (!isMax) continue;
+      state[static_cast<std::size_t>(y) * cols + x] = m > high ? 2 : 1;
+    }
+  }
+
+  // Hysteresis: BFS from strong pixels through weak neighbours.
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(rows, cols, U8C1);
+  out.setZero();
+  std::vector<std::int32_t> stack;
+  stack.reserve(1024);
+  for (int y = 0; y < rows; ++y)
+    for (int x = 0; x < cols; ++x)
+      if (state[static_cast<std::size_t>(y) * cols + x] == 2)
+        stack.push_back(y * cols + x);
+  while (!stack.empty()) {
+    const int idx = stack.back();
+    stack.pop_back();
+    const int y = idx / cols, x = idx % cols;
+    std::uint8_t& o = out.at<std::uint8_t>(y, x);
+    if (o) continue;
+    o = 255;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int ny = y + dy, nx = x + dx;
+        if (static_cast<unsigned>(ny) >= static_cast<unsigned>(rows) ||
+            static_cast<unsigned>(nx) >= static_cast<unsigned>(cols))
+          continue;
+        if (state[static_cast<std::size_t>(ny) * cols + nx] != 0 &&
+            !out.at<std::uint8_t>(ny, nx))
+          stack.push_back(ny * cols + nx);
+      }
+    }
+  }
+  dst = std::move(out);
+}
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,21 @@
+// Scalar BGR->Gray kernel (fixed-point BT.601), shared autovec/novec.
+
+#include "imgproc/color.hpp"
+
+namespace simdcv::imgproc::SIMDCV_SCALAR_NS {
+
+void bgr2grayU8(const std::uint8_t* bgr, std::uint8_t* gray, std::size_t n,
+                bool rgbOrder) {
+  // OpenCV fixed-point BT.601: B*1868 + G*9617 + R*4899, 14 fractional bits.
+  const int cb = rgbOrder ? 4899 : 1868;
+  const int cr = rgbOrder ? 1868 : 4899;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int b = bgr[3 * i];
+    const int g = bgr[3 * i + 1];
+    const int r = bgr[3 * i + 2];
+    gray[i] = static_cast<std::uint8_t>(
+        (b * cb + g * 9617 + r * cr + (1 << 13)) >> 14);
+  }
+}
+
+}  // namespace simdcv::imgproc::SIMDCV_SCALAR_NS

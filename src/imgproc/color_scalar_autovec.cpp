@@ -1,0 +1,3 @@
+// Gray-conversion scalar kernel, auto-vectorized build (paper "AUTO" arm).
+#define SIMDCV_SCALAR_NS autovec
+#include "imgproc/color_scalar.inl"

@@ -1,0 +1,3 @@
+// Gray-conversion scalar kernel, vectorizer-disabled ablation build.
+#define SIMDCV_SCALAR_NS novec
+#include "imgproc/color_scalar.inl"

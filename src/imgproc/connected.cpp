@@ -1,0 +1,131 @@
+// Two-pass connected components with path-compressed union-find.
+#include "imgproc/connected.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace simdcv::imgproc {
+
+namespace {
+
+class UnionFind {
+ public:
+  int makeSet() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return parent_.back();
+  }
+  int find(int a) {
+    while (parent_[static_cast<std::size_t>(a)] != a) {
+      parent_[static_cast<std::size_t>(a)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(a)])];
+      a = parent_[static_cast<std::size_t>(a)];
+    }
+    return a;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[static_cast<std::size_t>(std::max(a, b))] = std::min(a, b);
+  }
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+int connectedComponents(const Mat& binary, Mat& labels, Connectivity conn) {
+  SIMDCV_REQUIRE(!binary.empty(), "connectedComponents: empty source");
+  SIMDCV_REQUIRE(binary.type() == U8C1, "connectedComponents: u8c1 only");
+  const int rows = binary.rows(), cols = binary.cols();
+  Mat out = std::move(labels);
+  out.create(rows, cols, S32C1);
+  out.setZero();
+
+  UnionFind uf;
+  uf.makeSet();  // slot 0 = background
+
+  // Pass 1: provisional labels, merging with left / up (/ diagonal) hits.
+  for (int y = 0; y < rows; ++y) {
+    const std::uint8_t* src = binary.ptr<std::uint8_t>(y);
+    std::int32_t* lab = out.ptr<std::int32_t>(y);
+    const std::int32_t* up = y > 0 ? out.ptr<std::int32_t>(y - 1) : nullptr;
+    for (int x = 0; x < cols; ++x) {
+      if (!src[x]) continue;
+      int neighbours[4];
+      int nn = 0;
+      if (x > 0 && lab[x - 1]) neighbours[nn++] = lab[x - 1];
+      if (up) {
+        if (up[x]) neighbours[nn++] = up[x];
+        if (conn == Connectivity::Eight) {
+          if (x > 0 && up[x - 1]) neighbours[nn++] = up[x - 1];
+          if (x + 1 < cols && up[x + 1]) neighbours[nn++] = up[x + 1];
+        }
+      }
+      if (nn == 0) {
+        lab[x] = uf.makeSet();
+      } else {
+        int m = neighbours[0];
+        for (int i = 1; i < nn; ++i) m = std::min(m, neighbours[i]);
+        lab[x] = m;
+        for (int i = 0; i < nn; ++i) uf.unite(m, neighbours[i]);
+      }
+    }
+  }
+
+  // Pass 2: flatten the forest and renumber roots densely in scan order.
+  std::vector<std::int32_t> dense(uf.size(), 0);
+  int next = 0;
+  for (int y = 0; y < rows; ++y) {
+    std::int32_t* lab = out.ptr<std::int32_t>(y);
+    for (int x = 0; x < cols; ++x) {
+      if (!lab[x]) continue;
+      const int root = uf.find(lab[x]);
+      if (!dense[static_cast<std::size_t>(root)])
+        dense[static_cast<std::size_t>(root)] = ++next;
+      lab[x] = dense[static_cast<std::size_t>(root)];
+    }
+  }
+  labels = std::move(out);
+  return next;
+}
+
+int connectedComponentsWithStats(const Mat& binary, Mat& labels,
+                                 std::vector<ComponentStats>& stats,
+                                 Connectivity conn) {
+  const int n = connectedComponents(binary, labels, conn);
+  stats.assign(static_cast<std::size_t>(n), ComponentStats{});
+  std::vector<long long> sx(static_cast<std::size_t>(n), 0);
+  std::vector<long long> sy(static_cast<std::size_t>(n), 0);
+  std::vector<int> minx(static_cast<std::size_t>(n), labels.cols());
+  std::vector<int> miny(static_cast<std::size_t>(n), labels.rows());
+  std::vector<int> maxx(static_cast<std::size_t>(n), -1);
+  std::vector<int> maxy(static_cast<std::size_t>(n), -1);
+  for (int y = 0; y < labels.rows(); ++y) {
+    const std::int32_t* lab = labels.ptr<std::int32_t>(y);
+    for (int x = 0; x < labels.cols(); ++x) {
+      if (!lab[x]) continue;
+      const auto i = static_cast<std::size_t>(lab[x] - 1);
+      ++stats[i].area;
+      sx[i] += x;
+      sy[i] += y;
+      minx[i] = std::min(minx[i], x);
+      miny[i] = std::min(miny[i], y);
+      maxx[i] = std::max(maxx[i], x);
+      maxy[i] = std::max(maxy[i], y);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    stats[ui].label = i + 1;
+    stats[ui].bbox = Rect(minx[ui], miny[ui], maxx[ui] - minx[ui] + 1,
+                          maxy[ui] - miny[ui] + 1);
+    stats[ui].centroid_x = static_cast<double>(sx[ui]) / stats[ui].area;
+    stats[ui].centroid_y = static_cast<double>(sy[ui]) / stats[ui].area;
+  }
+  return n;
+}
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,33 @@
+// Connected-component labeling of binary images (two-pass union-find),
+// with per-component statistics — the standard follow-up to thresholding
+// (the paper's benchmark 2) in segmentation pipelines.
+#pragma once
+
+#include <vector>
+
+#include "core/mat.hpp"
+
+namespace simdcv::imgproc {
+
+enum class Connectivity : std::uint8_t { Four = 4, Eight = 8 };
+
+struct ComponentStats {
+  int label = 0;
+  int area = 0;               ///< pixel count
+  Rect bbox;                  ///< tight bounding box
+  double centroid_x = 0;
+  double centroid_y = 0;
+};
+
+/// Label non-zero pixels of a U8C1 binary image. `labels` receives S32C1
+/// with background 0 and components numbered 1..N in first-encounter order.
+/// Returns N (number of foreground components).
+int connectedComponents(const Mat& binary, Mat& labels,
+                        Connectivity conn = Connectivity::Eight);
+
+/// Labeling plus per-component statistics (stats[i] describes label i+1).
+int connectedComponentsWithStats(const Mat& binary, Mat& labels,
+                                 std::vector<ComponentStats>& stats,
+                                 Connectivity conn = Connectivity::Eight);
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,127 @@
+#include "imgproc/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace simdcv::imgproc {
+
+void distanceTransform(const Mat& binary, Mat& dist, DistanceMetric metric) {
+  SIMDCV_REQUIRE(!binary.empty(), "distanceTransform: empty source");
+  SIMDCV_REQUIRE(binary.type() == U8C1, "distanceTransform: u8c1 only");
+  const int rows = binary.rows(), cols = binary.cols();
+  // Chamfer weights (scaled by 3 internally for the 3-4 metric).
+  const float a = metric == DistanceMetric::L1 ? 1.0f : 1.0f;        // axial
+  const float b = metric == DistanceMetric::L1 ? 2.0f : 4.0f / 3.0f; // diagonal
+
+  Mat out = std::move(dist);
+  out.create(rows, cols, F32C1);
+  const float inf = std::numeric_limits<float>::infinity();
+  for (int y = 0; y < rows; ++y) {
+    const std::uint8_t* s = binary.ptr<std::uint8_t>(y);
+    float* d = out.ptr<float>(y);
+    for (int x = 0; x < cols; ++x) d[x] = s[x] ? inf : 0.0f;
+  }
+
+  // Forward pass: top-left -> bottom-right.
+  for (int y = 0; y < rows; ++y) {
+    float* d = out.ptr<float>(y);
+    const float* up = y > 0 ? out.ptr<float>(y - 1) : nullptr;
+    for (int x = 0; x < cols; ++x) {
+      float v = d[x];
+      if (x > 0) v = std::min(v, d[x - 1] + a);
+      if (up) {
+        v = std::min(v, up[x] + a);
+        if (metric == DistanceMetric::Chamfer || metric == DistanceMetric::L1) {
+          if (x > 0) v = std::min(v, up[x - 1] + b);
+          if (x + 1 < cols) v = std::min(v, up[x + 1] + b);
+        }
+      }
+      d[x] = v;
+    }
+  }
+  // Backward pass: bottom-right -> top-left.
+  for (int y = rows - 1; y >= 0; --y) {
+    float* d = out.ptr<float>(y);
+    const float* dn = y + 1 < rows ? out.ptr<float>(y + 1) : nullptr;
+    for (int x = cols - 1; x >= 0; --x) {
+      float v = d[x];
+      if (x + 1 < cols) v = std::min(v, d[x + 1] + a);
+      if (dn) {
+        v = std::min(v, dn[x] + a);
+        if (x + 1 < cols) v = std::min(v, dn[x + 1] + b);
+        if (x > 0) v = std::min(v, dn[x - 1] + b);
+      }
+      d[x] = v;
+    }
+  }
+  dist = std::move(out);
+}
+
+std::vector<HoughLine> houghLines(const Mat& edges, double rhoStep,
+                                  double thetaStep, int threshold) {
+  SIMDCV_REQUIRE(!edges.empty(), "houghLines: empty source");
+  SIMDCV_REQUIRE(edges.type() == U8C1, "houghLines: u8c1 only");
+  SIMDCV_REQUIRE(rhoStep > 0 && thetaStep > 0, "houghLines: bad steps");
+  SIMDCV_REQUIRE(threshold >= 1, "houghLines: threshold >= 1");
+  const int rows = edges.rows(), cols = edges.cols();
+  const double maxRho = std::hypot(rows, cols);
+  const int nRho = 2 * static_cast<int>(std::ceil(maxRho / rhoStep)) + 1;
+  const int rhoOffset = nRho / 2;
+  const int nTheta = std::max(1, static_cast<int>(std::round(M_PI / thetaStep)));
+
+  // Precompute the trig table.
+  std::vector<double> cosT(static_cast<std::size_t>(nTheta));
+  std::vector<double> sinT(static_cast<std::size_t>(nTheta));
+  for (int t = 0; t < nTheta; ++t) {
+    cosT[static_cast<std::size_t>(t)] = std::cos(t * thetaStep);
+    sinT[static_cast<std::size_t>(t)] = std::sin(t * thetaStep);
+  }
+
+  std::vector<int> acc(static_cast<std::size_t>(nRho) * nTheta, 0);
+  auto at = [&](int r, int t) -> int& {
+    return acc[static_cast<std::size_t>(r) * nTheta + t];
+  };
+  for (int y = 0; y < rows; ++y) {
+    const std::uint8_t* e = edges.ptr<std::uint8_t>(y);
+    for (int x = 0; x < cols; ++x) {
+      if (!e[x]) continue;
+      for (int t = 0; t < nTheta; ++t) {
+        const double rho = x * cosT[static_cast<std::size_t>(t)] +
+                           y * sinT[static_cast<std::size_t>(t)];
+        const int r = static_cast<int>(std::lround(rho / rhoStep)) + rhoOffset;
+        if (r >= 0 && r < nRho) ++at(r, t);
+      }
+    }
+  }
+
+  // Peaks: above threshold and 3x3 local maximum in (rho, theta).
+  std::vector<HoughLine> lines;
+  for (int r = 0; r < nRho; ++r) {
+    for (int t = 0; t < nTheta; ++t) {
+      const int v = at(r, t);
+      if (v < threshold) continue;
+      bool isMax = true;
+      for (int dr = -1; dr <= 1 && isMax; ++dr) {
+        for (int dt = -1; dt <= 1; ++dt) {
+          if (dr == 0 && dt == 0) continue;
+          const int rr = r + dr;
+          const int tt = (t + dt + nTheta) % nTheta;  // theta wraps
+          if (rr < 0 || rr >= nRho) continue;
+          if (at(rr, tt) > v ||
+              (at(rr, tt) == v && (dr < 0 || (dr == 0 && dt < 0)))) {
+            isMax = false;
+            break;
+          }
+        }
+      }
+      if (!isMax) continue;
+      lines.push_back({(r - rhoOffset) * rhoStep, t * thetaStep, v});
+    }
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const HoughLine& a, const HoughLine& b) { return a.votes > b.votes; });
+  return lines;
+}
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,36 @@
+// Distance transform (two-pass chamfer) and Hough line detection — binary
+// shape-analysis substrates downstream of the thresholding benchmarks.
+#pragma once
+
+#include <vector>
+
+#include "core/mat.hpp"
+
+namespace simdcv::imgproc {
+
+enum class DistanceMetric : std::uint8_t {
+  L1,       ///< city-block (1 / 2 chamfer weights)
+  Chamfer,  ///< 3-4 chamfer / 3 (close to L2, exact on axes)
+};
+
+/// Distance from every pixel to the nearest ZERO pixel of a U8C1 binary
+/// image (cv::distanceTransform convention). Output F32C1. An image with no
+/// zero pixel gets +inf everywhere.
+void distanceTransform(const Mat& binary, Mat& dist,
+                       DistanceMetric metric = DistanceMetric::Chamfer);
+
+/// A detected line in Hesse normal form: x*cos(theta) + y*sin(theta) = rho.
+struct HoughLine {
+  double rho = 0;
+  double theta = 0;  ///< radians, in [0, pi)
+  int votes = 0;
+};
+
+/// Standard Hough transform over non-zero pixels of a U8C1 edge map.
+/// rhoStep in pixels, thetaStep in radians, `threshold` minimum votes.
+/// Lines are returned strongest first; accumulator peaks are non-max
+/// suppressed over a 3x3 (rho, theta) neighbourhood.
+std::vector<HoughLine> houghLines(const Mat& edges, double rhoStep,
+                                  double thetaStep, int threshold);
+
+}  // namespace simdcv::imgproc

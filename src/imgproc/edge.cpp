@@ -1,0 +1,101 @@
+// Edge detection pipeline and SIMD magnitude kernels.
+//
+// All magnitude paths implement saturate_u8(|gx|_sat + |gy|_sat); because the
+// final range is [0,255], saturating-s16 and exact-int arithmetic agree on
+// every input, so the paths are bit-exact with one another (see tests).
+#include "imgproc/edge.hpp"
+
+#include "imgproc/filter.hpp"
+#include "imgproc/threshold.hpp"
+#include "simd/neon_compat.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace simdcv::imgproc {
+
+namespace sse2 {
+
+void magnitudeS16(const std::int16_t* gx, const std::int16_t* gy,
+                  std::uint8_t* dst, std::size_t n) {
+#if defined(__SSE2__)
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m128i vx0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(gx + x));
+    const __m128i vx1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(gx + x + 8));
+    const __m128i vy0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(gy + x));
+    const __m128i vy1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(gy + x + 8));
+    // Saturating abs: max(v, 0 -sat- v); -32768 maps to 32767.
+    const __m128i ax0 = _mm_max_epi16(vx0, _mm_subs_epi16(zero, vx0));
+    const __m128i ax1 = _mm_max_epi16(vx1, _mm_subs_epi16(zero, vx1));
+    const __m128i ay0 = _mm_max_epi16(vy0, _mm_subs_epi16(zero, vy0));
+    const __m128i ay1 = _mm_max_epi16(vy1, _mm_subs_epi16(zero, vy1));
+    const __m128i m0 = _mm_adds_epi16(ax0, ay0);
+    const __m128i m1 = _mm_adds_epi16(ax1, ay1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + x),
+                     _mm_packus_epi16(m0, m1));
+  }
+  if (x < n) autovec::magnitudeS16(gx + x, gy + x, dst + x, n - x);
+#else
+  autovec::magnitudeS16(gx, gy, dst, n);
+#endif
+}
+
+}  // namespace sse2
+
+namespace neon {
+
+void magnitudeS16(const std::int16_t* gx, const std::int16_t* gy,
+                  std::uint8_t* dst, std::size_t n) {
+  std::size_t x = 0;
+  for (; x + 8 <= n; x += 8) {
+    const int16x8_t ax = vqabsq_s16(vld1q_s16(gx + x));
+    const int16x8_t ay = vqabsq_s16(vld1q_s16(gy + x));
+    const int16x8_t m = vqaddq_s16(ax, ay);
+    vst1_u8(dst + x, vqmovun_s16(m));
+  }
+  if (x < n) autovec::magnitudeS16(gx + x, gy + x, dst + x, n - x);
+}
+
+}  // namespace neon
+
+void gradientMagnitude(const Mat& gx, const Mat& gy, Mat& dst,
+                       KernelPath path) {
+  SIMDCV_REQUIRE(gx.size() == gy.size(), "magnitude: gx/gy size mismatch");
+  SIMDCV_REQUIRE(gx.depth() == Depth::S16 && gy.depth() == Depth::S16,
+                 "magnitude: gradients must be s16");
+  SIMDCV_REQUIRE(gx.channels() == 1 && gy.channels() == 1,
+                 "magnitude: single channel only");
+  const KernelPath p = resolvePath(path);
+  Mat out = (dst.sharesStorageWith(gx) || dst.sharesStorageWith(gy))
+                ? Mat()
+                : std::move(dst);
+  out.create(gx.rows(), gx.cols(), U8C1);
+  for (int r = 0; r < gx.rows(); ++r) {
+    const std::int16_t* px = gx.ptr<std::int16_t>(r);
+    const std::int16_t* py = gy.ptr<std::int16_t>(r);
+    std::uint8_t* d = out.ptr<std::uint8_t>(r);
+    const std::size_t n = static_cast<std::size_t>(gx.cols());
+    switch (p) {
+      case KernelPath::Avx2:  // no 256-bit magnitude kernel: SSE2 HAND arm
+      case KernelPath::Sse2: sse2::magnitudeS16(px, py, d, n); break;
+      case KernelPath::Neon: neon::magnitudeS16(px, py, d, n); break;
+      case KernelPath::ScalarNoVec: novec::magnitudeS16(px, py, d, n); break;
+      default: autovec::magnitudeS16(px, py, d, n); break;
+    }
+  }
+  dst = std::move(out);
+}
+
+void edgeDetect(const Mat& src, Mat& dst, double thresh, int ksize,
+                BorderType border, KernelPath path) {
+  Mat gx, gy, mag;
+  Sobel(src, gx, Depth::S16, 1, 0, ksize, 1.0, border, path);
+  Sobel(src, gy, Depth::S16, 0, 1, ksize, 1.0, border, path);
+  gradientMagnitude(gx, gy, mag, path);
+  threshold(mag, dst, thresh, 255.0, ThresholdType::Binary, path);
+}
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,17 @@
+// Scalar L1 gradient magnitude, shared between autovec/novec TUs.
+
+#include "core/saturate.hpp"
+#include "imgproc/edge.hpp"
+
+namespace simdcv::imgproc::SIMDCV_SCALAR_NS {
+
+void magnitudeS16(const std::int16_t* gx, const std::int16_t* gy,
+                  std::uint8_t* dst, std::size_t n) {
+  for (std::size_t x = 0; x < n; ++x) {
+    const int m = std::abs(static_cast<int>(gx[x])) +
+                  std::abs(static_cast<int>(gy[x]));
+    dst[x] = saturate_cast<std::uint8_t>(m);
+  }
+}
+
+}  // namespace simdcv::imgproc::SIMDCV_SCALAR_NS

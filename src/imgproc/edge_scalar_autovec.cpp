@@ -1,0 +1,3 @@
+// Magnitude scalar kernel, auto-vectorized build (paper "AUTO" arm).
+#define SIMDCV_SCALAR_NS autovec
+#include "imgproc/edge_scalar.inl"

@@ -1,0 +1,3 @@
+// Magnitude scalar kernel, vectorizer-disabled ablation build.
+#define SIMDCV_SCALAR_NS novec
+#include "imgproc/edge_scalar.inl"

@@ -1,0 +1,136 @@
+// FAST-9 implementation.
+//
+// The high-speed rejection test (cardinal points 0/4/8/12 first) discards
+// most pixels with four comparisons; full segment evaluation runs only on
+// survivors. Scores are computed by bisection on the threshold, and
+// non-maximum suppression compares scores in the 3x3 neighbourhood —
+// the structure of the original FAST-ER reference code.
+#include "imgproc/fast.hpp"
+
+#include <array>
+
+namespace simdcv::imgproc {
+
+namespace {
+
+// Bresenham circle of radius 3, clockwise from 12 o'clock.
+constexpr std::array<std::array<int, 2>, 16> kCircle = {{
+    {0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0}, {3, 1}, {2, 2}, {1, 3},
+    {0, 3}, {-1, 3}, {-2, 2}, {-3, 1}, {-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}};
+
+bool segmentTest(const std::uint8_t* center, const std::array<int, 16>& offsets,
+                 int threshold) {
+  const int p = *center;
+  const int hi = p + threshold;
+  const int lo = p - threshold;
+
+  // High-speed test on the four cardinal points: any 9 contiguous circle
+  // pixels span at least two *adjacent* cardinals (they are 4 apart), so a
+  // corner needs some adjacent cardinal pair on the same side.
+  unsigned cb = 0, cd = 0;  // 4-bit masks over cardinals 0,4,8,12
+  for (int i = 0; i < 4; ++i) {
+    const int v = center[offsets[static_cast<std::size_t>(4 * i)]];
+    cb |= static_cast<unsigned>(v > hi) << i;
+    cd |= static_cast<unsigned>(v < lo) << i;
+  }
+  auto adjacentPair = [](unsigned m) {
+    const unsigned wrapped = m | (m << 4);
+    return (wrapped & (wrapped >> 1) & 0xfu) != 0;
+  };
+  if (!adjacentPair(cb) && !adjacentPair(cd)) return false;
+
+  // Full test: longest run of same-side pixels on the wrapped circle.
+  unsigned brightMask = 0, darkMask = 0;
+  for (int i = 0; i < 16; ++i) {
+    const int v = center[offsets[static_cast<std::size_t>(i)]];
+    brightMask |= static_cast<unsigned>(v > hi) << i;
+    darkMask |= static_cast<unsigned>(v < lo) << i;
+  }
+  auto hasRun9 = [](unsigned mask) {
+    const unsigned wrapped = mask | (mask << 16);  // handle circular runs
+    unsigned run = wrapped;
+    for (int i = 1; i < 9; ++i) run &= wrapped >> i;
+    return (run & 0xffffu) != 0;
+  };
+  return hasRun9(brightMask) || hasRun9(darkMask);
+}
+
+}  // namespace
+
+bool fast9IsCorner(const Mat& src, int x, int y, int threshold) {
+  SIMDCV_REQUIRE(src.type() == U8C1, "fast9: u8c1 only");
+  SIMDCV_REQUIRE(x >= 3 && y >= 3 && x < src.cols() - 3 && y < src.rows() - 3,
+                 "fast9IsCorner: needs 3px margin");
+  std::array<int, 16> offsets;
+  for (int i = 0; i < 16; ++i)
+    offsets[static_cast<std::size_t>(i)] =
+        kCircle[static_cast<std::size_t>(i)][1] * static_cast<int>(src.step()) +
+        kCircle[static_cast<std::size_t>(i)][0];
+  return segmentTest(src.ptr<std::uint8_t>(y) + x, offsets, threshold);
+}
+
+std::vector<KeyPoint> fast9(const Mat& src, int threshold,
+                            bool nonmaxSuppression, KernelPath /*path*/) {
+  SIMDCV_REQUIRE(!src.empty(), "fast9: empty source");
+  SIMDCV_REQUIRE(src.type() == U8C1, "fast9: u8c1 only");
+  SIMDCV_REQUIRE(threshold >= 1 && threshold <= 254, "fast9: threshold in [1,254]");
+  const int rows = src.rows(), cols = src.cols();
+  std::vector<KeyPoint> out;
+  if (rows < 7 || cols < 7) return out;
+
+  std::array<int, 16> offsets;
+  for (int i = 0; i < 16; ++i)
+    offsets[static_cast<std::size_t>(i)] =
+        kCircle[static_cast<std::size_t>(i)][1] * static_cast<int>(src.step()) +
+        kCircle[static_cast<std::size_t>(i)][0];
+
+  // Score = largest t' >= threshold at which the segment test still passes,
+  // found by bisection (monotone in t').
+  auto scoreOf = [&](const std::uint8_t* c) {
+    int lo = threshold, hi = 255;
+    while (lo < hi) {
+      const int mid = (lo + hi + 1) / 2;
+      if (segmentTest(c, offsets, mid))
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    return lo;
+  };
+
+  Mat scores;  // dense score map only when NMS needs neighbours
+  if (nonmaxSuppression) scores = zeros(rows, cols, S32C1);
+
+  std::vector<KeyPoint> candidates;
+  for (int y = 3; y < rows - 3; ++y) {
+    const std::uint8_t* row = src.ptr<std::uint8_t>(y);
+    for (int x = 3; x < cols - 3; ++x) {
+      if (!segmentTest(row + x, offsets, threshold)) continue;
+      KeyPoint kp{x, y, scoreOf(row + x)};
+      if (nonmaxSuppression) scores.at<std::int32_t>(y, x) = kp.score;
+      candidates.push_back(kp);
+    }
+  }
+  if (!nonmaxSuppression) return candidates;
+
+  for (const KeyPoint& kp : candidates) {
+    const int s = kp.score;
+    bool isMax = true;
+    for (int dy = -1; dy <= 1 && isMax; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const int ns = scores.at<std::int32_t>(kp.y + dy, kp.x + dx);
+        // Strict ordering with a deterministic tie-break on position.
+        if (ns > s || (ns == s && (dy < 0 || (dy == 0 && dx < 0)))) {
+          isMax = false;
+          break;
+        }
+      }
+    }
+    if (isMax) out.push_back(kp);
+  }
+  return out;
+}
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,32 @@
+// FAST-9 corner detection (Rosten & Drummond's segment test): a pixel is a
+// corner if 9 contiguous pixels on the 16-pixel Bresenham circle are all
+// brighter than p + t or all darker than p - t. The staple feature detector
+// of mobile vision pipelines (the workload class the paper's intro
+// motivates).
+#pragma once
+
+#include <vector>
+
+#include "core/mat.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::imgproc {
+
+struct KeyPoint {
+  int x = 0;
+  int y = 0;
+  int score = 0;  ///< max threshold at which the pixel is still a corner
+};
+
+/// Detect FAST-9 corners in a U8C1 image. If `nonmaxSuppression`, only
+/// pixels whose score is a strict local maximum in their 3x3 neighbourhood
+/// are kept. The 3-pixel image border is never reported.
+std::vector<KeyPoint> fast9(const Mat& src, int threshold,
+                            bool nonmaxSuppression = true,
+                            KernelPath path = KernelPath::Default);
+
+/// True if (x, y) passes the FAST-9 segment test at `threshold`
+/// (no bounds slack: caller keeps 3 px from the border).
+bool fast9IsCorner(const Mat& src, int x, int y, int threshold);
+
+}  // namespace simdcv::imgproc

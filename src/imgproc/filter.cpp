@@ -1,0 +1,276 @@
+// Separable filter engine.
+//
+// Structure (per output row):
+//   source row --convert-to-float--> padded row --rowConv(kx)--> intermediate
+//   ring of kh intermediates --colConv(ky)--> float row --store--> dst depth
+//
+// Vertical border rows are materialized through the same ring ("virtual" row
+// indices -ry .. rows-1+ry, mapped by borderInterpolate), so every border
+// mode costs the same inner loop. All arithmetic is float32 and every
+// KernelPath performs the adds in the same per-element order, which keeps the
+// HAND and AUTO arms bit-exact with each other.
+#include "imgproc/filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/convert.hpp"
+#include "core/saturate.hpp"
+#include "imgproc/kernels.hpp"
+
+namespace simdcv::imgproc {
+
+namespace detail {
+
+RowConvFn rowConvFor(KernelPath path) {
+  switch (resolvePath(path)) {
+    case KernelPath::Avx2: return &avx2::rowConv;
+    case KernelPath::Sse2: return &sse2::rowConv;
+    case KernelPath::Neon: return &neon::rowConv;
+    case KernelPath::ScalarNoVec: return &novec::rowConv;
+    default: return &autovec::rowConv;
+  }
+}
+
+ColConvFn colConvFor(KernelPath path) {
+  switch (resolvePath(path)) {
+    case KernelPath::Avx2: return &avx2::colConv;
+    case KernelPath::Sse2: return &sse2::colConv;
+    case KernelPath::Neon: return &neon::colConv;
+    case KernelPath::ScalarNoVec: return &novec::colConv;
+    default: return &autovec::colConv;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+// Convert one source row to float using the path-matched kernel so the HAND
+// arms measure their own data movement, as in OpenCV.
+void loadRowAsFloat(const Mat& src, int row, float* out, KernelPath p) {
+  const std::size_t n = static_cast<std::size_t>(src.cols());
+  if (src.depth() == Depth::F32) {
+    std::memcpy(out, src.ptr<float>(row), n * sizeof(float));
+    return;
+  }
+  const std::uint8_t* s = src.ptr<std::uint8_t>(row);
+  switch (p) {
+    case KernelPath::Avx2: core::avx2::cvt8u32f(s, out, n); break;
+    case KernelPath::Sse2: core::sse2::cvt8u32f(s, out, n); break;
+    case KernelPath::Neon: core::neon::cvt8u32f(s, out, n); break;
+    case KernelPath::ScalarNoVec:
+      core::novec::cvtRange(Depth::U8, Depth::F32, s, out, n);
+      break;
+    default: core::autovec::cvtRange(Depth::U8, Depth::F32, s, out, n); break;
+  }
+}
+
+// Fill the horizontal pads of `padded` (rx floats each side around `width`
+// central elements already in place).
+void padRow(float* padded, int width, int rx, BorderType border,
+            float borderValue) {
+  float* center = padded + rx;
+  for (int j = 0; j < rx; ++j) {
+    const int li = borderInterpolate(j - rx, width, border);
+    padded[j] = li < 0 ? borderValue : center[li];
+    const int ri = borderInterpolate(width + j, width, border);
+    center[width + j] = ri < 0 ? borderValue : center[ri];
+  }
+}
+
+void storeRow(const float* row, Mat& dst, int y, KernelPath p) {
+  const std::size_t n = static_cast<std::size_t>(dst.cols());
+  switch (dst.depth()) {
+    case Depth::F32:
+      std::memcpy(dst.ptr<float>(y), row, n * sizeof(float));
+      break;
+    case Depth::S16: {
+      std::int16_t* d = dst.ptr<std::int16_t>(y);
+      switch (p) {
+        case KernelPath::Avx2: core::avx2::cvt32f16s(row, d, n); break;
+        case KernelPath::Sse2: core::sse2::cvt32f16s(row, d, n); break;
+        case KernelPath::Neon: core::neon::cvt32f16s(row, d, n); break;
+        case KernelPath::ScalarNoVec: core::novec::cvt32f16s(row, d, n); break;
+        default: core::autovec::cvt32f16s(row, d, n); break;
+      }
+      break;
+    }
+    case Depth::U8:
+    default: {
+      std::uint8_t* d = dst.ptr<std::uint8_t>(y);
+      switch (p) {
+        case KernelPath::Avx2: core::avx2::cvt32f8u(row, d, n); break;
+        case KernelPath::Sse2: core::sse2::cvt32f8u(row, d, n); break;
+        case KernelPath::Neon: core::neon::cvt32f8u(row, d, n); break;
+        case KernelPath::ScalarNoVec:
+          core::novec::cvtRange(Depth::F32, Depth::U8, row, d, n);
+          break;
+        default:
+          core::autovec::cvtRange(Depth::F32, Depth::U8, row, d, n);
+          break;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void sepFilter2D(const Mat& src, Mat& dst, Depth ddepth,
+                 const std::vector<float>& kx, const std::vector<float>& ky,
+                 BorderType border, double borderValue, KernelPath path) {
+  SIMDCV_REQUIRE(!src.empty(), "sepFilter2D: empty source");
+  SIMDCV_REQUIRE(src.channels() == 1, "sepFilter2D: single channel only");
+  SIMDCV_REQUIRE(src.depth() == Depth::U8 || src.depth() == Depth::F32,
+                 "sepFilter2D: source depth must be u8 or f32");
+  SIMDCV_REQUIRE(ddepth == Depth::U8 || ddepth == Depth::S16 ||
+                     ddepth == Depth::F32,
+                 "sepFilter2D: dst depth must be u8, s16 or f32");
+  SIMDCV_REQUIRE(!kx.empty() && !ky.empty() && (kx.size() & 1) && (ky.size() & 1),
+                 "sepFilter2D: kernels must have odd length");
+  const int kw = static_cast<int>(kx.size());
+  const int kh = static_cast<int>(ky.size());
+  const int rx = kw / 2;
+  const int ry = kh / 2;
+  const int rows = src.rows();
+  const int width = src.cols();
+  SIMDCV_REQUIRE(border != BorderType::Wrap || (rows >= 1 && width >= 1),
+                 "sepFilter2D: wrap border needs non-empty image");
+
+  const KernelPath p = resolvePath(path);
+  const auto rowFn = detail::rowConvFor(p);
+  const auto colFn = detail::colConvFor(p);
+
+  // The source may alias dst; the engine reads src rows lazily, so writing
+  // into the same storage would corrupt later reads. Detach in that case.
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(rows, width, PixelType(ddepth, 1));
+
+  const float bv = static_cast<float>(borderValue);
+  std::vector<float> padded(static_cast<std::size_t>(width + kw - 1));
+  std::vector<float> ring(static_cast<std::size_t>(kh) *
+                          static_cast<std::size_t>(width));
+  std::vector<float> outRow(static_cast<std::size_t>(width));
+  std::vector<const float*> taps(static_cast<std::size_t>(kh));
+
+  // Intermediate for a fully-constant (out-of-image) row under Constant
+  // border: row-convolve a border-valued padded row once.
+  std::vector<float> constRow;
+  if (border == BorderType::Constant) {
+    std::fill(padded.begin(), padded.end(), bv);
+    constRow.resize(static_cast<std::size_t>(width));
+    rowFn(padded.data(), constRow.data(), width, kx.data(), kw);
+  }
+
+  auto slot = [&](int v) {
+    // Virtual row v occupies ring slot (v + ry) mod kh (always >= 0).
+    return ring.data() +
+           static_cast<std::size_t>((v + ry) % kh) * static_cast<std::size_t>(width);
+  };
+
+  auto computeVirtualRow = [&](int v) {
+    const int m = borderInterpolate(v, rows, border);
+    if (m < 0) {
+      std::memcpy(slot(v), constRow.data(),
+                  static_cast<std::size_t>(width) * sizeof(float));
+      return;
+    }
+    loadRowAsFloat(src, m, padded.data() + rx, p);
+    padRow(padded.data(), width, rx, border, bv);
+    rowFn(padded.data(), slot(v), width, kx.data(), kw);
+  };
+
+  // Prime the ring with the rows needed for output row 0.
+  for (int v = -ry; v < ry; ++v) computeVirtualRow(v);
+  for (int y = 0; y < rows; ++y) {
+    computeVirtualRow(y + ry);
+    for (int r = 0; r < kh; ++r)
+      taps[static_cast<std::size_t>(r)] = slot(y - ry + r);
+    colFn(taps.data(), outRow.data(), width, ky.data(), kh);
+    storeRow(outRow.data(), out, y, p);
+  }
+  dst = std::move(out);
+}
+
+void GaussianBlur(const Mat& src, Mat& dst, Size ksize, double sigmaX,
+                  double sigmaY, BorderType border, KernelPath path) {
+  if (sigmaY <= 0) sigmaY = sigmaX;
+  int kw = ksize.width;
+  int kh = ksize.height;
+  if (kw <= 0) kw = gaussianKsizeFromSigma(sigmaX);
+  if (kh <= 0) kh = gaussianKsizeFromSigma(sigmaY);
+  SIMDCV_REQUIRE((kw & 1) && (kh & 1), "GaussianBlur: ksize must be odd");
+  const auto kx = getGaussianKernel(kw, sigmaX);
+  const auto ky = getGaussianKernel(kh, sigmaY);
+  sepFilter2D(src, dst, src.depth(), kx, ky, border, 0.0, path);
+}
+
+void Sobel(const Mat& src, Mat& dst, Depth ddepth, int dx, int dy, int ksize,
+           double scale, BorderType border, KernelPath path) {
+  SIMDCV_REQUIRE(dx >= 0 && dy >= 0 && dx + dy > 0,
+                 "Sobel: need at least one derivative order");
+  std::vector<float> kx, ky;
+  getDerivKernels(kx, ky, dx, dy, ksize, /*normalize=*/false);
+  if (scale != 1.0) {
+    for (auto& v : kx) v = static_cast<float>(v * scale);
+  }
+  sepFilter2D(src, dst, ddepth, kx, ky, border, 0.0, path);
+}
+
+void Scharr(const Mat& src, Mat& dst, Depth ddepth, int dx, int dy,
+            double scale, BorderType border, KernelPath path) {
+  SIMDCV_REQUIRE((dx == 1 && dy == 0) || (dx == 0 && dy == 1),
+                 "Scharr: (dx,dy) must be (1,0) or (0,1)");
+  std::vector<float> kx = getScharrKernel(dx);
+  std::vector<float> ky = getScharrKernel(dy);
+  if (scale != 1.0) {
+    for (auto& v : kx) v = static_cast<float>(v * scale);
+  }
+  sepFilter2D(src, dst, ddepth, kx, ky, border, 0.0, path);
+}
+
+void filter2D(const Mat& src, Mat& dst, Depth ddepth,
+              const std::vector<float>& kernel, int kw, int kh,
+              BorderType border, double borderValue) {
+  SIMDCV_REQUIRE(!src.empty(), "filter2D: empty source");
+  SIMDCV_REQUIRE(src.channels() == 1, "filter2D: single channel only");
+  SIMDCV_REQUIRE(src.depth() == Depth::U8 || src.depth() == Depth::F32,
+                 "filter2D: source depth must be u8 or f32");
+  SIMDCV_REQUIRE(kernel.size() == static_cast<std::size_t>(kw) * kh &&
+                     (kw & 1) && (kh & 1),
+                 "filter2D: kernel must be odd-sized kw*kh");
+  const int rows = src.rows();
+  const int cols = src.cols();
+  const int rx = kw / 2;
+  const int ry = kh / 2;
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(rows, cols, PixelType(ddepth, 1));
+
+  auto sample = [&](int y, int x) -> float {
+    const int my = borderInterpolate(y, rows, border);
+    const int mx = borderInterpolate(x, cols, border);
+    if (my < 0 || mx < 0) return static_cast<float>(borderValue);
+    return src.depth() == Depth::U8
+               ? static_cast<float>(src.at<std::uint8_t>(my, mx))
+               : src.at<float>(my, mx);
+  };
+
+  for (int y = 0; y < rows; ++y) {
+    for (int x = 0; x < cols; ++x) {
+      float acc = 0.0f;
+      for (int j = 0; j < kh; ++j)
+        for (int i = 0; i < kw; ++i)
+          acc += kernel[static_cast<std::size_t>(j) * kw + i] *
+                 sample(y + j - ry, x + i - rx);
+      switch (ddepth) {
+        case Depth::U8: out.at<std::uint8_t>(y, x) = saturate_cast<std::uint8_t>(acc); break;
+        case Depth::S16: out.at<std::int16_t>(y, x) = saturate_cast<std::int16_t>(acc); break;
+        default: out.at<float>(y, x) = acc; break;
+      }
+    }
+  }
+  dst = std::move(out);
+}
+
+}  // namespace simdcv::imgproc

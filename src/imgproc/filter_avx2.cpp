@@ -1,0 +1,65 @@
+// Hand-written AVX2 row/column convolution workers (8 floats per op).
+// Same per-element tap order as every other path: bit-exact results.
+#include "imgproc/filter.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace simdcv::imgproc::avx2 {
+
+void rowConv(const float* padded, float* out, int width, const float* k,
+             int ksize) {
+  int i = 0;
+  for (; i + 8 <= width; i += 8) {
+    __m256 acc =
+        _mm256_mul_ps(_mm256_set1_ps(k[0]), _mm256_loadu_ps(padded + i));
+    for (int j = 1; j < ksize; ++j) {
+      acc = _mm256_add_ps(
+          acc, _mm256_mul_ps(_mm256_set1_ps(k[j]), _mm256_loadu_ps(padded + i + j)));
+    }
+    _mm256_storeu_ps(out + i, acc);
+  }
+  if (i < width) sse2::rowConv(padded + i, out + i, width - i, k, ksize);
+}
+
+void colConv(const float* const* rows, float* out, int width, const float* k,
+             int ksize) {
+  int i = 0;
+  for (; i + 16 <= width; i += 16) {
+    __m256 acc0 = _mm256_mul_ps(_mm256_set1_ps(k[0]), _mm256_loadu_ps(rows[0] + i));
+    __m256 acc1 =
+        _mm256_mul_ps(_mm256_set1_ps(k[0]), _mm256_loadu_ps(rows[0] + i + 8));
+    for (int r = 1; r < ksize; ++r) {
+      const __m256 c = _mm256_set1_ps(k[r]);
+      acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(c, _mm256_loadu_ps(rows[r] + i)));
+      acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(c, _mm256_loadu_ps(rows[r] + i + 8)));
+    }
+    _mm256_storeu_ps(out + i, acc0);
+    _mm256_storeu_ps(out + i + 8, acc1);
+  }
+  if (i < width) {
+    // Reuse the SSE2 worker for the tail (same arithmetic order).
+    std::vector<const float*> shifted(static_cast<std::size_t>(ksize));
+    for (int r = 0; r < ksize; ++r)
+      shifted[static_cast<std::size_t>(r)] = rows[r] + i;
+    sse2::colConv(shifted.data(), out + i, width - i, k, ksize);
+  }
+}
+
+}  // namespace simdcv::imgproc::avx2
+
+#else
+
+namespace simdcv::imgproc::avx2 {
+void rowConv(const float* padded, float* out, int width, const float* k,
+             int ksize) {
+  sse2::rowConv(padded, out, width, k, ksize);
+}
+void colConv(const float* const* rows, float* out, int width, const float* k,
+             int ksize) {
+  sse2::colConv(rows, out, width, k, ksize);
+}
+}  // namespace simdcv::imgproc::avx2
+
+#endif

@@ -1,0 +1,47 @@
+// Hand-written NEON row/column convolution workers (paper "HAND", ARM).
+// vmlaq_n_f32 (multiply-accumulate by scalar) is the natural NEON spelling —
+// an op SSE2 lacks, one of the instruction-set asymmetries the paper
+// catalogues in Section II-C.
+#include "imgproc/filter.hpp"
+#include "simd/neon_compat.hpp"
+
+namespace simdcv::imgproc::neon {
+
+void rowConv(const float* padded, float* out, int width, const float* k,
+             int ksize) {
+  int i = 0;
+  for (; i + 4 <= width; i += 4) {
+    float32x4_t acc = vmulq_n_f32(vld1q_f32(padded + i), k[0]);
+    for (int j = 1; j < ksize; ++j) {
+      acc = vmlaq_n_f32(acc, vld1q_f32(padded + i + j), k[j]);
+    }
+    vst1q_f32(out + i, acc);
+  }
+  for (; i < width; ++i) {
+    float acc = 0.0f;
+    for (int j = 0; j < ksize; ++j) acc += k[j] * padded[i + j];
+    out[i] = acc;
+  }
+}
+
+void colConv(const float* const* rows, float* out, int width, const float* k,
+             int ksize) {
+  int i = 0;
+  for (; i + 8 <= width; i += 8) {
+    float32x4_t acc0 = vmulq_n_f32(vld1q_f32(rows[0] + i), k[0]);
+    float32x4_t acc1 = vmulq_n_f32(vld1q_f32(rows[0] + i + 4), k[0]);
+    for (int r = 1; r < ksize; ++r) {
+      acc0 = vmlaq_n_f32(acc0, vld1q_f32(rows[r] + i), k[r]);
+      acc1 = vmlaq_n_f32(acc1, vld1q_f32(rows[r] + i + 4), k[r]);
+    }
+    vst1q_f32(out + i, acc0);
+    vst1q_f32(out + i + 4, acc1);
+  }
+  for (; i < width; ++i) {
+    float acc = 0.0f;
+    for (int r = 0; r < ksize; ++r) acc += k[r] * rows[r][i];
+    out[i] = acc;
+  }
+}
+
+}  // namespace simdcv::imgproc::neon

@@ -1,0 +1,27 @@
+// Scalar row/column convolution workers, shared between the autovec and
+// novec translation units (SIMDCV_SCALAR_NS selects the namespace).
+// These are the loops the compiler auto-vectorizes in the paper's AUTO arm.
+
+#include "imgproc/filter.hpp"
+
+namespace simdcv::imgproc::SIMDCV_SCALAR_NS {
+
+void rowConv(const float* padded, float* out, int width, const float* k,
+             int ksize) {
+  for (int i = 0; i < width; ++i) {
+    float acc = 0.0f;
+    for (int j = 0; j < ksize; ++j) acc += k[j] * padded[i + j];
+    out[i] = acc;
+  }
+}
+
+void colConv(const float* const* rows, float* out, int width, const float* k,
+             int ksize) {
+  for (int i = 0; i < width; ++i) {
+    float acc = 0.0f;
+    for (int r = 0; r < ksize; ++r) acc += k[r] * rows[r][i];
+    out[i] = acc;
+  }
+}
+
+}  // namespace simdcv::imgproc::SIMDCV_SCALAR_NS

@@ -1,0 +1,3 @@
+// Filter scalar workers, auto-vectorized build (paper "AUTO" arm).
+#define SIMDCV_SCALAR_NS autovec
+#include "imgproc/filter_scalar.inl"

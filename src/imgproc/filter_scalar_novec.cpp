@@ -1,0 +1,3 @@
+// Filter scalar workers, vectorizer-disabled ablation build.
+#define SIMDCV_SCALAR_NS novec
+#include "imgproc/filter_scalar.inl"

@@ -1,0 +1,66 @@
+// Hand-written SSE2 row/column convolution workers (paper "HAND", Intel).
+// Both keep the per-element tap order identical to the scalar reference, so
+// results are bit-exact with the AUTO arm.
+#include "imgproc/filter.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace simdcv::imgproc::sse2 {
+
+void rowConv(const float* padded, float* out, int width, const float* k,
+             int ksize) {
+  int i = 0;
+  for (; i + 4 <= width; i += 4) {
+    __m128 acc = _mm_mul_ps(_mm_set1_ps(k[0]), _mm_loadu_ps(padded + i));
+    for (int j = 1; j < ksize; ++j) {
+      acc = _mm_add_ps(acc,
+                       _mm_mul_ps(_mm_set1_ps(k[j]), _mm_loadu_ps(padded + i + j)));
+    }
+    _mm_storeu_ps(out + i, acc);
+  }
+  for (; i < width; ++i) {
+    float acc = 0.0f;
+    for (int j = 0; j < ksize; ++j) acc += k[j] * padded[i + j];
+    out[i] = acc;
+  }
+}
+
+void colConv(const float* const* rows, float* out, int width, const float* k,
+             int ksize) {
+  int i = 0;
+  for (; i + 8 <= width; i += 8) {
+    __m128 acc0 = _mm_mul_ps(_mm_set1_ps(k[0]), _mm_loadu_ps(rows[0] + i));
+    __m128 acc1 = _mm_mul_ps(_mm_set1_ps(k[0]), _mm_loadu_ps(rows[0] + i + 4));
+    for (int r = 1; r < ksize; ++r) {
+      const __m128 c = _mm_set1_ps(k[r]);
+      acc0 = _mm_add_ps(acc0, _mm_mul_ps(c, _mm_loadu_ps(rows[r] + i)));
+      acc1 = _mm_add_ps(acc1, _mm_mul_ps(c, _mm_loadu_ps(rows[r] + i + 4)));
+    }
+    _mm_storeu_ps(out + i, acc0);
+    _mm_storeu_ps(out + i + 4, acc1);
+  }
+  for (; i < width; ++i) {
+    float acc = 0.0f;
+    for (int r = 0; r < ksize; ++r) acc += k[r] * rows[r][i];
+    out[i] = acc;
+  }
+}
+
+}  // namespace simdcv::imgproc::sse2
+
+#else
+
+namespace simdcv::imgproc::sse2 {
+void rowConv(const float* padded, float* out, int width, const float* k,
+             int ksize) {
+  autovec::rowConv(padded, out, width, k, ksize);
+}
+void colConv(const float* const* rows, float* out, int width, const float* k,
+             int ksize) {
+  autovec::colConv(rows, out, width, k, ksize);
+}
+}  // namespace simdcv::imgproc::sse2
+
+#endif

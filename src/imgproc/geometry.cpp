@@ -1,0 +1,219 @@
+#include "imgproc/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/saturate.hpp"
+
+namespace simdcv::imgproc {
+
+namespace {
+
+// All rearrangements move whole elements; operate on raw bytes of elemSize.
+void moveElem(std::uint8_t* dst, const std::uint8_t* src, std::size_t esz) {
+  std::memcpy(dst, src, esz);
+}
+
+}  // namespace
+
+void flip(const Mat& src, Mat& dst, FlipAxis axis) {
+  SIMDCV_REQUIRE(!src.empty(), "flip: empty source");
+  const int rows = src.rows(), cols = src.cols();
+  const std::size_t esz = src.elemSize();
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(rows, cols, src.type());
+  for (int y = 0; y < rows; ++y) {
+    const int sy = (axis == FlipAxis::Vertical || axis == FlipAxis::Both)
+                       ? rows - 1 - y
+                       : y;
+    const std::uint8_t* s = src.ptr<std::uint8_t>(sy);
+    std::uint8_t* d = out.ptr<std::uint8_t>(y);
+    if (axis == FlipAxis::Vertical) {
+      std::memcpy(d, s, static_cast<std::size_t>(cols) * esz);
+    } else {
+      for (int x = 0; x < cols; ++x)
+        moveElem(d + static_cast<std::size_t>(x) * esz,
+                 s + static_cast<std::size_t>(cols - 1 - x) * esz, esz);
+    }
+  }
+  dst = std::move(out);
+}
+
+void transpose(const Mat& src, Mat& dst) {
+  SIMDCV_REQUIRE(!src.empty(), "transpose: empty source");
+  const int rows = src.rows(), cols = src.cols();
+  const std::size_t esz = src.elemSize();
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(cols, rows, src.type());
+  // Blocked traversal keeps both access streams cache-friendly.
+  constexpr int kBlock = 32;
+  for (int by = 0; by < rows; by += kBlock) {
+    for (int bx = 0; bx < cols; bx += kBlock) {
+      const int ey = std::min(by + kBlock, rows);
+      const int ex = std::min(bx + kBlock, cols);
+      for (int y = by; y < ey; ++y) {
+        const std::uint8_t* s = src.ptr<std::uint8_t>(y);
+        for (int x = bx; x < ex; ++x) {
+          moveElem(out.ptr<std::uint8_t>(x) + static_cast<std::size_t>(y) * esz,
+                   s + static_cast<std::size_t>(x) * esz, esz);
+        }
+      }
+    }
+  }
+  dst = std::move(out);
+}
+
+void rotate(const Mat& src, Mat& dst, Rotation rot) {
+  switch (rot) {
+    case Rotation::R180:
+      flip(src, dst, FlipAxis::Both);
+      break;
+    case Rotation::Cw90: {
+      Mat t;
+      transpose(src, t);
+      flip(t, dst, FlipAxis::Horizontal);
+      break;
+    }
+    case Rotation::Ccw90: {
+      Mat t;
+      transpose(src, t);
+      flip(t, dst, FlipAxis::Vertical);
+      break;
+    }
+  }
+}
+
+void copyMakeBorder(const Mat& src, Mat& dst, int top, int bottom, int left,
+                    int right, BorderType border, double value) {
+  SIMDCV_REQUIRE(!src.empty(), "copyMakeBorder: empty source");
+  SIMDCV_REQUIRE(top >= 0 && bottom >= 0 && left >= 0 && right >= 0,
+                 "copyMakeBorder: negative margins");
+  const int rows = src.rows(), cols = src.cols();
+  const std::size_t esz = src.elemSize();
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(rows + top + bottom, cols + left + right, src.type());
+
+  // Fill value for Constant border: one element rendered via setTo on a 1x1.
+  Mat fill(1, 1, src.type());
+  fill.setTo(value);
+  const std::uint8_t* fillPx = fill.ptr<std::uint8_t>(0);
+
+  for (int y = 0; y < out.rows(); ++y) {
+    const int sy = borderInterpolate(y - top, rows, border);
+    std::uint8_t* d = out.ptr<std::uint8_t>(y);
+    if (sy < 0) {
+      for (int x = 0; x < out.cols(); ++x)
+        moveElem(d + static_cast<std::size_t>(x) * esz, fillPx, esz);
+      continue;
+    }
+    const std::uint8_t* s = src.ptr<std::uint8_t>(sy);
+    for (int x = 0; x < left; ++x) {
+      const int sx = borderInterpolate(x - left, cols, border);
+      if (sx < 0)
+        moveElem(d + static_cast<std::size_t>(x) * esz, fillPx, esz);
+      else
+        moveElem(d + static_cast<std::size_t>(x) * esz,
+                 s + static_cast<std::size_t>(sx) * esz, esz);
+    }
+    std::memcpy(d + static_cast<std::size_t>(left) * esz, s,
+                static_cast<std::size_t>(cols) * esz);
+    for (int x = left + cols; x < out.cols(); ++x) {
+      const int sx = borderInterpolate(x - left, cols, border);
+      if (sx < 0)
+        moveElem(d + static_cast<std::size_t>(x) * esz, fillPx, esz);
+      else
+        moveElem(d + static_cast<std::size_t>(x) * esz,
+                 s + static_cast<std::size_t>(sx) * esz, esz);
+    }
+  }
+  dst = std::move(out);
+}
+
+AffineMat affineIdentity() { return {1, 0, 0, 0, 1, 0}; }
+
+AffineMat getRotationMatrix2D(double cx, double cy, double angleDeg,
+                              double scale) {
+  const double a = angleDeg * M_PI / 180.0;
+  const double alpha = scale * std::cos(a);
+  const double beta = scale * std::sin(a);
+  // OpenCV's forward matrix (maps src -> dst); warpAffine here wants the
+  // dst -> src map, so callers typically pass invertAffine of this.
+  return {alpha, beta, (1 - alpha) * cx - beta * cy,
+          -beta, alpha, beta * cx + (1 - alpha) * cy};
+}
+
+AffineMat invertAffine(const AffineMat& m) {
+  const double det = m[0] * m[4] - m[1] * m[3];
+  SIMDCV_REQUIRE(std::abs(det) > 1e-12, "invertAffine: singular matrix");
+  const double d = 1.0 / det;
+  AffineMat r;
+  r[0] = m[4] * d;
+  r[1] = -m[1] * d;
+  r[3] = -m[3] * d;
+  r[4] = m[0] * d;
+  r[2] = -(r[0] * m[2] + r[1] * m[5]);
+  r[5] = -(r[3] * m[2] + r[4] * m[5]);
+  return r;
+}
+
+namespace {
+
+template <typename T>
+void warpRows(const Mat& src, Mat& out, const AffineMat& m, BorderType border,
+              double value) {
+  const int rows = src.rows(), cols = src.cols();
+  const T fillV = saturate_cast<T>(value);
+  for (int y = 0; y < out.rows(); ++y) {
+    T* d = out.ptr<T>(y);
+    // Source coords advance linearly along the row: incremental evaluation.
+    double sx = m[1] * y + m[2];
+    double sy = m[4] * y + m[5];
+    for (int x = 0; x < out.cols(); ++x, sx += m[0], sy += m[3]) {
+      const double fx = std::floor(sx);
+      const double fy = std::floor(sy);
+      const int x0 = static_cast<int>(fx);
+      const int y0 = static_cast<int>(fy);
+      const double wx = sx - fx;
+      const double wy = sy - fy;
+      auto sample = [&](int yy, int xx) -> double {
+        const int myy = borderInterpolate(yy, rows, border);
+        const int mxx = borderInterpolate(xx, cols, border);
+        if (myy < 0 || mxx < 0) return value;
+        return static_cast<double>(src.at<T>(myy, mxx));
+      };
+      // Fully outside with Constant border: skip the blend entirely.
+      if (border == BorderType::Constant &&
+          (x0 < -1 || x0 >= cols || y0 < -1 || y0 >= rows)) {
+        d[x] = fillV;
+        continue;
+      }
+      const double v00 = sample(y0, x0);
+      const double v01 = sample(y0, x0 + 1);
+      const double v10 = sample(y0 + 1, x0);
+      const double v11 = sample(y0 + 1, x0 + 1);
+      const double top = v00 + (v01 - v00) * wx;
+      const double bot = v10 + (v11 - v10) * wx;
+      d[x] = saturate_cast<T>(top + (bot - top) * wy);
+    }
+  }
+}
+
+}  // namespace
+
+void warpAffine(const Mat& src, Mat& dst, const AffineMat& m, Size dsize,
+                BorderType border, double value, KernelPath /*path*/) {
+  SIMDCV_REQUIRE(!src.empty(), "warpAffine: empty source");
+  SIMDCV_REQUIRE(src.channels() == 1, "warpAffine: single channel only");
+  SIMDCV_REQUIRE(src.depth() == Depth::U8 || src.depth() == Depth::F32,
+                 "warpAffine: u8/f32 only");
+  SIMDCV_REQUIRE(dsize.width > 0 && dsize.height > 0, "warpAffine: bad dsize");
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(dsize.height, dsize.width, src.type());
+  if (src.depth() == Depth::U8)
+    warpRows<std::uint8_t>(src, out, m, border, value);
+  else
+    warpRows<float>(src, out, m, border, value);
+  dst = std::move(out);
+}
+
+}  // namespace simdcv::imgproc

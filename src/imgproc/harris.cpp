@@ -1,0 +1,116 @@
+#include "imgproc/harris.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/array_ops.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/morphology.hpp"
+
+namespace simdcv::imgproc {
+
+void cornerHarris(const Mat& src, Mat& response, int blockSize,
+                  int apertureSize, double k, KernelPath path) {
+  SIMDCV_REQUIRE(!src.empty(), "cornerHarris: empty source");
+  SIMDCV_REQUIRE(src.type() == U8C1, "cornerHarris: u8c1 only");
+  SIMDCV_REQUIRE(blockSize >= 1 && (blockSize & 1), "cornerHarris: odd blockSize");
+  const KernelPath p = resolvePath(path);
+
+  Mat ix, iy;
+  Sobel(src, ix, Depth::F32, 1, 0, apertureSize, 1.0, BorderType::Reflect101, p);
+  Sobel(src, iy, Depth::F32, 0, 1, apertureSize, 1.0, BorderType::Reflect101, p);
+
+  // Structure tensor entries, window-averaged with the box filter.
+  const int rows = src.rows(), cols = src.cols();
+  Mat ixx(rows, cols, F32C1), iyy(rows, cols, F32C1), ixy(rows, cols, F32C1);
+  for (int y = 0; y < rows; ++y) {
+    const float* gx = ix.ptr<float>(y);
+    const float* gy = iy.ptr<float>(y);
+    float* xx = ixx.ptr<float>(y);
+    float* yy = iyy.ptr<float>(y);
+    float* xy = ixy.ptr<float>(y);
+    for (int x = 0; x < cols; ++x) {
+      xx[x] = gx[x] * gx[x];
+      yy[x] = gy[x] * gy[x];
+      xy[x] = gx[x] * gy[x];
+    }
+  }
+  Mat sxx, syy, sxy;
+  boxFilter(ixx, sxx, {blockSize, blockSize}, BorderType::Reflect101, p);
+  boxFilter(iyy, syy, {blockSize, blockSize}, BorderType::Reflect101, p);
+  boxFilter(ixy, sxy, {blockSize, blockSize}, BorderType::Reflect101, p);
+
+  Mat out = std::move(response);
+  out.create(rows, cols, F32C1);
+  const float kf = static_cast<float>(k);
+  for (int y = 0; y < rows; ++y) {
+    const float* a = sxx.ptr<float>(y);
+    const float* b = syy.ptr<float>(y);
+    const float* c = sxy.ptr<float>(y);
+    float* r = out.ptr<float>(y);
+    for (int x = 0; x < cols; ++x) {
+      const float det = a[x] * b[x] - c[x] * c[x];
+      const float tr = a[x] + b[x];
+      r[x] = det - kf * tr * tr;
+    }
+  }
+  response = std::move(out);
+}
+
+std::vector<KeyPoint> harrisCorners(const Mat& src, int maxCorners,
+                                    double qualityLevel, double minDistance,
+                                    KernelPath path) {
+  SIMDCV_REQUIRE(maxCorners >= 1, "harrisCorners: maxCorners >= 1");
+  SIMDCV_REQUIRE(qualityLevel > 0 && qualityLevel <= 1,
+                 "harrisCorners: qualityLevel in (0, 1]");
+  Mat resp;
+  cornerHarris(src, resp, 3, 3, 0.04, path);
+  const auto mm = core::minMaxLoc(resp);
+  const double cutoff = mm.max_val * qualityLevel;
+  if (mm.max_val <= 0) return {};
+
+  // Local maxima above the cutoff.
+  struct Cand {
+    int x, y;
+    float score;
+  };
+  std::vector<Cand> cands;
+  for (int y = 1; y < resp.rows() - 1; ++y) {
+    for (int x = 1; x < resp.cols() - 1; ++x) {
+      const float v = resp.at<float>(y, x);
+      if (v < cutoff) continue;
+      bool isMax = true;
+      for (int dy = -1; dy <= 1 && isMax; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (resp.at<float>(y + dy, x + dx) > v) {
+            isMax = false;
+            break;
+          }
+        }
+      if (isMax) cands.push_back({x, y, v});
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.score > b.score; });
+
+  // Greedy spacing, strongest first.
+  std::vector<KeyPoint> out;
+  const double minD2 = minDistance * minDistance;
+  for (const Cand& c : cands) {
+    bool ok = true;
+    for (const KeyPoint& kp : out) {
+      const double dx = kp.x - c.x, dy = kp.y - c.y;
+      if (dx * dx + dy * dy < minD2) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    out.push_back({c.x, c.y, static_cast<int>(c.score)});
+    if (static_cast<int>(out.size()) >= maxCorners) break;
+  }
+  return out;
+}
+
+}  // namespace simdcv::imgproc

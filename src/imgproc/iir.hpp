@@ -1,0 +1,32 @@
+// First-order IIR (exponential) smoothing across image rows/columns — the
+// recursive-filter workload of the paper's related work ([13]: IIR on NEON
+// up to 2x; [14]: IIR with SIMD extensions 1.5-4.5x).
+//
+// The horizontal pass has a loop-carried dependency (y[n] depends on
+// y[n-1]), so it cannot be vectorized along the row: the SIMD strategy —
+// exactly the one the cited work uses — is to run several independent row
+// recurrences in parallel lanes. The vertical pass has independent columns
+// and vectorizes directly.
+//
+//   y[n] = alpha * x[n] + (1 - alpha) * y[n-1],  y[-1] = x[0]
+#pragma once
+
+#include "core/mat.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::imgproc {
+
+/// Left-to-right exponential smoothing of each row (F32C1).
+void iirSmoothHorizontal(const Mat& src, Mat& dst, float alpha,
+                         KernelPath path = KernelPath::Default);
+
+/// Top-to-bottom exponential smoothing of each column (F32C1).
+void iirSmoothVertical(const Mat& src, Mat& dst, float alpha,
+                       KernelPath path = KernelPath::Default);
+
+/// Symmetric smoothing: horizontal forward+backward then vertical
+/// forward+backward (zero-phase along both axes).
+void iirSmooth2D(const Mat& src, Mat& dst, float alpha,
+                 KernelPath path = KernelPath::Default);
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,148 @@
+// Template matching implementation + SIMD SAD kernels.
+#include "imgproc/match.hpp"
+
+#include <limits>
+
+#include "simd/neon_compat.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace simdcv::imgproc {
+
+namespace sse2 {
+
+std::uint64_t sadRange(const std::uint8_t* a, const std::uint8_t* b,
+                       std::size_t n) {
+#if defined(__SSE2__)
+  std::uint64_t acc = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i sad = _mm_sad_epu8(va, vb);  // two u16 sums in u64 lanes
+    acc += static_cast<std::uint64_t>(_mm_cvtsi128_si64(sad)) +
+           static_cast<std::uint64_t>(
+               _mm_cvtsi128_si64(_mm_srli_si128(sad, 8)));
+  }
+  return acc + autovec::sadRange(a + i, b + i, n - i);
+#else
+  return autovec::sadRange(a, b, n);
+#endif
+}
+
+}  // namespace sse2
+
+namespace neon {
+
+std::uint64_t sadRange(const std::uint8_t* a, const std::uint8_t* b,
+                       std::size_t n) {
+  std::uint64_t acc = 0;
+  std::size_t i = 0;
+  // vabal widens |a-b| into u16 lanes; drain to u32 every 128 blocks so the
+  // u16 accumulators can never wrap (128 * 2 * 255 = 65280 < 65536).
+  while (i + 16 <= n) {
+    uint16x8_t acc16 = vdupq_n_u16(0);
+    int blocks = 0;
+    for (; i + 16 <= n && blocks < 128; i += 16, ++blocks) {
+      const uint8x16_t va = vld1q_u8(a + i);
+      const uint8x16_t vb = vld1q_u8(b + i);
+      acc16 = vabal_u8(acc16, vget_low_u8(va), vget_low_u8(vb));
+      acc16 = vabal_u8(acc16, vget_high_u8(va), vget_high_u8(vb));
+    }
+    const uint32x4_t acc32 = vpaddlq_u16(acc16);
+    acc += static_cast<std::uint64_t>(vgetq_lane_u32(acc32, 0)) +
+           vgetq_lane_u32(acc32, 1) + vgetq_lane_u32(acc32, 2) +
+           vgetq_lane_u32(acc32, 3);
+  }
+  return acc + autovec::sadRange(a + i, b + i, n - i);
+}
+
+}  // namespace neon
+
+namespace {
+
+std::uint64_t sadRow(const std::uint8_t* a, const std::uint8_t* b,
+                     std::size_t n, KernelPath p) {
+  switch (p) {
+    case KernelPath::Avx2:  // PSADBW already saturates the port; reuse SSE2
+    case KernelPath::Sse2: return sse2::sadRange(a, b, n);
+    case KernelPath::Neon: return neon::sadRange(a, b, n);
+    case KernelPath::ScalarNoVec: return novec::sadRange(a, b, n);
+    default: return autovec::sadRange(a, b, n);
+  }
+}
+
+void checkInputs(const Mat& img, const Mat& tmpl, const char* what) {
+  SIMDCV_REQUIRE(!img.empty() && !tmpl.empty(), std::string(what) + ": empty input");
+  SIMDCV_REQUIRE(img.type() == U8C1 && tmpl.type() == U8C1,
+                 std::string(what) + ": u8c1 only");
+  SIMDCV_REQUIRE(tmpl.cols() <= img.cols() && tmpl.rows() <= img.rows(),
+                 std::string(what) + ": template larger than image");
+}
+
+}  // namespace
+
+std::uint64_t sadAt(const Mat& img, const Mat& tmpl, int x, int y,
+                    KernelPath path) {
+  checkInputs(img, tmpl, "sadAt");
+  SIMDCV_REQUIRE(x >= 0 && y >= 0 && x + tmpl.cols() <= img.cols() &&
+                     y + tmpl.rows() <= img.rows(),
+                 "sadAt: window out of range");
+  const KernelPath p = resolvePath(path);
+  std::uint64_t acc = 0;
+  for (int r = 0; r < tmpl.rows(); ++r) {
+    acc += sadRow(img.ptr<std::uint8_t>(y + r) + x, tmpl.ptr<std::uint8_t>(r),
+                  static_cast<std::size_t>(tmpl.cols()), p);
+  }
+  return acc;
+}
+
+void matchTemplateSad(const Mat& img, const Mat& tmpl, Mat& result,
+                      KernelPath path) {
+  checkInputs(img, tmpl, "matchTemplateSad");
+  const KernelPath p = resolvePath(path);
+  const int rw = img.cols() - tmpl.cols() + 1;
+  const int rh = img.rows() - tmpl.rows() + 1;
+  Mat out = std::move(result);
+  out.create(rh, rw, F32C1);
+  for (int y = 0; y < rh; ++y) {
+    float* d = out.ptr<float>(y);
+    for (int x = 0; x < rw; ++x) {
+      std::uint64_t acc = 0;
+      for (int r = 0; r < tmpl.rows(); ++r) {
+        acc += sadRow(img.ptr<std::uint8_t>(y + r) + x,
+                      tmpl.ptr<std::uint8_t>(r),
+                      static_cast<std::size_t>(tmpl.cols()), p);
+      }
+      d[x] = static_cast<float>(acc);
+    }
+  }
+  result = std::move(out);
+}
+
+MatchResult findBestMatch(const Mat& img, const Mat& tmpl, KernelPath path) {
+  checkInputs(img, tmpl, "findBestMatch");
+  const KernelPath p = resolvePath(path);
+  MatchResult best;
+  best.sad = std::numeric_limits<std::uint64_t>::max();
+  for (int y = 0; y + tmpl.rows() <= img.rows(); ++y) {
+    for (int x = 0; x + tmpl.cols() <= img.cols(); ++x) {
+      std::uint64_t acc = 0;
+      for (int r = 0; r < tmpl.rows() && acc < best.sad; ++r) {
+        acc += sadRow(img.ptr<std::uint8_t>(y + r) + x,
+                      tmpl.ptr<std::uint8_t>(r),
+                      static_cast<std::size_t>(tmpl.cols()), p);
+      }
+      if (acc < best.sad) {
+        best.sad = acc;
+        best.x = x;
+        best.y = y;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,48 @@
+// Template matching by sum of absolute differences (SAD) — the workhorse of
+// block-based video motion estimation, and on u8 data the single most
+// SIMD-friendly reduction there is (PSADBW sums 16 absolute differences per
+// instruction; NEON uses the vabal widening ladder).
+#pragma once
+
+#include "core/mat.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::imgproc {
+
+/// SAD between a template and an equally-sized window of `img` at (x, y).
+std::uint64_t sadAt(const Mat& img, const Mat& tmpl, int x, int y,
+                    KernelPath path = KernelPath::Default);
+
+/// Dense SAD map: result(y, x) = SAD of tmpl against img at (x, y).
+/// result size is (img.cols - tmpl.cols + 1) x (img.rows - tmpl.rows + 1),
+/// depth F32 (exact for SAD values below 2^24). U8C1 inputs.
+void matchTemplateSad(const Mat& img, const Mat& tmpl, Mat& result,
+                      KernelPath path = KernelPath::Default);
+
+struct MatchResult {
+  int x = -1, y = -1;
+  std::uint64_t sad = 0;
+};
+/// Best (minimum-SAD) placement of tmpl inside img.
+MatchResult findBestMatch(const Mat& img, const Mat& tmpl,
+                          KernelPath path = KernelPath::Default);
+
+// Per-path flat SAD kernels over n bytes.
+namespace autovec {
+std::uint64_t sadRange(const std::uint8_t* a, const std::uint8_t* b,
+                       std::size_t n);
+}
+namespace novec {
+std::uint64_t sadRange(const std::uint8_t* a, const std::uint8_t* b,
+                       std::size_t n);
+}
+namespace sse2 {
+std::uint64_t sadRange(const std::uint8_t* a, const std::uint8_t* b,
+                       std::size_t n);
+}
+namespace neon {
+std::uint64_t sadRange(const std::uint8_t* a, const std::uint8_t* b,
+                       std::size_t n);
+}
+
+}  // namespace simdcv::imgproc

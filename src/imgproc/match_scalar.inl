@@ -1,0 +1,18 @@
+// Scalar SAD kernel, shared autovec/novec.
+
+#include <cstdlib>
+
+#include "imgproc/match.hpp"
+
+namespace simdcv::imgproc::SIMDCV_SCALAR_NS {
+
+std::uint64_t sadRange(const std::uint8_t* a, const std::uint8_t* b,
+                       std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    acc += static_cast<std::uint64_t>(
+        std::abs(static_cast<int>(a[i]) - static_cast<int>(b[i])));
+  return acc;
+}
+
+}  // namespace simdcv::imgproc::SIMDCV_SCALAR_NS

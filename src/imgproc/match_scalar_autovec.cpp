@@ -1,0 +1,3 @@
+// SAD scalar kernel, auto-vectorized build (paper "AUTO" arm).
+#define SIMDCV_SCALAR_NS autovec
+#include "imgproc/match_scalar.inl"

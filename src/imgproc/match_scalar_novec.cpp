@@ -1,0 +1,3 @@
+// SAD scalar kernel, vectorizer-disabled ablation build.
+#define SIMDCV_SCALAR_NS novec
+#include "imgproc/match_scalar.inl"

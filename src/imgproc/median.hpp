@@ -1,0 +1,17 @@
+// Median filtering — the highest-leverage NEON kernel in the paper's related
+// work (23x for median blur on Tegra 3 [23]), because a 3x3 median is a
+// branch-free min/max sorting network that maps perfectly onto vmin/vmax.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mat.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::imgproc {
+
+/// Median blur of a U8C1 image. ksize must be 3 or 5. Border: replicate.
+void medianBlur(const Mat& src, Mat& dst, int ksize = 3,
+                KernelPath path = KernelPath::Default);
+
+}  // namespace simdcv::imgproc

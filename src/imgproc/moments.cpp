@@ -1,0 +1,93 @@
+#include "imgproc/moments.hpp"
+
+#include <cmath>
+
+namespace simdcv::imgproc {
+
+Moments moments(const Mat& src) {
+  SIMDCV_REQUIRE(!src.empty(), "moments: empty source");
+  SIMDCV_REQUIRE(src.type() == U8C1 || src.type() == F32C1,
+                 "moments: u8c1/f32c1 only");
+  Moments m;
+  for (int y = 0; y < src.rows(); ++y) {
+    // Per-row accumulation of sum x^p I for p = 0..3, then fold y powers:
+    // keeps the inner loop one multiply per power.
+    double r0 = 0, r1 = 0, r2 = 0, r3 = 0;
+    if (src.depth() == Depth::U8) {
+      const std::uint8_t* p = src.ptr<std::uint8_t>(y);
+      for (int x = 0; x < src.cols(); ++x) {
+        const double v = p[x];
+        const double xd = x;
+        r0 += v;
+        r1 += xd * v;
+        r2 += xd * xd * v;
+        r3 += xd * xd * xd * v;
+      }
+    } else {
+      const float* p = src.ptr<float>(y);
+      for (int x = 0; x < src.cols(); ++x) {
+        const double v = p[x];
+        const double xd = x;
+        r0 += v;
+        r1 += xd * v;
+        r2 += xd * xd * v;
+        r3 += xd * xd * xd * v;
+      }
+    }
+    const double yd = y, y2 = yd * yd, y3 = y2 * yd;
+    m.m00 += r0;
+    m.m10 += r1;
+    m.m01 += yd * r0;
+    m.m20 += r2;
+    m.m11 += yd * r1;
+    m.m02 += y2 * r0;
+    m.m30 += r3;
+    m.m21 += yd * r2;
+    m.m12 += y2 * r1;
+    m.m03 += y3 * r0;
+  }
+  if (m.m00 != 0) {
+    const double cx = m.m10 / m.m00;
+    const double cy = m.m01 / m.m00;
+    m.mu20 = m.m20 - cx * m.m10;
+    m.mu11 = m.m11 - cx * m.m01;
+    m.mu02 = m.m02 - cy * m.m01;
+    m.mu30 = m.m30 - 3 * cx * m.m20 + 2 * cx * cx * m.m10;
+    m.mu21 = m.m21 - 2 * cx * m.m11 - cy * m.m20 + 2 * cx * cx * m.m01;
+    m.mu12 = m.m12 - 2 * cy * m.m11 - cx * m.m02 + 2 * cy * cy * m.m10;
+    m.mu03 = m.m03 - 3 * cy * m.m02 + 2 * cy * cy * m.m01;
+    const double s2 = m.m00 * m.m00;
+    const double s3 = s2 * std::sqrt(m.m00);
+    m.nu20 = m.mu20 / s2;
+    m.nu11 = m.mu11 / s2;
+    m.nu02 = m.mu02 / s2;
+    m.nu30 = m.mu30 / s3;
+    m.nu21 = m.mu21 / s3;
+    m.nu12 = m.mu12 / s3;
+    m.nu03 = m.mu03 / s3;
+  }
+  return m;
+}
+
+std::array<double, 7> huMoments(const Moments& m) {
+  const double n20 = m.nu20, n02 = m.nu02, n11 = m.nu11;
+  const double n30 = m.nu30, n21 = m.nu21, n12 = m.nu12, n03 = m.nu03;
+  std::array<double, 7> h{};
+  h[0] = n20 + n02;
+  h[1] = (n20 - n02) * (n20 - n02) + 4 * n11 * n11;
+  h[2] = (n30 - 3 * n12) * (n30 - 3 * n12) + (3 * n21 - n03) * (3 * n21 - n03);
+  h[3] = (n30 + n12) * (n30 + n12) + (n21 + n03) * (n21 + n03);
+  h[4] = (n30 - 3 * n12) * (n30 + n12) *
+             ((n30 + n12) * (n30 + n12) - 3 * (n21 + n03) * (n21 + n03)) +
+         (3 * n21 - n03) * (n21 + n03) *
+             (3 * (n30 + n12) * (n30 + n12) - (n21 + n03) * (n21 + n03));
+  h[5] = (n20 - n02) * ((n30 + n12) * (n30 + n12) - (n21 + n03) * (n21 + n03)) +
+         4 * n11 * (n30 + n12) * (n21 + n03);
+  h[6] = (3 * n21 - n03) * (n30 + n12) *
+             ((n30 + n12) * (n30 + n12) - 3 * (n21 + n03) * (n21 + n03)) -
+         (n30 - 3 * n12) * (n21 + n03) *
+             (3 * (n30 + n12) * (n30 + n12) - (n21 + n03) * (n21 + n03));
+  return h;
+}
+
+}  // namespace simdcv::imgproc

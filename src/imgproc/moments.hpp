@@ -1,0 +1,33 @@
+// Image moments: raw spatial, central, normalized-central, and the seven Hu
+// invariants — shape descriptors downstream of segmentation, with strong
+// analytic test properties (translation/scale/rotation invariance).
+#pragma once
+
+#include <array>
+
+#include "core/mat.hpp"
+
+namespace simdcv::imgproc {
+
+struct Moments {
+  // Raw spatial moments m_pq = sum x^p y^q I(x,y), p+q <= 3.
+  double m00 = 0, m10 = 0, m01 = 0, m20 = 0, m11 = 0, m02 = 0;
+  double m30 = 0, m21 = 0, m12 = 0, m03 = 0;
+  // Central moments mu_pq (about the centroid), p+q in 2..3.
+  double mu20 = 0, mu11 = 0, mu02 = 0, mu30 = 0, mu21 = 0, mu12 = 0, mu03 = 0;
+  // Scale-normalized central moments nu_pq = mu_pq / m00^((p+q)/2 + 1).
+  double nu20 = 0, nu11 = 0, nu02 = 0, nu30 = 0, nu21 = 0, nu12 = 0, nu03 = 0;
+
+  double centroidX() const { return m00 != 0 ? m10 / m00 : 0; }
+  double centroidY() const { return m00 != 0 ? m01 / m00 : 0; }
+};
+
+/// Moments of a U8C1 or F32C1 image (intensity-weighted; pass a binary mask
+/// for shape moments).
+Moments moments(const Mat& src);
+
+/// The seven Hu invariants of a Moments set (rotation/translation/scale
+/// invariant shape descriptors).
+std::array<double, 7> huMoments(const Moments& m);
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,155 @@
+// Morphology implementation: separable running min/max.
+//
+// Horizontal pass: for each output pixel, min/max over a kw window of the
+// (replicate-padded) row. Vertical pass: min/max across kh buffered rows at
+// each column, which vectorizes as a straight lane-wise min/max across row
+// pointers — identical structure to the convolution engine's column pass.
+#include "imgproc/morphology.hpp"
+
+#include <vector>
+
+#include "imgproc/filter.hpp"
+#include "imgproc/kernels.hpp"
+#include "simd/neon_compat.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace simdcv::imgproc {
+
+namespace {
+
+enum class MinMax { Min, Max };
+
+// Lane-wise min/max across kh rows (the vertical pass), per path.
+void verticalMinMax(const std::uint8_t* const* rows, std::uint8_t* out,
+                    int width, int kh, MinMax mode, KernelPath p) {
+  int x = 0;
+#if defined(__SSE2__)
+  if (p == KernelPath::Sse2) {
+    for (; x + 16 <= width; x += 16) {
+      __m128i acc =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[0] + x));
+      for (int r = 1; r < kh; ++r) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[r] + x));
+        acc = mode == MinMax::Min ? _mm_min_epu8(acc, v) : _mm_max_epu8(acc, v);
+      }
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + x), acc);
+    }
+  }
+#endif
+  if (p == KernelPath::Neon) {
+    for (; x + 16 <= width; x += 16) {
+      uint8x16_t acc = vld1q_u8(rows[0] + x);
+      for (int r = 1; r < kh; ++r) {
+        const uint8x16_t v = vld1q_u8(rows[r] + x);
+        acc = mode == MinMax::Min ? vminq_u8(acc, v) : vmaxq_u8(acc, v);
+      }
+      vst1q_u8(out + x, acc);
+    }
+  }
+  for (; x < width; ++x) {
+    std::uint8_t acc = rows[0][x];
+    for (int r = 1; r < kh; ++r) {
+      const std::uint8_t v = rows[r][x];
+      acc = mode == MinMax::Min ? (v < acc ? v : acc) : (v > acc ? v : acc);
+    }
+    out[x] = acc;
+  }
+}
+
+// Horizontal min/max over a kw window of a replicate-padded row.
+void horizontalMinMax(const std::uint8_t* padded, std::uint8_t* out, int width,
+                      int kw, MinMax mode) {
+  for (int i = 0; i < width; ++i) {
+    std::uint8_t acc = padded[i];
+    for (int j = 1; j < kw; ++j) {
+      const std::uint8_t v = padded[i + j];
+      acc = mode == MinMax::Min ? (v < acc ? v : acc) : (v > acc ? v : acc);
+    }
+    out[i] = acc;
+  }
+}
+
+void morphRect(const Mat& src, Mat& dst, Size ksize, MinMax mode,
+               KernelPath path) {
+  SIMDCV_REQUIRE(!src.empty(), "morphology: empty source");
+  SIMDCV_REQUIRE(src.type() == U8C1, "morphology: u8c1 only");
+  SIMDCV_REQUIRE(ksize.width >= 1 && (ksize.width & 1) && ksize.height >= 1 &&
+                     (ksize.height & 1),
+                 "morphology: ksize must be odd and positive");
+  const KernelPath p = resolvePath(path);
+  const int rows = src.rows(), width = src.cols();
+  const int kw = ksize.width, kh = ksize.height;
+  const int rx = kw / 2, ry = kh / 2;
+
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(rows, width, U8C1);
+
+  std::vector<std::uint8_t> padded(static_cast<std::size_t>(width + kw - 1));
+  std::vector<std::uint8_t> ring(static_cast<std::size_t>(kh) *
+                                 static_cast<std::size_t>(width));
+  std::vector<const std::uint8_t*> taps(static_cast<std::size_t>(kh));
+
+  auto slot = [&](int v) {
+    return ring.data() +
+           static_cast<std::size_t>((v + ry) % kh) * static_cast<std::size_t>(width);
+  };
+  auto computeVirtualRow = [&](int v) {
+    const int m = borderInterpolate(v, rows, BorderType::Replicate);
+    const std::uint8_t* s = src.ptr<std::uint8_t>(m);
+    std::memcpy(padded.data() + rx, s, static_cast<std::size_t>(width));
+    for (int j = 0; j < rx; ++j) {
+      padded[static_cast<std::size_t>(j)] = s[0];
+      padded[static_cast<std::size_t>(rx + width + j)] = s[width - 1];
+    }
+    horizontalMinMax(padded.data(), slot(v), width, kw, mode);
+  };
+
+  for (int v = -ry; v < ry; ++v) computeVirtualRow(v);
+  for (int y = 0; y < rows; ++y) {
+    computeVirtualRow(y + ry);
+    for (int r = 0; r < kh; ++r)
+      taps[static_cast<std::size_t>(r)] = slot(y - ry + r);
+    verticalMinMax(taps.data(), out.ptr<std::uint8_t>(y), width, kh, mode, p);
+  }
+  dst = std::move(out);
+}
+
+}  // namespace
+
+void erode(const Mat& src, Mat& dst, Size ksize, KernelPath path) {
+  morphRect(src, dst, ksize, MinMax::Min, path);
+}
+
+void dilate(const Mat& src, Mat& dst, Size ksize, KernelPath path) {
+  morphRect(src, dst, ksize, MinMax::Max, path);
+}
+
+void morphOpen(const Mat& src, Mat& dst, Size ksize, KernelPath path) {
+  Mat tmp;
+  erode(src, tmp, ksize, path);
+  dilate(tmp, dst, ksize, path);
+}
+
+void morphClose(const Mat& src, Mat& dst, Size ksize, KernelPath path) {
+  Mat tmp;
+  dilate(src, tmp, ksize, path);
+  erode(tmp, dst, ksize, path);
+}
+
+void boxFilter(const Mat& src, Mat& dst, Size ksize, BorderType border,
+               KernelPath path) {
+  SIMDCV_REQUIRE(ksize.width >= 1 && (ksize.width & 1) && ksize.height >= 1 &&
+                     (ksize.height & 1),
+                 "boxFilter: ksize must be odd and positive");
+  const std::vector<float> kx(static_cast<std::size_t>(ksize.width),
+                              1.0f / static_cast<float>(ksize.width));
+  const std::vector<float> ky(static_cast<std::size_t>(ksize.height),
+                              1.0f / static_cast<float>(ksize.height));
+  sepFilter2D(src, dst, src.depth(), kx, ky, border, 0.0, path);
+}
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,24 @@
+// Image resizing (nearest neighbour and bilinear) — another routine the
+// paper's related work reports large NEON gains for (7.6x on Tegra 3 [23]).
+//
+// Bilinear follows OpenCV's INTER_LINEAR sampling: source coordinate
+// sx = (dx + 0.5) * scale - 0.5, with edge clamping. U8 uses fixed-point
+// weights (11 bits, like OpenCV's resize) so all paths are bit-exact; F32
+// interpolates in float.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mat.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::imgproc {
+
+enum class Interp : std::uint8_t { Nearest, Linear };
+
+/// Resize src to `dsize` (both dimensions > 0). U8 C1/C3 and F32 C1.
+void resize(const Mat& src, Mat& dst, Size dsize,
+            Interp interp = Interp::Linear,
+            KernelPath path = KernelPath::Default);
+
+}  // namespace simdcv::imgproc

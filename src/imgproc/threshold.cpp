@@ -1,0 +1,125 @@
+// Threshold dispatch: quantizes thresh/maxval per depth (OpenCV semantics),
+// resolves the kernel path, and iterates Mat rows.
+#include "imgproc/threshold.hpp"
+
+#include "core/saturate.hpp"
+
+namespace simdcv::imgproc {
+
+const char* toString(ThresholdType t) noexcept {
+  switch (t) {
+    case ThresholdType::Binary: return "binary";
+    case ThresholdType::BinaryInv: return "binary-inv";
+    case ThresholdType::Trunc: return "trunc";
+    case ThresholdType::ToZero: return "tozero";
+    case ThresholdType::ToZeroInv: return "tozero-inv";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T, typename Fn>
+void forEachRow(const Mat& src, Mat& dst, Fn fn) {
+  const std::size_t n = static_cast<std::size_t>(src.cols()) * src.channels();
+  if (src.isContinuous() && dst.isContinuous()) {
+    fn(src.ptr<T>(0), dst.ptr<T>(0), n * src.rows());
+  } else {
+    for (int r = 0; r < src.rows(); ++r) fn(src.ptr<T>(r), dst.ptr<T>(r), n);
+  }
+}
+
+}  // namespace
+
+double threshold(const Mat& src, Mat& dst, double thresh, double maxval,
+                 ThresholdType type, KernelPath path) {
+  SIMDCV_REQUIRE(!src.empty(), "threshold: empty source");
+  SIMDCV_REQUIRE(src.depth() == Depth::U8 || src.depth() == Depth::S16 ||
+                     src.depth() == Depth::F32,
+                 "threshold: supported depths are u8, s16, f32");
+  const KernelPath p = resolvePath(path);
+  // Element-wise op: in-place (dst aliasing src) is safe.
+  Mat out = std::move(dst);
+  out.create(src.rows(), src.cols(), src.type());
+
+  switch (src.depth()) {
+    case Depth::U8: {
+      // OpenCV quantization: floor the threshold, round+saturate maxval.
+      const int it = cvFloor(thresh);
+      const std::uint8_t imax = saturate_cast<std::uint8_t>(cvRound(maxval));
+      // Degenerate thresholds: when it < 0 every pixel compares greater, when
+      // it >= 255 none does — collapse to a fill or a copy (as OpenCV does).
+      if (it < 0 || it >= 255) {
+        const bool noneAbove = it >= 255;
+        enum class Act { Fill, Copy } act = Act::Fill;
+        std::uint8_t fill = 0;
+        switch (type) {
+          case ThresholdType::Binary: fill = noneAbove ? 0 : imax; break;
+          case ThresholdType::BinaryInv: fill = noneAbove ? imax : 0; break;
+          case ThresholdType::Trunc:
+            // all above: dst = saturate(thresh) = 0; none above: dst = src
+            if (noneAbove) act = Act::Copy;
+            break;
+          case ThresholdType::ToZero:
+            if (!noneAbove) act = Act::Copy;
+            break;
+          case ThresholdType::ToZeroInv:
+            if (noneAbove) act = Act::Copy;
+            break;
+        }
+        if (act == Act::Copy) src.copyTo(out);
+        else out.setTo(fill);
+        dst = std::move(out);
+        return it;
+      }
+      const std::uint8_t t8 = saturate_cast<std::uint8_t>(it);
+      forEachRow<std::uint8_t>(src, out, [&](const std::uint8_t* s,
+                                             std::uint8_t* d, std::size_t n) {
+        switch (p) {
+          case KernelPath::Avx2: avx2::threshU8(s, d, n, t8, imax, type); break;
+          case KernelPath::Sse2: sse2::threshU8(s, d, n, t8, imax, type); break;
+          case KernelPath::Neon: neon::threshU8(s, d, n, t8, imax, type); break;
+          case KernelPath::ScalarNoVec:
+            novec::threshU8(s, d, n, t8, imax, type);
+            break;
+          default: autovec::threshU8(s, d, n, t8, imax, type); break;
+        }
+      });
+      dst = std::move(out);
+      return it;
+    }
+    case Depth::S16: {
+      const std::int16_t t16 = saturate_cast<std::int16_t>(cvFloor(thresh));
+      const std::int16_t imax = saturate_cast<std::int16_t>(cvRound(maxval));
+      forEachRow<std::int16_t>(src, out, [&](const std::int16_t* s,
+                                             std::int16_t* d, std::size_t n) {
+        if (p == KernelPath::ScalarNoVec)
+          novec::threshS16(s, d, n, t16, imax, type);
+        else
+          autovec::threshS16(s, d, n, t16, imax, type);
+      });
+      dst = std::move(out);
+      return t16;
+    }
+    case Depth::F32:
+    default: {
+      const float tf = static_cast<float>(thresh);
+      const float mf = static_cast<float>(maxval);
+      forEachRow<float>(src, out, [&](const float* s, float* d, std::size_t n) {
+        switch (p) {
+          case KernelPath::Avx2: avx2::threshF32(s, d, n, tf, mf, type); break;
+          case KernelPath::Sse2: sse2::threshF32(s, d, n, tf, mf, type); break;
+          case KernelPath::Neon: neon::threshF32(s, d, n, tf, mf, type); break;
+          case KernelPath::ScalarNoVec:
+            novec::threshF32(s, d, n, tf, mf, type);
+            break;
+          default: autovec::threshF32(s, d, n, tf, mf, type); break;
+        }
+      });
+      dst = std::move(out);
+      return thresh;
+    }
+  }
+}
+
+}  // namespace simdcv::imgproc

@@ -1,0 +1,74 @@
+// Hand-written AVX2 threshold kernels (32 bytes / 8 floats per iteration).
+#include "imgproc/threshold.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace simdcv::imgproc::avx2 {
+
+void threshU8(const std::uint8_t* src, std::uint8_t* dst, std::size_t n,
+              std::uint8_t thresh, std::uint8_t maxval, ThresholdType type) {
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  const __m256i vthresh = _mm256_set1_epi8(static_cast<char>(thresh));
+  const __m256i vthresh_b = _mm256_xor_si256(vthresh, bias);
+  const __m256i vmax = _mm256_set1_epi8(static_cast<char>(maxval));
+  std::size_t x = 0;
+  for (; x + 32 <= n; x += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + x));
+    const __m256i gt = _mm256_cmpgt_epi8(_mm256_xor_si256(v, bias), vthresh_b);
+    __m256i r;
+    switch (type) {
+      case ThresholdType::Binary: r = _mm256_and_si256(gt, vmax); break;
+      case ThresholdType::BinaryInv: r = _mm256_andnot_si256(gt, vmax); break;
+      case ThresholdType::Trunc: r = _mm256_min_epu8(v, vthresh); break;
+      case ThresholdType::ToZero: r = _mm256_and_si256(gt, v); break;
+      case ThresholdType::ToZeroInv: r = _mm256_andnot_si256(gt, v); break;
+      default: r = v; break;
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + x), r);
+  }
+  if (x < n) sse2::threshU8(src + x, dst + x, n - x, thresh, maxval, type);
+}
+
+void threshF32(const float* src, float* dst, std::size_t n, float thresh,
+               float maxval, ThresholdType type) {
+  const __m256 vthresh = _mm256_set1_ps(thresh);
+  const __m256 vmax = _mm256_set1_ps(maxval);
+  std::size_t x = 0;
+  for (; x + 8 <= n; x += 8) {
+    const __m256 v = _mm256_loadu_ps(src + x);
+    const __m256 gt = _mm256_cmp_ps(v, vthresh, _CMP_GT_OQ);
+    __m256 r;
+    switch (type) {
+      case ThresholdType::Binary: r = _mm256_and_ps(gt, vmax); break;
+      case ThresholdType::BinaryInv: r = _mm256_andnot_ps(gt, vmax); break;
+      case ThresholdType::Trunc:
+        r = _mm256_or_ps(_mm256_and_ps(gt, vthresh), _mm256_andnot_ps(gt, v));
+        break;
+      case ThresholdType::ToZero: r = _mm256_and_ps(gt, v); break;
+      case ThresholdType::ToZeroInv: r = _mm256_andnot_ps(gt, v); break;
+      default: r = v; break;
+    }
+    _mm256_storeu_ps(dst + x, r);
+  }
+  if (x < n) sse2::threshF32(src + x, dst + x, n - x, thresh, maxval, type);
+}
+
+}  // namespace simdcv::imgproc::avx2
+
+#else
+
+namespace simdcv::imgproc::avx2 {
+void threshU8(const std::uint8_t* src, std::uint8_t* dst, std::size_t n,
+              std::uint8_t thresh, std::uint8_t maxval, ThresholdType type) {
+  sse2::threshU8(src, dst, n, thresh, maxval, type);
+}
+void threshF32(const float* src, float* dst, std::size_t n, float thresh,
+               float maxval, ThresholdType type) {
+  sse2::threshF32(src, dst, n, thresh, maxval, type);
+}
+}  // namespace simdcv::imgproc::avx2
+
+#endif

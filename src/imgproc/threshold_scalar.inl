@@ -1,0 +1,50 @@
+// Scalar threshold kernels, shared between the autovec and novec TUs.
+// The including TU defines SIMDCV_SCALAR_NS. These are the straight loops
+// (Algorithm 1 in the paper) that the compiler is invited to vectorize.
+
+#include "imgproc/threshold.hpp"
+
+namespace simdcv::imgproc::SIMDCV_SCALAR_NS {
+
+namespace {
+
+template <typename T>
+void threshLoop(const T* src, T* dst, std::size_t n, T thresh, T maxval,
+                ThresholdType type) {
+  switch (type) {
+    case ThresholdType::Binary:
+      for (std::size_t x = 0; x < n; ++x) dst[x] = src[x] > thresh ? maxval : T{0};
+      break;
+    case ThresholdType::BinaryInv:
+      for (std::size_t x = 0; x < n; ++x) dst[x] = src[x] > thresh ? T{0} : maxval;
+      break;
+    case ThresholdType::Trunc:
+      for (std::size_t x = 0; x < n; ++x) dst[x] = src[x] > thresh ? thresh : src[x];
+      break;
+    case ThresholdType::ToZero:
+      for (std::size_t x = 0; x < n; ++x) dst[x] = src[x] > thresh ? src[x] : T{0};
+      break;
+    case ThresholdType::ToZeroInv:
+      for (std::size_t x = 0; x < n; ++x) dst[x] = src[x] > thresh ? T{0} : src[x];
+      break;
+  }
+}
+
+}  // namespace
+
+void threshU8(const std::uint8_t* src, std::uint8_t* dst, std::size_t n,
+              std::uint8_t thresh, std::uint8_t maxval, ThresholdType type) {
+  threshLoop(src, dst, n, thresh, maxval, type);
+}
+
+void threshS16(const std::int16_t* src, std::int16_t* dst, std::size_t n,
+               std::int16_t thresh, std::int16_t maxval, ThresholdType type) {
+  threshLoop(src, dst, n, thresh, maxval, type);
+}
+
+void threshF32(const float* src, float* dst, std::size_t n, float thresh,
+               float maxval, ThresholdType type) {
+  threshLoop(src, dst, n, thresh, maxval, type);
+}
+
+}  // namespace simdcv::imgproc::SIMDCV_SCALAR_NS

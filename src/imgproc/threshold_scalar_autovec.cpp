@@ -1,0 +1,3 @@
+// Threshold scalar kernels, auto-vectorized build (paper "AUTO" arm).
+#define SIMDCV_SCALAR_NS autovec
+#include "imgproc/threshold_scalar.inl"

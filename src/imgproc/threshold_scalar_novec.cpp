@@ -1,0 +1,3 @@
+// Threshold scalar kernels, vectorizer-disabled ablation build.
+#define SIMDCV_SCALAR_NS novec
+#include "imgproc/threshold_scalar.inl"

@@ -1,0 +1,78 @@
+// Hand-written SSE2 threshold kernels (paper "HAND" arm, Intel).
+//
+// U8 has no unsigned compare in SSE2, so operands are biased by 0x80 and
+// compared signed — the standard OpenCV trick. F32 uses cmpgt + bit select.
+#include "imgproc/threshold.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace simdcv::imgproc::sse2 {
+
+void threshU8(const std::uint8_t* src, std::uint8_t* dst, std::size_t n,
+              std::uint8_t thresh, std::uint8_t maxval, ThresholdType type) {
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  const __m128i vthresh = _mm_set1_epi8(static_cast<char>(thresh));
+  const __m128i vthresh_b = _mm_xor_si128(vthresh, bias);
+  const __m128i vmax = _mm_set1_epi8(static_cast<char>(maxval));
+  std::size_t x = 0;
+  for (; x + 16 <= n; x += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + x));
+    const __m128i gt = _mm_cmpgt_epi8(_mm_xor_si128(v, bias), vthresh_b);
+    __m128i r;
+    switch (type) {
+      case ThresholdType::Binary: r = _mm_and_si128(gt, vmax); break;
+      case ThresholdType::BinaryInv: r = _mm_andnot_si128(gt, vmax); break;
+      case ThresholdType::Trunc: r = _mm_min_epu8(v, vthresh); break;
+      case ThresholdType::ToZero: r = _mm_and_si128(gt, v); break;
+      case ThresholdType::ToZeroInv: r = _mm_andnot_si128(gt, v); break;
+      default: r = v; break;
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + x), r);
+  }
+  if (x < n) autovec::threshU8(src + x, dst + x, n - x, thresh, maxval, type);
+}
+
+void threshF32(const float* src, float* dst, std::size_t n, float thresh,
+               float maxval, ThresholdType type) {
+  const __m128 vthresh = _mm_set1_ps(thresh);
+  const __m128 vmax = _mm_set1_ps(maxval);
+  std::size_t x = 0;
+  for (; x + 4 <= n; x += 4) {
+    const __m128 v = _mm_loadu_ps(src + x);
+    const __m128 gt = _mm_cmpgt_ps(v, vthresh);
+    __m128 r;
+    switch (type) {
+      case ThresholdType::Binary: r = _mm_and_ps(gt, vmax); break;
+      case ThresholdType::BinaryInv: r = _mm_andnot_ps(gt, vmax); break;
+      case ThresholdType::Trunc:
+        // NaN must pass through unchanged (scalar: NaN > t is false -> src).
+        r = _mm_or_ps(_mm_and_ps(gt, vthresh), _mm_andnot_ps(gt, v));
+        break;
+      case ThresholdType::ToZero: r = _mm_and_ps(gt, v); break;
+      case ThresholdType::ToZeroInv: r = _mm_andnot_ps(gt, v); break;
+      default: r = v; break;
+    }
+    _mm_storeu_ps(dst + x, r);
+  }
+  if (x < n) autovec::threshF32(src + x, dst + x, n - x, thresh, maxval, type);
+}
+
+}  // namespace simdcv::imgproc::sse2
+
+#else
+
+namespace simdcv::imgproc::sse2 {
+void threshU8(const std::uint8_t* src, std::uint8_t* dst, std::size_t n,
+              std::uint8_t thresh, std::uint8_t maxval, ThresholdType type) {
+  autovec::threshU8(src, dst, n, thresh, maxval, type);
+}
+void threshF32(const float* src, float* dst, std::size_t n, float thresh,
+               float maxval, ThresholdType type) {
+  autovec::threshF32(src, dst, n, thresh, maxval, type);
+}
+}  // namespace simdcv::imgproc::sse2
+
+#endif

@@ -1,0 +1,161 @@
+// Uncompressed Windows BMP reader/writer (BITMAPINFOHEADER).
+//
+// Layouts handled: 8-bit palettized (written with a grayscale palette),
+// 24-bit BGR and 32-bit BGRA (alpha dropped on read). Rows are stored
+// bottom-up with 4-byte padding, per the format.
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "io/image_io.hpp"
+
+namespace simdcv::io {
+
+namespace {
+
+void putU16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void putU32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+std::uint16_t getU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t getU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+constexpr std::size_t kFileHeaderSize = 14;
+constexpr std::size_t kInfoHeaderSize = 40;
+
+}  // namespace
+
+void writeBmp(const std::string& path, const Mat& img) {
+  SIMDCV_REQUIRE(!img.empty(), "writeBmp: empty image");
+  SIMDCV_REQUIRE(img.depth() == Depth::U8 &&
+                     (img.channels() == 1 || img.channels() == 3),
+                 "writeBmp: image must be u8c1 or u8c3");
+  const int w = img.cols();
+  const int h = img.rows();
+  const bool gray = img.channels() == 1;
+  const std::size_t bpp = gray ? 1 : 3;
+  const std::size_t rowBytes = (static_cast<std::size_t>(w) * bpp + 3) / 4 * 4;
+  const std::size_t paletteBytes = gray ? 256 * 4 : 0;
+  const std::size_t dataOffset = kFileHeaderSize + kInfoHeaderSize + paletteBytes;
+  const std::size_t fileSize = dataOffset + rowBytes * static_cast<std::size_t>(h);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(fileSize);
+  // BITMAPFILEHEADER
+  out.push_back('B');
+  out.push_back('M');
+  putU32(out, static_cast<std::uint32_t>(fileSize));
+  putU32(out, 0);  // reserved
+  putU32(out, static_cast<std::uint32_t>(dataOffset));
+  // BITMAPINFOHEADER
+  putU32(out, kInfoHeaderSize);
+  putU32(out, static_cast<std::uint32_t>(w));
+  putU32(out, static_cast<std::uint32_t>(h));  // positive: bottom-up
+  putU16(out, 1);                              // planes
+  putU16(out, gray ? 8 : 24);
+  putU32(out, 0);  // BI_RGB, no compression
+  putU32(out, static_cast<std::uint32_t>(rowBytes * static_cast<std::size_t>(h)));
+  putU32(out, 2835);  // 72 DPI
+  putU32(out, 2835);
+  putU32(out, gray ? 256 : 0);  // palette entries
+  putU32(out, 0);               // important colors
+  if (gray) {
+    for (int i = 0; i < 256; ++i) {
+      out.push_back(static_cast<std::uint8_t>(i));  // B
+      out.push_back(static_cast<std::uint8_t>(i));  // G
+      out.push_back(static_cast<std::uint8_t>(i));  // R
+      out.push_back(0);
+    }
+  }
+  std::vector<std::uint8_t> row(rowBytes, 0);
+  for (int y = h - 1; y >= 0; --y) {
+    std::memcpy(row.data(), img.ptr<std::uint8_t>(y),
+                static_cast<std::size_t>(w) * bpp);
+    out.insert(out.end(), row.begin(), row.end());
+  }
+
+  std::ofstream f(path, std::ios::binary);
+  SIMDCV_REQUIRE(f.good(), "writeBmp: cannot open " + path);
+  f.write(reinterpret_cast<const char*>(out.data()),
+          static_cast<std::streamsize>(out.size()));
+  SIMDCV_REQUIRE(f.good(), "writeBmp: write failed for " + path);
+}
+
+Mat readBmp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  SIMDCV_REQUIRE(f.good(), "readBmp: cannot open " + path);
+  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(f)),
+                                std::istreambuf_iterator<char>());
+  SIMDCV_REQUIRE(buf.size() >= kFileHeaderSize + kInfoHeaderSize,
+                 "readBmp: truncated header in " + path);
+  SIMDCV_REQUIRE(buf[0] == 'B' && buf[1] == 'M', "readBmp: not a BMP: " + path);
+  const std::uint32_t dataOffset = getU32(&buf[10]);
+  const std::uint32_t infoSize = getU32(&buf[14]);
+  SIMDCV_REQUIRE(infoSize >= kInfoHeaderSize, "readBmp: unsupported header");
+  const std::int32_t w = static_cast<std::int32_t>(getU32(&buf[18]));
+  std::int32_t h = static_cast<std::int32_t>(getU32(&buf[22]));
+  const bool topDown = h < 0;
+  if (topDown) h = -h;
+  const std::uint16_t bits = getU16(&buf[28]);
+  const std::uint32_t compression = getU32(&buf[30]);
+  SIMDCV_REQUIRE(compression == 0, "readBmp: compressed BMP unsupported");
+  SIMDCV_REQUIRE(bits == 8 || bits == 24 || bits == 32,
+                 "readBmp: unsupported bit depth");
+  SIMDCV_REQUIRE(w > 0 && h > 0, "readBmp: bad dimensions");
+
+  const std::size_t bpp = bits / 8;
+  const std::size_t rowBytes = (static_cast<std::size_t>(w) * bpp + 3) / 4 * 4;
+  SIMDCV_REQUIRE(buf.size() >= dataOffset + rowBytes * static_cast<std::size_t>(h),
+                 "readBmp: truncated pixel data");
+
+  // Palette (for 8-bit): detect a pure grayscale ramp -> U8C1; otherwise
+  // expand through the palette to U8C3.
+  const std::uint8_t* palette = nullptr;
+  bool grayPalette = false;
+  if (bits == 8) {
+    palette = &buf[kFileHeaderSize + infoSize];
+    grayPalette = true;
+    for (int i = 0; i < 256 && grayPalette; ++i) {
+      const std::uint8_t* e = palette + 4 * i;
+      grayPalette = (e[0] == i && e[1] == i && e[2] == i);
+    }
+  }
+
+  Mat img(h, w,
+          bits == 8 && grayPalette ? U8C1 : U8C3);
+  for (int y = 0; y < h; ++y) {
+    const int srcY = topDown ? y : (h - 1 - y);
+    const std::uint8_t* srow = &buf[dataOffset + rowBytes * static_cast<std::size_t>(srcY)];
+    std::uint8_t* drow = img.ptr<std::uint8_t>(y);
+    if (bits == 8 && grayPalette) {
+      std::memcpy(drow, srow, static_cast<std::size_t>(w));
+    } else if (bits == 8) {
+      for (int x = 0; x < w; ++x) {
+        const std::uint8_t* e = palette + 4 * srow[x];
+        drow[3 * x] = e[0];
+        drow[3 * x + 1] = e[1];
+        drow[3 * x + 2] = e[2];
+      }
+    } else if (bits == 24) {
+      std::memcpy(drow, srow, static_cast<std::size_t>(w) * 3);
+    } else {  // 32-bit BGRA -> BGR
+      for (int x = 0; x < w; ++x) {
+        drow[3 * x] = srow[4 * x];
+        drow[3 * x + 1] = srow[4 * x + 1];
+        drow[3 * x + 2] = srow[4 * x + 2];
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace simdcv::io

@@ -1,0 +1,30 @@
+// Minimal image file I/O: uncompressed BMP (the paper's test-image format)
+// and PGM/PPM. Grayscale U8C1 and interleaved BGR U8C3 images are supported.
+#pragma once
+
+#include <string>
+
+#include "core/mat.hpp"
+
+namespace simdcv::io {
+
+/// Write `img` (U8C1 or U8C3) as an uncompressed Windows BMP
+/// (8-bit palettized for C1, 24-bit BGR for C3). Throws simdcv::Error on
+/// failure.
+void writeBmp(const std::string& path, const Mat& img);
+
+/// Read an uncompressed 8-bit palettized or 24/32-bit BMP. Returns U8C1 for
+/// paletted grayscale files, U8C3 otherwise.
+Mat readBmp(const std::string& path);
+
+/// Write binary PGM (U8C1) or PPM (U8C3).
+void writePnm(const std::string& path, const Mat& img);
+
+/// Read binary PGM/PPM (maxval <= 255).
+Mat readPnm(const std::string& path);
+
+/// Dispatch on extension: .bmp, .pgm, .ppm, .pnm.
+void writeImage(const std::string& path, const Mat& img);
+Mat readImage(const std::string& path);
+
+}  // namespace simdcv::io

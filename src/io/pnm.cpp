@@ -1,0 +1,107 @@
+// Binary PGM (P5) / PPM (P6) reader and writer, plus the extension-dispatch
+// entry points.
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "io/image_io.hpp"
+
+namespace simdcv::io {
+
+void writePnm(const std::string& path, const Mat& img) {
+  SIMDCV_REQUIRE(!img.empty(), "writePnm: empty image");
+  SIMDCV_REQUIRE(img.depth() == Depth::U8 &&
+                     (img.channels() == 1 || img.channels() == 3),
+                 "writePnm: image must be u8c1 or u8c3");
+  std::ofstream f(path, std::ios::binary);
+  SIMDCV_REQUIRE(f.good(), "writePnm: cannot open " + path);
+  const bool gray = img.channels() == 1;
+  f << (gray ? "P5" : "P6") << "\n"
+    << img.cols() << " " << img.rows() << "\n255\n";
+  const std::size_t rowBytes =
+      static_cast<std::size_t>(img.cols()) * img.channels();
+  for (int y = 0; y < img.rows(); ++y)
+    f.write(reinterpret_cast<const char*>(img.ptr<std::uint8_t>(y)),
+            static_cast<std::streamsize>(rowBytes));
+  SIMDCV_REQUIRE(f.good(), "writePnm: write failed for " + path);
+}
+
+namespace {
+
+int nextToken(std::istream& in) {
+  // Skip whitespace and '#' comments, then parse a decimal integer.
+  int c = in.get();
+  while (c != EOF) {
+    if (c == '#') {
+      while (c != EOF && c != '\n') c = in.get();
+    } else if (!std::isspace(c)) {
+      break;
+    } else {
+      c = in.get();
+    }
+  }
+  SIMDCV_REQUIRE(c != EOF, "readPnm: truncated header");
+  int v = 0;
+  while (c != EOF && std::isdigit(c)) {
+    v = v * 10 + (c - '0');
+    c = in.get();
+  }
+  return v;
+}
+
+}  // namespace
+
+Mat readPnm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  SIMDCV_REQUIRE(f.good(), "readPnm: cannot open " + path);
+  char magic[2] = {};
+  f.read(magic, 2);
+  SIMDCV_REQUIRE(magic[0] == 'P' && (magic[1] == '5' || magic[1] == '6'),
+                 "readPnm: unsupported magic in " + path);
+  const bool gray = magic[1] == '5';
+  const int w = nextToken(f);
+  const int h = nextToken(f);
+  const int maxval = nextToken(f);
+  SIMDCV_REQUIRE(w > 0 && h > 0, "readPnm: bad dimensions");
+  SIMDCV_REQUIRE(maxval > 0 && maxval <= 255, "readPnm: maxval must be <=255");
+  Mat img(h, w, gray ? U8C1 : U8C3);
+  const std::size_t rowBytes = static_cast<std::size_t>(w) * img.channels();
+  for (int y = 0; y < h; ++y) {
+    f.read(reinterpret_cast<char*>(img.ptr<std::uint8_t>(y)),
+           static_cast<std::streamsize>(rowBytes));
+    SIMDCV_REQUIRE(f.good(), "readPnm: truncated pixel data");
+  }
+  return img;
+}
+
+namespace {
+
+std::string lowerExt(const std::string& path) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos) return {};
+  std::string e = path.substr(dot + 1);
+  for (char& c : e) c = static_cast<char>(std::tolower(c));
+  return e;
+}
+
+}  // namespace
+
+void writeImage(const std::string& path, const Mat& img) {
+  const std::string e = lowerExt(path);
+  if (e == "bmp") {
+    writeBmp(path, img);
+  } else if (e == "pgm" || e == "ppm" || e == "pnm") {
+    writePnm(path, img);
+  } else {
+    throw Error("writeImage: unsupported extension ." + e);
+  }
+}
+
+Mat readImage(const std::string& path) {
+  const std::string e = lowerExt(path);
+  if (e == "bmp") return readBmp(path);
+  if (e == "pgm" || e == "ppm" || e == "pnm") return readPnm(path);
+  throw Error("readImage: unsupported extension ." + e);
+}
+
+}  // namespace simdcv::io

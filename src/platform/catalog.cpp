@@ -1,0 +1,193 @@
+// The paper's Table I platform catalog, plus calibration.
+//
+// Descriptive fields are transcribed from Table I. Model parameters
+// (scalar_ipc, simd_ipc, mem_bw_gbs) are order-of-magnitude figures for the
+// microarchitectures involved:
+//   * in-order cores (Atom Bonnell, Cortex-A8) sustain < 1 IPC on this code;
+//   * out-of-order cores (Core2, Sandy/Ivy Bridge, Cortex-A9) sustain 1-2.3;
+//   * Cortex-A8/A9 NEON is a 64-bit datapath, so a 128-bit op costs ~2
+//     cycles (simd_ipc ~ 0.4-0.5) while Intel executes full 128-bit SSE ops
+//     (simd_ipc ~ 1.2-1.7);
+//   * memory bandwidth follows the DDR generation in Table I.
+//
+// The auto-vectorizer efficiencies are CALIBRATED: each platform carries the
+// HAND/AUTO speedup the paper reports (or, where the scanned tables are
+// unreadable, a value interpolated inside the figure's published range —
+// marked "interp"), and calibrate() inverts the cost model so the simulated
+// 8-mpx speedup reproduces it. Absolute times remain a model output.
+#include <cmath>
+
+#include "platform/platform.hpp"
+
+namespace simdcv::platform {
+
+namespace {
+
+constexpr Size k8mpx{3264, 2448};
+
+// Invert simulate() for autovec_eff by bisection (speedup is monotonically
+// decreasing in eff). Returns eff achieving `target`, clamped to [0,1].
+double calibrateEff(PlatformSpec p, BenchKernel k, double target) {
+  const int ki = static_cast<int>(k);
+  auto speedupAt = [&](double eff) {
+    p.autovec_eff[ki] = eff;
+    return simulate(p, k, k8mpx).speedup();
+  };
+  if (target >= speedupAt(0.0)) return 0.0;
+  if (target <= speedupAt(1.0)) return 1.0;
+  double lo = 0.0, hi = 1.0;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (speedupAt(mid) > target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+struct SpecAndTargets {
+  PlatformSpec spec;
+  // Target HAND/AUTO speedups per kernel: {cvt, thresh, gauss, sobel, edge}.
+  std::array<double, kBenchKernelCount> target;
+};
+
+std::vector<SpecAndTargets> rawCatalog() {
+  std::vector<SpecAndTargets> v;
+
+  // ---- Intel ---------------------------------------------------------------
+  // Published anchors: conversion speedup 5.27 (Atom) and 1.34 (Core 2);
+  // Intel overall range 1.34–5.54 with "slightly greater" benefit and higher
+  // variability than ARM (Sections IV, VI).
+  v.push_back({{.name = "Intel Atom D510", .codename = "Pineview",
+                .launched = "Q1'10", .isa = "x86 (CISC)",
+                .simd_ext = "SSE2/SSE3", .memory = "4GB DDR2",
+                .threads = 4, .cores = 2, .ghz = 1.66,
+                .l1_kb = 24, .l2_kb = 1024, .l3_kb = 0,
+                .in_order = true, .is_arm = false,
+                .scalar_ipc = 0.8, .simd_ipc = 0.6, .mem_bw_gbs = 3.0,
+                .tdp_watts = 13.0, .linpack_dp_gflops = 2.0},
+               {5.27, 4.5, 2.9, 3.0, 2.4}});  // cvt published; rest interp
+  v.push_back({{.name = "Intel Core 2 Quad Q9400", .codename = "Yorkfield",
+                .launched = "Q3'08", .isa = "x86 (CISC)",
+                .simd_ext = "SSE*", .memory = "8GB DDR3",
+                .threads = 4, .cores = 4, .ghz = 2.66,
+                .l1_kb = 32, .l2_kb = 3072, .l3_kb = 0,
+                .in_order = false, .is_arm = false,
+                .scalar_ipc = 1.8, .simd_ipc = 1.2, .mem_bw_gbs = 6.0,
+                .tdp_watts = 95.0, .linpack_dp_gflops = 38.0},
+               {1.34, 1.9, 1.8, 2.0, 1.6}});  // cvt published; rest interp
+  v.push_back({{.name = "Intel Core i7 2820QM", .codename = "Sandy Bridge",
+                .launched = "Q1'11", .isa = "x86 (CISC)",
+                .simd_ext = "SSE*/AVX", .memory = "8GB DDR3",
+                .threads = 8, .cores = 4, .ghz = 2.3,
+                .l1_kb = 32, .l2_kb = 256, .l3_kb = 8192,
+                .in_order = false, .is_arm = false,
+                .scalar_ipc = 2.2, .simd_ipc = 1.6, .mem_bw_gbs = 12.0,
+                .tdp_watts = 45.0, .linpack_dp_gflops = 42.0},
+               {3.0, 2.6, 2.4, 2.6, 2.0}});  // interp within fig ranges
+  v.push_back({{.name = "Intel Core i5 3360M", .codename = "Ivy Bridge",
+                .launched = "Q2'12", .isa = "x86 (CISC)",
+                .simd_ext = "SSE*/AVX", .memory = "16GB DDR3",
+                .threads = 4, .cores = 2, .ghz = 2.8,
+                .l1_kb = 32, .l2_kb = 256, .l3_kb = 3072,
+                .in_order = false, .is_arm = false,
+                .scalar_ipc = 2.3, .simd_ipc = 1.7, .mem_bw_gbs = 12.8,
+                .tdp_watts = 35.0, .linpack_dp_gflops = 32.0},
+               {3.5, 3.2, 3.4, 3.4, 2.6}});  // interp (figures' Intel maxima)
+
+  // ---- ARM -----------------------------------------------------------------
+  // Published anchors: conversion speedup 13.88 (Exynos 3110) and 3.42
+  // (Tegra T30); ODROID shows "more than twice as much benefit" as Tegra on
+  // conversion; ARM overall range 1.05–13.88.
+  v.push_back({{.name = "TI DM3730", .codename = "DaVinci",
+                .launched = "Q2'10", .isa = "ARMv7 (RISC)",
+                .simd_ext = "VFPv3/NEON", .memory = "512MB DDR",
+                .threads = 1, .cores = 1, .ghz = 0.8,
+                .l1_kb = 32, .l2_kb = 256, .l3_kb = 0,
+                .in_order = true, .is_arm = true,
+                .scalar_ipc = 0.9, .simd_ipc = 0.4, .mem_bw_gbs = 1.0,
+                .tdp_watts = 0.3, .linpack_dp_gflops = 0.6},
+               {13.0, 2.7, 2.1, 2.2, 1.7}});  // Cortex-A8, interp near Exynos 3110
+  v.push_back({{.name = "Samsung Exynos 3110", .codename = "Exynos 3 Single",
+                .launched = "Q1'11", .isa = "ARMv7 (RISC)",
+                .simd_ext = "VFPv3/NEON", .memory = "512MB LPDDR",
+                .threads = 1, .cores = 1, .ghz = 1.0,
+                .l1_kb = 32, .l2_kb = 512, .l3_kb = 0,
+                .in_order = true, .is_arm = true,
+                .scalar_ipc = 0.9, .simd_ipc = 0.4, .mem_bw_gbs = 1.4,
+                .tdp_watts = 0.35, .linpack_dp_gflops = 0.8},
+               {13.88, 3.0, 2.2, 2.3, 1.8}});  // cvt published
+  v.push_back({{.name = "TI OMAP 4460", .codename = "Omap",
+                .launched = "Q1'11", .isa = "ARMv7 (RISC)",
+                .simd_ext = "VFPv3/NEON", .memory = "1GB LPDDR2",
+                .threads = 2, .cores = 2, .ghz = 1.2,
+                .l1_kb = 32, .l2_kb = 1024, .l3_kb = 0,
+                .in_order = false, .is_arm = true,
+                .scalar_ipc = 1.1, .simd_ipc = 0.5, .mem_bw_gbs = 2.0,
+                .tdp_watts = 0.6, .linpack_dp_gflops = 2.4},
+               {11.0, 2.4, 1.9, 2.0, 1.5}});  // interp
+  v.push_back({{.name = "Samsung Exynos 4412", .codename = "Exynos 4 Quad",
+                .launched = "Q1'12", .isa = "ARMv7 (RISC)",
+                .simd_ext = "VFPv3/NEON", .memory = "1GB LPDDR2",
+                .threads = 4, .cores = 4, .ghz = 1.4,
+                .l1_kb = 32, .l2_kb = 1024, .l3_kb = 0,
+                .in_order = false, .is_arm = true,
+                .scalar_ipc = 1.1, .simd_ipc = 0.5, .mem_bw_gbs = 2.5,
+                .tdp_watts = 1.3, .linpack_dp_gflops = 5.5},
+               {12.0, 2.5, 2.0, 2.1, 1.6}});  // interp
+  v.push_back({{.name = "Odroid-X Exynos 4412", .codename = "ODROID-X",
+                .launched = "Q2'12", .isa = "ARMv7 (RISC)",
+                .simd_ext = "VFPv3/NEON", .memory = "1GB LPDDR2",
+                .threads = 4, .cores = 4, .ghz = 1.3,
+                .l1_kb = 32, .l2_kb = 1024, .l3_kb = 0,
+                .in_order = false, .is_arm = true,
+                .scalar_ipc = 1.1, .simd_ipc = 0.5, .mem_bw_gbs = 2.5,
+                .tdp_watts = 1.25, .linpack_dp_gflops = 5.1},
+               {7.5, 2.3, 1.9, 2.0, 1.5}});  // ">2x Tegra's benefit" (§IV-A)
+  v.push_back({{.name = "NVIDIA Tegra T30", .codename = "Tegra 3, Kal-El",
+                .launched = "Q1'11", .isa = "ARMv7 (RISC)",
+                .simd_ext = "VFPv3/NEON", .memory = "2GB DDR3L",
+                .threads = 4, .cores = 4, .ghz = 1.3,
+                .l1_kb = 32, .l2_kb = 1024, .l3_kb = 0,
+                .in_order = false, .is_arm = true,
+                // The paper observes Tegra's NEON underperforms the ODROID
+                // at equal clock; modeled as lower sustained NEON throughput.
+                .scalar_ipc = 1.1, .simd_ipc = 0.35, .mem_bw_gbs = 2.2,
+                .tdp_watts = 1.4, .linpack_dp_gflops = 5.0},
+               {3.42, 1.6, 1.3, 1.4, 1.05}});  // cvt published; edge = ARM min
+  return v;
+}
+
+}  // namespace
+
+const std::vector<PlatformSpec>& platformCatalog() {
+  static const std::vector<PlatformSpec> catalog = [] {
+    std::vector<PlatformSpec> out;
+    for (auto& st : rawCatalog()) {
+      PlatformSpec p = st.spec;
+      for (int k = 0; k < kBenchKernelCount; ++k) {
+        p.autovec_eff[static_cast<std::size_t>(k)] =
+            calibrateEff(p, static_cast<BenchKernel>(k),
+                         st.target[static_cast<std::size_t>(k)]);
+      }
+      out.push_back(std::move(p));
+    }
+    return out;
+  }();
+  return catalog;
+}
+
+const std::vector<PaperAnchor>& paperAnchors() {
+  // Speedups stated verbatim in the paper's prose (the scanned table cells
+  // themselves are unreadable in our source text).
+  static const std::vector<PaperAnchor> anchors = {
+      {"Intel Atom D510", BenchKernel::ConvertF32S16, 5.27},
+      {"Intel Core 2 Quad Q9400", BenchKernel::ConvertF32S16, 1.34},
+      {"Samsung Exynos 3110", BenchKernel::ConvertF32S16, 13.88},
+      {"NVIDIA Tegra T30", BenchKernel::ConvertF32S16, 3.42},
+  };
+  return anchors;
+}
+
+}  // namespace simdcv::platform

@@ -1,0 +1,67 @@
+#include "platform/platform.hpp"
+
+#include "simd/features.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define SIMDCV_HOST_X86 1
+#endif
+
+namespace simdcv::platform {
+
+namespace {
+
+#if defined(SIMDCV_HOST_X86)
+// Walk CPUID leaf 4 (deterministic cache parameters) and record data/unified
+// cache sizes per level.
+void queryCaches(HostInfo& h) {
+  for (unsigned idx = 0;; ++idx) {
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (!__get_cpuid_count(4, idx, &eax, &ebx, &ecx, &edx)) break;
+    const unsigned type = eax & 0x1f;  // 0 = no more caches
+    if (type == 0) break;
+    if (type != 1 && type != 3) continue;  // data or unified only
+    const unsigned level = (eax >> 5) & 0x7;
+    const unsigned ways = ((ebx >> 22) & 0x3ff) + 1;
+    const unsigned partitions = ((ebx >> 12) & 0x3ff) + 1;
+    const unsigned lineSize = (ebx & 0xfff) + 1;
+    const unsigned sets = ecx + 1;
+    const int kb = static_cast<int>(
+        static_cast<unsigned long long>(ways) * partitions * lineSize * sets / 1024);
+    if (level == 1) h.l1d_kb = kb;
+    else if (level == 2) h.l2_kb = kb;
+    else if (level == 3) h.l3_kb = kb;
+  }
+}
+#endif
+
+}  // namespace
+
+HostInfo queryHost() {
+  HostInfo h;
+  const CpuFeatures& f = cpuFeatures();
+  h.vendor = f.vendor;
+  h.brand = f.brand;
+  h.logical_cpus = f.logical_cpus;
+  h.sse2 = f.sse2;
+  h.avx = f.avx;
+  h.avx2 = f.avx2;
+  h.neon = f.neon;
+#if defined(SIMDCV_HOST_X86)
+  queryCaches(h);
+#endif
+  return h;
+}
+
+const char* toString(BenchKernel k) noexcept {
+  switch (k) {
+    case BenchKernel::ConvertF32S16: return "Convert 32f->16s";
+    case BenchKernel::ThresholdU8: return "Binary Threshold";
+    case BenchKernel::GaussianBlur: return "Gaussian Blur";
+    case BenchKernel::Sobel: return "Sobel Filter";
+    case BenchKernel::EdgeDetect: return "Edge Detection";
+  }
+  return "?";
+}
+
+}  // namespace simdcv::platform

@@ -1,0 +1,114 @@
+// Platform substrate: live host introspection plus a catalog of the paper's
+// ten evaluation platforms (Table I) with first-order performance-model
+// parameters, standing in for hardware we cannot run (see DESIGN.md §2.3).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace simdcv::platform {
+
+/// Live information about the executing host.
+struct HostInfo {
+  std::string vendor;
+  std::string brand;
+  int logical_cpus = 1;
+  int l1d_kb = 0;
+  int l2_kb = 0;
+  int l3_kb = 0;
+  bool sse2 = false, avx = false, avx2 = false, neon = false;
+};
+
+HostInfo queryHost();
+
+/// The five benchmark kernels of the paper's evaluation.
+enum class BenchKernel : int {
+  ConvertF32S16 = 0,  ///< Table II / Figure 2
+  ThresholdU8,        ///< Table III row 1 / Figure 3
+  GaussianBlur,       ///< Table III row 2 / Figure 4 (7x7, sigma=1)
+  Sobel,              ///< Table III row 3 / Figure 5 (3x3, dx+dy)
+  EdgeDetect,         ///< Table III row 4 / Figure 6
+};
+inline constexpr int kBenchKernelCount = 5;
+const char* toString(BenchKernel k) noexcept;
+
+/// Static description + model parameters of one evaluation platform.
+/// The descriptive fields reproduce the paper's Table I; the model fields
+/// are calibration constants documented in catalog.cpp.
+struct PlatformSpec {
+  std::string name;       ///< e.g. "Intel Atom D510"
+  std::string codename;   ///< e.g. "Pineview"
+  std::string launched;   ///< e.g. "Q1'10"
+  std::string isa;        ///< "x86 (CISC)" or "ARMv7 (RISC)"
+  std::string simd_ext;   ///< e.g. "SSE2/SSE3", "VFPv3/NEON"
+  std::string memory;     ///< e.g. "4GB DDR2"
+  int threads = 1;
+  int cores = 1;
+  double ghz = 1.0;
+  int l1_kb = 32;
+  int l2_kb = 512;
+  int l3_kb = 0;
+  bool in_order = false;       ///< in-order pipeline (Atom, Cortex-A8)
+  bool is_arm = false;
+
+  // ---- cost-model parameters ----
+  double scalar_ipc = 1.0;     ///< sustained scalar instructions/cycle
+  double simd_ipc = 0.8;       ///< sustained 128-bit SIMD instructions/cycle
+  double mem_bw_gbs = 4.0;     ///< achievable streaming bandwidth, GB/s
+  // ---- energy model (intro's GFLOPS/Watt three-tier classification) ----
+  // The cited study [7] (Dongarra & Luszczek) measures sustained
+  // double-precision LINPACK per Watt of active power.
+  double tdp_watts = 0.0;          ///< active power under LINPACK load
+  double linpack_dp_gflops = 0.0;  ///< sustained double-precision GFLOPS
+  /// Auto-vectorizer efficiency per kernel, in [0,1]: the fraction of the
+  /// HAND instruction-count reduction that gcc's auto-vectorizer achieved on
+  /// this platform/ISA in the paper's measurements.
+  std::array<double, kBenchKernelCount> autovec_eff{};
+};
+
+/// The paper's ten platforms in Table I order (4 Intel + 6 ARM).
+const std::vector<PlatformSpec>& platformCatalog();
+
+/// GFLOPS/Watt of a platform (0 when the energy fields are unset).
+double gflopsPerWatt(const PlatformSpec& p);
+
+/// The intro's three-tier efficiency classification:
+/// tier 1 (~1 GFLOPS/W) desktop/server x86, tier 2 (~2) GPU accelerators,
+/// tier 3 (~4) ARM — returns 1, 2 or 3.
+int efficiencyTier(const PlatformSpec& p);
+
+/// Per-kernel abstract work, per pixel (model inputs; see costmodel.cpp).
+struct KernelWork {
+  double scalar_ops_px;  ///< dynamic instructions/pixel, scalar (no autovec)
+  double simd_ops_px;    ///< dynamic instructions/pixel, HAND intrinsics
+  double bytes_px;       ///< memory traffic per pixel (read+write)
+  /// Scalar cost on ARM when it differs: the paper's §V disassembly shows
+  /// the ARM scalar conversion calls lrint per pixel (a libcall costing tens
+  /// of cycles), which x86 replaces with an inline cvtss2si. 0 = same as
+  /// scalar_ops_px.
+  double scalar_ops_px_arm = 0;
+};
+KernelWork workFor(BenchKernel k);
+
+/// Modeled AUTO / HAND runtimes for one platform/kernel/size.
+struct SimResult {
+  double auto_seconds = 0;
+  double hand_seconds = 0;
+  double speedup() const { return hand_seconds > 0 ? auto_seconds / hand_seconds : 0; }
+};
+SimResult simulate(const PlatformSpec& p, BenchKernel k, Size imageSize);
+
+/// Published anchor values from the paper for validation (speedups that the
+/// text states explicitly). value < 0 means "not published / unreadable in
+/// the source text".
+struct PaperAnchor {
+  const char* platform;
+  BenchKernel kernel;
+  double speedup;
+};
+const std::vector<PaperAnchor>& paperAnchors();
+
+}  // namespace simdcv::platform

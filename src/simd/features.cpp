@@ -1,0 +1,148 @@
+#include "simd/features.hpp"
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define SIMDCV_HOST_X86 1
+#endif
+
+namespace simdcv {
+
+const char* toString(KernelPath path) noexcept {
+  switch (path) {
+    case KernelPath::ScalarNoVec: return "scalar-novec";
+    case KernelPath::Auto: return "auto";
+    case KernelPath::Sse2: return "sse2";
+    case KernelPath::Neon: return "neon";
+    case KernelPath::Avx2: return "avx2";
+    case KernelPath::Default: return "default";
+  }
+  return "?";
+}
+
+namespace {
+
+#if defined(SIMDCV_HOST_X86)
+std::string cpuidVendor() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(0, &eax, &ebx, &ecx, &edx)) return {};
+  char v[13] = {};
+  // Vendor string is laid out EBX, EDX, ECX.
+  for (int i = 0; i < 4; ++i) v[i] = static_cast<char>(ebx >> (8 * i));
+  for (int i = 0; i < 4; ++i) v[4 + i] = static_cast<char>(edx >> (8 * i));
+  for (int i = 0; i < 4; ++i) v[8 + i] = static_cast<char>(ecx >> (8 * i));
+  return v;
+}
+
+std::string cpuidBrand() {
+  unsigned regs[4] = {};
+  if (!__get_cpuid(0x80000000u, &regs[0], &regs[1], &regs[2], &regs[3]) ||
+      regs[0] < 0x80000004u) {
+    return {};
+  }
+  char brand[49] = {};
+  for (unsigned leaf = 0; leaf < 3; ++leaf) {
+    __get_cpuid(0x80000002u + leaf, &regs[0], &regs[1], &regs[2], &regs[3]);
+    for (int r = 0; r < 4; ++r)
+      for (int b = 0; b < 4; ++b)
+        brand[leaf * 16 + r * 4 + b] = static_cast<char>(regs[r] >> (8 * b));
+  }
+  // Trim leading spaces that Intel pads brand strings with.
+  const char* p = brand;
+  while (*p == ' ') ++p;
+  return p;
+}
+#endif
+
+CpuFeatures detect() {
+  CpuFeatures f;
+  f.logical_cpus = static_cast<int>(std::thread::hardware_concurrency());
+  if (f.logical_cpus <= 0) f.logical_cpus = 1;
+#if defined(SIMDCV_HOST_X86)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.sse2 = (edx >> 26) & 1u;
+    f.sse3 = (ecx >> 0) & 1u;
+    f.ssse3 = (ecx >> 9) & 1u;
+    f.sse41 = (ecx >> 19) & 1u;
+    f.sse42 = (ecx >> 20) & 1u;
+    f.avx = (ecx >> 28) & 1u;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx >> 5) & 1u;
+  }
+  f.vendor = cpuidVendor();
+  f.brand = cpuidBrand();
+  f.neon_emulated = true;  // neon_emu.hpp provides the intrinsics
+#elif defined(__ARM_NEON)
+  f.neon = true;
+  f.vendor = "ARM";
+#else
+  f.neon_emulated = true;  // scalar emulation works everywhere
+#endif
+  return f;
+}
+
+std::atomic<bool> g_use_optimized{true};
+
+KernelPath defaultPreferred() {
+  const CpuFeatures& f = cpuFeatures();
+  if (f.neon) return KernelPath::Neon;
+  if (f.sse2) return KernelPath::Sse2;
+  return KernelPath::Auto;
+}
+
+std::atomic<KernelPath> g_preferred{KernelPath::Default};
+
+}  // namespace
+
+const CpuFeatures& cpuFeatures() noexcept {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+void setUseOptimized(bool enabled) noexcept { g_use_optimized.store(enabled); }
+bool useOptimized() noexcept { return g_use_optimized.load(); }
+
+void setPreferredPath(KernelPath path) noexcept { g_preferred.store(path); }
+
+KernelPath preferredPath() noexcept {
+  KernelPath p = g_preferred.load();
+  return p == KernelPath::Default ? defaultPreferred() : p;
+}
+
+bool pathAvailable(KernelPath path) noexcept {
+  const CpuFeatures& f = cpuFeatures();
+  switch (path) {
+    case KernelPath::ScalarNoVec:
+    case KernelPath::Auto:
+      return true;
+    case KernelPath::Sse2:
+      return f.sse2;
+    case KernelPath::Neon:
+      return f.neon || f.neon_emulated;
+    case KernelPath::Avx2:
+      return f.avx2;
+    case KernelPath::Default:
+      return true;
+  }
+  return false;
+}
+
+KernelPath resolvePath(KernelPath requested) noexcept {
+  KernelPath p = requested;
+  if (p == KernelPath::Default) {
+    p = useOptimized() ? preferredPath() : KernelPath::Auto;
+  }
+  if (!pathAvailable(p)) {
+    // Degrade AVX2 to the SSE2 HAND arm before giving up on intrinsics.
+    p = (p == KernelPath::Avx2 && pathAvailable(KernelPath::Sse2))
+            ? KernelPath::Sse2
+            : KernelPath::Auto;
+  }
+  return p;
+}
+
+}  // namespace simdcv

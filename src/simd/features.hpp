@@ -1,0 +1,71 @@
+// CPU feature detection and kernel-path selection.
+//
+// The library ships three implementations of every hot kernel:
+//   - ScalarNoVec : plain C++ compiled with the auto-vectorizer disabled
+//                   (baseline for the instruction-count ablation),
+//   - Auto        : the same plain C++ compiled at -O3 with the compiler's
+//                   auto-vectorizer enabled (the paper's "AUTO" arm),
+//   - Sse2 / Neon : hand-written intrinsics (the paper's "HAND" arm).
+//
+// Path selection happens at run time so a single binary can benchmark all
+// arms against each other, exactly as OpenCV's cv::setUseOptimized() does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace simdcv {
+
+/// Which implementation of a kernel to run.
+enum class KernelPath : std::uint8_t {
+  ScalarNoVec,  ///< scalar source, compiler vectorizer disabled
+  Auto,         ///< scalar source, compiler auto-vectorization (paper "AUTO")
+  Sse2,         ///< hand-written SSE2 intrinsics (paper "HAND", Intel)
+  Neon,         ///< hand-written NEON intrinsics (paper "HAND", ARM);
+                ///< runs through the emulation layer on non-ARM hosts
+  Avx2,         ///< hand-written AVX2 intrinsics (the paper's future-work
+                ///< ISA; falls back to Sse2 kernels where no AVX2 version
+                ///< exists)
+  Default,      ///< resolve via useOptimized() + preferredPath()
+};
+
+const char* toString(KernelPath path) noexcept;
+
+/// Static CPU capabilities of the host, detected once via CPUID (x86) or
+/// compile-time macros (ARM).
+struct CpuFeatures {
+  bool sse2 = false;
+  bool sse3 = false;
+  bool ssse3 = false;
+  bool sse41 = false;
+  bool sse42 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool neon = false;        ///< genuine ARM NEON
+  bool neon_emulated = false;  ///< NEON intrinsics available via emulation
+  std::string vendor;       ///< CPUID vendor string, e.g. "GenuineIntel"
+  std::string brand;        ///< CPUID brand string
+  int logical_cpus = 1;
+};
+
+/// Detected features of the executing host (computed once, cached).
+const CpuFeatures& cpuFeatures() noexcept;
+
+/// Global HAND-optimization switch, mirroring cv::setUseOptimized().
+/// When false, Default resolves to Auto.
+void setUseOptimized(bool enabled) noexcept;
+bool useOptimized() noexcept;
+
+/// Preferred HAND path when optimizations are on. Defaults to the best
+/// native path for the host (Sse2 on x86, Neon on ARM).
+void setPreferredPath(KernelPath path) noexcept;
+KernelPath preferredPath() noexcept;
+
+/// Resolve Default into a concrete runnable path; validates that the
+/// requested path is executable on this host (falls back to Auto if not).
+KernelPath resolvePath(KernelPath requested) noexcept;
+
+/// True if `path` can execute on this host.
+bool pathAvailable(KernelPath path) noexcept;
+
+}  // namespace simdcv

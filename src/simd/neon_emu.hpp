@@ -1,0 +1,24 @@
+// NEON intrinsics emulation for non-ARM hosts — umbrella header.
+//
+// Include via "simd/neon_compat.hpp" rather than directly; that wrapper
+// selects the genuine <arm_neon.h> on ARM builds so the same kernel sources
+// run on real NEON hardware and (emulated, for functional validation and the
+// paper-code ablation) on x86.
+#pragma once
+
+#include "simd/neon_emu_types.hpp"
+#include "simd/neon_emu_traits.hpp"
+#include "simd/neon_emu_arith.hpp"
+#include "simd/neon_emu_cmp.hpp"
+#include "simd/neon_emu_shift_cvt.hpp"
+#include "simd/neon_emu_perm.hpp"
+#include "simd/neon_emu_extra.hpp"
+
+// Clean up the X-macro lists so they do not leak into user code.
+#undef SIMDCV_EMU_FOR_INT_D
+#undef SIMDCV_EMU_FOR_INT_Q
+#undef SIMDCV_EMU_FOR_INT64_D
+#undef SIMDCV_EMU_FOR_INT64_Q
+#undef SIMDCV_EMU_FOR_F32_D
+#undef SIMDCV_EMU_FOR_F32_Q
+#undef SIMDCV_EMU_FOR_NARROW

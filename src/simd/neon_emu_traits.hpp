@@ -1,0 +1,149 @@
+// NEON emulation — compile-time traits and generic lane-wise helpers shared
+// by the arithmetic / compare / shift / permute headers.
+#pragma once
+
+#include <limits>
+#include <type_traits>
+
+#include "simd/neon_emu_types.hpp"
+
+namespace simdcv::neon_emu_detail {
+
+/// Next-wider integer type of the same signedness (for overflow-free
+/// saturating arithmetic).
+template <typename T> struct Wider;
+template <> struct Wider<std::int8_t> { using type = std::int16_t; };
+template <> struct Wider<std::uint8_t> { using type = std::uint16_t; };
+template <> struct Wider<std::int16_t> { using type = std::int32_t; };
+template <> struct Wider<std::uint16_t> { using type = std::uint32_t; };
+template <> struct Wider<std::int32_t> { using type = std::int64_t; };
+template <> struct Wider<std::uint32_t> { using type = std::uint64_t; };
+template <> struct Wider<std::int64_t> { using type = __int128; };
+template <> struct Wider<std::uint64_t> { using type = unsigned __int128; };
+template <typename T> using Wider_t = typename Wider<T>::type;
+
+/// Per-vector-type traits: element type, lane count, same-shape unsigned and
+/// signed vectors (compare results are unsigned in NEON).
+template <typename VT> struct VTraits;
+
+#define SIMDCV_EMU_TRAIT(VT, ET, N, UVT, SVT)       \
+  template <> struct VTraits<VT> {                  \
+    using elem = ET;                                \
+    using uvec = UVT;                               \
+    using svec = SVT;                               \
+    static constexpr int lanes = N;                 \
+  };
+
+SIMDCV_EMU_TRAIT(int8x8_t, std::int8_t, 8, uint8x8_t, int8x8_t)
+SIMDCV_EMU_TRAIT(int16x4_t, std::int16_t, 4, uint16x4_t, int16x4_t)
+SIMDCV_EMU_TRAIT(int32x2_t, std::int32_t, 2, uint32x2_t, int32x2_t)
+SIMDCV_EMU_TRAIT(int64x1_t, std::int64_t, 1, uint64x1_t, int64x1_t)
+SIMDCV_EMU_TRAIT(uint8x8_t, std::uint8_t, 8, uint8x8_t, int8x8_t)
+SIMDCV_EMU_TRAIT(uint16x4_t, std::uint16_t, 4, uint16x4_t, int16x4_t)
+SIMDCV_EMU_TRAIT(uint32x2_t, std::uint32_t, 2, uint32x2_t, int32x2_t)
+SIMDCV_EMU_TRAIT(uint64x1_t, std::uint64_t, 1, uint64x1_t, int64x1_t)
+SIMDCV_EMU_TRAIT(float32x2_t, float, 2, uint32x2_t, int32x2_t)
+SIMDCV_EMU_TRAIT(int8x16_t, std::int8_t, 16, uint8x16_t, int8x16_t)
+SIMDCV_EMU_TRAIT(int16x8_t, std::int16_t, 8, uint16x8_t, int16x8_t)
+SIMDCV_EMU_TRAIT(int32x4_t, std::int32_t, 4, uint32x4_t, int32x4_t)
+SIMDCV_EMU_TRAIT(int64x2_t, std::int64_t, 2, uint64x2_t, int64x2_t)
+SIMDCV_EMU_TRAIT(uint8x16_t, std::uint8_t, 16, uint8x16_t, int8x16_t)
+SIMDCV_EMU_TRAIT(uint16x8_t, std::uint16_t, 8, uint16x8_t, int16x8_t)
+SIMDCV_EMU_TRAIT(uint32x4_t, std::uint32_t, 4, uint32x4_t, int32x4_t)
+SIMDCV_EMU_TRAIT(uint64x2_t, std::uint64_t, 2, uint64x2_t, int64x2_t)
+SIMDCV_EMU_TRAIT(float32x4_t, float, 4, uint32x4_t, int32x4_t)
+#undef SIMDCV_EMU_TRAIT
+
+/// Saturate a wide value into T's representable range.
+template <typename T, typename W>
+inline T sat(W v) {
+  constexpr W lo = static_cast<W>(std::numeric_limits<T>::min());
+  constexpr W hi = static_cast<W>(std::numeric_limits<T>::max());
+  return static_cast<T>(v < lo ? lo : (v > hi ? hi : v));
+}
+
+/// Lane-wise unary map.
+template <typename VT, typename F>
+inline VT map1(VT a, F f) {
+  VT r{};
+  for (int i = 0; i < VTraits<VT>::lanes; ++i) r[i] = f(a[i]);
+  return r;
+}
+
+/// Lane-wise binary map.
+template <typename VT, typename F>
+inline VT map2(VT a, VT b, F f) {
+  VT r{};
+  for (int i = 0; i < VTraits<VT>::lanes; ++i) r[i] = f(a[i], b[i]);
+  return r;
+}
+
+/// Lane-wise ternary map (accumulating forms).
+template <typename VT, typename F>
+inline VT map3(VT a, VT b, VT c, F f) {
+  VT r{};
+  for (int i = 0; i < VTraits<VT>::lanes; ++i) r[i] = f(a[i], b[i], c[i]);
+  return r;
+}
+
+/// Lane-wise map with a different destination vector shape (same lane count).
+template <typename RT, typename VT, typename F>
+inline RT mapTo(VT a, F f) {
+  RT r{};
+  static_assert(VTraits<RT>::lanes == VTraits<VT>::lanes);
+  for (int i = 0; i < VTraits<VT>::lanes; ++i)
+    r[i] = f(a[i]);
+  return r;
+}
+
+/// Comparison: all-ones / all-zeros mask in the unsigned counterpart type.
+template <typename VT, typename F>
+inline typename VTraits<VT>::uvec cmp(VT a, VT b, F pred) {
+  using UV = typename VTraits<VT>::uvec;
+  using UE = typename VTraits<UV>::elem;
+  UV r{};
+  for (int i = 0; i < VTraits<VT>::lanes; ++i)
+    r[i] = pred(a[i], b[i]) ? static_cast<UE>(~UE{0}) : UE{0};
+  return r;
+}
+
+}  // namespace simdcv::neon_emu_detail
+
+// X-macro type lists used to instantiate intrinsic families.
+// F(suffix, vector_type, element_type, lanes)
+#define SIMDCV_EMU_FOR_INT_D(F)                 \
+  F(s8, int8x8_t, std::int8_t, 8)               \
+  F(u8, uint8x8_t, std::uint8_t, 8)             \
+  F(s16, int16x4_t, std::int16_t, 4)            \
+  F(u16, uint16x4_t, std::uint16_t, 4)          \
+  F(s32, int32x2_t, std::int32_t, 2)            \
+  F(u32, uint32x2_t, std::uint32_t, 2)
+
+#define SIMDCV_EMU_FOR_INT_Q(F)                 \
+  F(s8, int8x16_t, std::int8_t, 16)             \
+  F(u8, uint8x16_t, std::uint8_t, 16)           \
+  F(s16, int16x8_t, std::int16_t, 8)            \
+  F(u16, uint16x8_t, std::uint16_t, 8)          \
+  F(s32, int32x4_t, std::int32_t, 4)            \
+  F(u32, uint32x4_t, std::uint32_t, 4)
+
+#define SIMDCV_EMU_FOR_INT64_D(F)               \
+  F(s64, int64x1_t, std::int64_t, 1)            \
+  F(u64, uint64x1_t, std::uint64_t, 1)
+
+#define SIMDCV_EMU_FOR_INT64_Q(F)               \
+  F(s64, int64x2_t, std::int64_t, 2)            \
+  F(u64, uint64x2_t, std::uint64_t, 2)
+
+#define SIMDCV_EMU_FOR_F32_D(F) F(f32, float32x2_t, float, 2)
+#define SIMDCV_EMU_FOR_F32_Q(F) F(f32, float32x4_t, float, 4)
+
+// Narrow/widen triples: F(nsuffix, narrow_d, wsuffix, wide_q, narrow_elem,
+// wide_elem, narrow_lanes_in_q=wide lanes)
+#define SIMDCV_EMU_FOR_NARROW(F)                                              \
+  F(s8, int8x8_t, s16, int16x8_t, std::int8_t, std::int16_t, 8)               \
+  F(u8, uint8x8_t, u16, uint16x8_t, std::uint8_t, std::uint16_t, 8)           \
+  F(s16, int16x4_t, s32, int32x4_t, std::int16_t, std::int32_t, 4)            \
+  F(u16, uint16x4_t, u32, uint32x4_t, std::uint16_t, std::uint32_t, 4)        \
+  F(s32, int32x2_t, s64, int64x2_t, std::int32_t, std::int64_t, 2)            \
+  F(u32, uint32x2_t, u64, uint64x2_t, std::uint32_t, std::uint64_t, 2)

@@ -1,0 +1,91 @@
+// Bench harness: statistics, protocol mechanics, formatting.
+#include "bench/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace simdcv::bench {
+namespace {
+
+TEST(Stats, BasicSummary) {
+  const Stats s = summarize({3.0, 1.0, 2.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_EQ(s.runs, 5);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Stats, SingleSampleAndEmpty) {
+  const Stats one = summarize({2.5});
+  EXPECT_DOUBLE_EQ(one.mean, 2.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  const Stats none = summarize({});
+  EXPECT_EQ(none.runs, 0);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.stop();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(Protocol, RunsImagesTimesCycles) {
+  Protocol proto;
+  proto.images = 5;
+  proto.cycles = 3;
+  int calls = 0;
+  std::vector<int> order;
+  const auto times = runProtocol(proto, [&](int img) {
+    ++calls;
+    order.push_back(img);
+  });
+  EXPECT_EQ(calls, 15);
+  EXPECT_EQ(times.size(), 15u);
+  // Images are cycled 0..4, 0..4, ... exactly as the paper traverses them.
+  for (int i = 0; i < 15; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i % 5);
+  for (double t : times) EXPECT_GE(t, 0.0);
+}
+
+TEST(Protocol, ArgParsing) {
+  const char* argvPaper[] = {"bench", "--paper"};
+  const Protocol p =
+      Protocol::fromArgs(2, const_cast<char**>(argvPaper));
+  EXPECT_EQ(p.cycles, 25);
+  EXPECT_EQ(p.images, 5);
+  const char* argvQuick[] = {"bench", "--quick"};
+  EXPECT_EQ(Protocol::fromArgs(2, const_cast<char**>(argvQuick)).cycles, 1);
+  const char* argvNone[] = {"bench"};
+  EXPECT_EQ(Protocol::fromArgs(1, const_cast<char**>(argvNone)).cycles, 3);
+}
+
+TEST(Resolutions, MatchPaper) {
+  const auto& r = paperResolutions();
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0].size, Size(640, 480));
+  EXPECT_EQ(r[3].size, Size(3264, 2448));
+  EXPECT_EQ(r[0].size.area(), 307200);
+  EXPECT_EQ(r[3].size.area(), 7990272);  // "8 mpx"
+}
+
+TEST(Format, SecondsAndSpeedup) {
+  EXPECT_EQ(fmtSeconds(1.23456), "1.235");
+  EXPECT_EQ(fmtSeconds(0.012345), "0.0123");
+  EXPECT_EQ(fmtSpeedup(4.205), "4.21x");
+  EXPECT_EQ(fmtSpeedup(13.879), "13.88x");
+}
+
+TEST(Table, PrintsWithoutCrashing) {
+  Table t({"a", "bb", "ccc"});
+  t.addRow({"1", "2", "3"});
+  t.addRow({"long cell", "x", "y"});
+  t.print();  // smoke: no assertions, must not crash on uneven widths
+}
+
+}  // namespace
+}  // namespace simdcv::bench

@@ -1,0 +1,106 @@
+// Synthetic image generator: determinism, scene diversity, value ranges.
+#include "bench/images.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace simdcv::bench {
+namespace {
+
+TEST(Scenes, DeterministicForSameSeed) {
+  const Mat a = makeScene(Scene::Noise, {64, 48}, 7);
+  const Mat b = makeScene(Scene::Noise, {64, 48}, 7);
+  EXPECT_EQ(countMismatches(a, b), 0u);
+  const Mat c = makeScene(Scene::Noise, {64, 48}, 8);
+  EXPECT_GT(countMismatches(a, c), 100u);
+}
+
+TEST(Scenes, AllClassesProduceDistinctImages) {
+  for (int i = 0; i < kSceneCount; ++i) {
+    for (int j = i + 1; j < kSceneCount; ++j) {
+      const Mat a = makeScene(static_cast<Scene>(i), {32, 32}, 1);
+      const Mat b = makeScene(static_cast<Scene>(j), {32, 32}, 1);
+      EXPECT_GT(countMismatches(a, b), 50u)
+          << toString(static_cast<Scene>(i)) << " vs "
+          << toString(static_cast<Scene>(j));
+    }
+  }
+}
+
+TEST(Scenes, GradientIsMonotoneAlongDiagonal) {
+  const Mat g = makeScene(Scene::Gradient, {64, 64}, 0);
+  for (int i = 1; i < 64; ++i)
+    EXPECT_GE(g.at<std::uint8_t>(i, i), g.at<std::uint8_t>(i - 1, i - 1));
+}
+
+TEST(Scenes, CheckerHasHighContrast) {
+  const Mat c = makeScene(Scene::Checker, {64, 64}, 1);
+  int lo = 0, hi = 0;
+  for (int r = 0; r < 64; ++r)
+    for (int x = 0; x < 64; ++x) {
+      const auto v = c.at<std::uint8_t>(r, x);
+      if (v < 80) ++lo;
+      if (v > 170) ++hi;
+    }
+  EXPECT_GT(lo, 500);
+  EXPECT_GT(hi, 500);
+}
+
+TEST(Scenes, NoiseUsesFullRangeRoughlyUniformly) {
+  const Mat n = makeScene(Scene::Noise, {128, 128}, 3);
+  double sum = 0;
+  int buckets[4] = {};
+  for (int r = 0; r < 128; ++r)
+    for (int c = 0; c < 128; ++c) {
+      const auto v = n.at<std::uint8_t>(r, c);
+      sum += v;
+      ++buckets[v / 64];
+    }
+  EXPECT_NEAR(sum / (128.0 * 128.0), 127.5, 8.0);
+  for (int b : buckets) EXPECT_GT(b, 128 * 128 / 8);
+}
+
+TEST(FloatScenes, SpanExceedsInt16ForSaturationCoverage) {
+  const Mat f = makeFloatScene(Scene::Gradient, {256, 256}, 1);
+  float mn = 1e30f, mx = -1e30f;
+  for (int r = 0; r < 256; ++r)
+    for (int c = 0; c < 256; ++c) {
+      mn = std::min(mn, f.at<float>(r, c));
+      mx = std::max(mx, f.at<float>(r, c));
+    }
+  EXPECT_LT(mn, -32768.0f);
+  EXPECT_GT(mx, 32767.0f);
+}
+
+TEST(ImageSet, FiveImagesOfRequestedShape) {
+  const auto set = makeImageSet({64, 48}, Depth::U8);
+  ASSERT_EQ(set.size(), 5u);
+  for (const auto& m : set) {
+    EXPECT_EQ(m.size(), Size(64, 48));
+    EXPECT_EQ(m.depth(), Depth::U8);
+  }
+  const auto fset = makeImageSet({32, 32}, Depth::F32);
+  for (const auto& m : fset) EXPECT_EQ(m.depth(), Depth::F32);
+  EXPECT_THROW(makeImageSet({8, 8}, Depth::S32), Error);
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = r.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+  // Zero seed must not lock the generator at zero.
+  Rng z(0);
+  EXPECT_NE(z.next(), 0u);
+}
+
+}  // namespace
+}  // namespace simdcv::bench

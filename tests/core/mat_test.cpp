@@ -1,0 +1,184 @@
+// Mat container: allocation, geometry, ROI views, sharing semantics.
+#include "core/mat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace simdcv {
+namespace {
+
+TEST(Mat, DefaultIsEmpty) {
+  Mat m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.data(), nullptr);
+}
+
+TEST(Mat, AllocationGeometry) {
+  Mat m(480, 640, U8C1);
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.rows(), 480);
+  EXPECT_EQ(m.cols(), 640);
+  EXPECT_EQ(m.total(), 480u * 640u);
+  EXPECT_EQ(m.elemSize(), 1u);
+  EXPECT_GE(m.step(), 640u);
+  // Row base is 64-byte aligned by construction.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.ptr<std::uint8_t>(17)) % 64, 0u);
+}
+
+TEST(Mat, ElemSizesPerType) {
+  EXPECT_EQ(Mat(2, 2, U8C3).elemSize(), 3u);
+  EXPECT_EQ(Mat(2, 2, F32C1).elemSize(), 4u);
+  EXPECT_EQ(Mat(2, 2, PixelType(Depth::F64, 2)).elemSize(), 16u);
+  EXPECT_EQ(Mat(2, 2, S16C1).elemSize1(), 2u);
+}
+
+TEST(Mat, AtReadWrite) {
+  Mat m(4, 5, S32C1);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 5; ++c) m.at<std::int32_t>(r, c) = r * 10 + c;
+  EXPECT_EQ(m.at<std::int32_t>(0, 0), 0);
+  EXPECT_EQ(m.at<std::int32_t>(3, 4), 34);
+  EXPECT_EQ(m.ptr<std::int32_t>(2)[3], 23);
+}
+
+TEST(Mat, ShallowCopySharesStorage) {
+  Mat a(4, 4, U8C1);
+  a.setTo(7);
+  Mat b = a;
+  EXPECT_TRUE(b.sharesStorageWith(a));
+  b.at<std::uint8_t>(0, 0) = 9;
+  EXPECT_EQ(a.at<std::uint8_t>(0, 0), 9);
+}
+
+TEST(Mat, CloneDetaches) {
+  Mat a(4, 4, U8C1);
+  a.setTo(7);
+  Mat b = a.clone();
+  EXPECT_FALSE(b.sharesStorageWith(a));
+  b.at<std::uint8_t>(0, 0) = 9;
+  EXPECT_EQ(a.at<std::uint8_t>(0, 0), 7);
+  EXPECT_EQ(countMismatches(a, b), 1u);
+}
+
+TEST(Mat, RoiViewsAlias) {
+  Mat a = zeros(10, 10, U8C1);
+  Mat v = a.roi(Rect(2, 3, 4, 5));
+  EXPECT_EQ(v.rows(), 5);
+  EXPECT_EQ(v.cols(), 4);
+  EXPECT_FALSE(v.isContinuous());
+  v.setTo(255);
+  EXPECT_EQ(a.at<std::uint8_t>(3, 2), 255);
+  EXPECT_EQ(a.at<std::uint8_t>(2, 2), 0);
+  EXPECT_EQ(a.at<std::uint8_t>(3, 1), 0);
+  EXPECT_EQ(a.at<std::uint8_t>(7, 5), 255);
+  EXPECT_EQ(a.at<std::uint8_t>(8, 5), 0);
+}
+
+TEST(Mat, RoiOutOfBoundsThrows) {
+  Mat a(10, 10, U8C1);
+  EXPECT_THROW(a.roi(Rect(8, 8, 4, 4)), Error);
+  EXPECT_THROW(a.roi(Rect(-1, 0, 2, 2)), Error);
+  EXPECT_NO_THROW(a.roi(Rect(0, 0, 10, 10)));
+}
+
+TEST(Mat, RowRange) {
+  Mat a = zeros(10, 3, S16C1);
+  Mat rows = a.rowRange(4, 7);
+  EXPECT_EQ(rows.rows(), 3);
+  rows.setTo(-5);
+  EXPECT_EQ(a.at<std::int16_t>(4, 0), -5);
+  EXPECT_EQ(a.at<std::int16_t>(3, 0), 0);
+  EXPECT_EQ(a.at<std::int16_t>(7, 0), 0);
+}
+
+TEST(Mat, CopyToRespectsRoi) {
+  Mat a(6, 6, U8C1);
+  for (int r = 0; r < 6; ++r)
+    for (int c = 0; c < 6; ++c) a.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(r * 6 + c);
+  Mat v = a.roi(Rect(1, 1, 3, 2));
+  Mat copy = v.clone();
+  EXPECT_FALSE(copy.sharesStorageWith(a));
+  EXPECT_EQ(copy.at<std::uint8_t>(0, 0), 7);
+  EXPECT_EQ(copy.at<std::uint8_t>(1, 2), 15);
+}
+
+TEST(Mat, CreateKeepsStorageWhenSameGeometry) {
+  Mat a(8, 8, F32C1);
+  const void* p = a.data();
+  a.create(8, 8, F32C1);
+  EXPECT_EQ(a.data(), p);
+  a.create(9, 8, F32C1);
+  EXPECT_NE(a.data(), nullptr);
+}
+
+TEST(Mat, SetToSaturates) {
+  Mat a(2, 2, U8C1);
+  a.setTo(300.0);
+  EXPECT_EQ(a.at<std::uint8_t>(1, 1), 255);
+  a.setTo(-5.0);
+  EXPECT_EQ(a.at<std::uint8_t>(0, 0), 0);
+  Mat f(2, 2, F32C1);
+  f.setTo(1.5);
+  EXPECT_FLOAT_EQ(f.at<float>(0, 1), 1.5f);
+}
+
+TEST(Mat, WrapExternalMemory) {
+  std::uint8_t buf[4 * 8] = {};
+  Mat m(4, 6, U8C1, buf, 8);
+  m.setTo(3);
+  EXPECT_EQ(buf[0], 3);
+  EXPECT_EQ(buf[5], 3);
+  EXPECT_EQ(buf[6], 0);  // step padding untouched
+  EXPECT_EQ(buf[8], 3);  // second row
+}
+
+TEST(Mat, ZerosAndFull) {
+  Mat z = zeros(3, 3, S32C1);
+  EXPECT_EQ(countMismatches(z, full(3, 3, S32C1, 0)), 0u);
+  Mat f = full(3, 3, S32C1, -7);
+  EXPECT_EQ(f.at<std::int32_t>(2, 2), -7);
+}
+
+TEST(Mat, MismatchCounting) {
+  Mat a = full(4, 4, F32C1, 1.0);
+  Mat b = a.clone();
+  EXPECT_EQ(countMismatches(a, b), 0u);
+  b.at<float>(0, 0) = 1.1f;
+  b.at<float>(3, 3) = 0.9f;
+  EXPECT_EQ(countMismatches(a, b), 2u);
+  EXPECT_EQ(countMismatches(a, b, 0.2), 0u);
+  EXPECT_NEAR(maxAbsDiff(a, b), 0.1, 1e-6);
+}
+
+TEST(Mat, CompareThrowsOnGeometryMismatch) {
+  Mat a(2, 2, U8C1), b(2, 3, U8C1), c(2, 2, S16C1);
+  EXPECT_THROW(countMismatches(a, b), Error);
+  EXPECT_THROW(countMismatches(a, c), Error);
+}
+
+TEST(Mat, ChannelInterleavedAccess) {
+  Mat rgb(2, 2, U8C3);
+  rgb.setZero();
+  rgb.at<std::uint8_t>(0, 0 * 3 + 2) = 200;  // pixel (0,0) channel 2
+  EXPECT_EQ(rgb.ptr<std::uint8_t>(0)[2], 200);
+  EXPECT_EQ(rgb.at<std::uint8_t>(0, 1 * 3 + 2), 0);
+}
+
+TEST(Mat, NegativeDimensionsThrow) {
+  EXPECT_THROW(Mat(-1, 4, U8C1), Error);
+  EXPECT_THROW(Mat(4, -1, U8C1), Error);
+}
+
+TEST(Mat, ZeroSizedIsEmptyButValid) {
+  Mat m(0, 0, U8C1);
+  EXPECT_TRUE(m.empty());
+  Mat c = m.clone();
+  EXPECT_TRUE(c.empty());
+}
+
+}  // namespace
+}  // namespace simdcv

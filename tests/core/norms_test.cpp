@@ -1,0 +1,87 @@
+// Norms and mean/stddev reductions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/array_ops.hpp"
+
+namespace simdcv::core {
+namespace {
+
+TEST(Norms, AnalyticValues) {
+  Mat a = zeros(2, 3, F32C1);
+  a.at<float>(0, 0) = 3.0f;
+  a.at<float>(1, 2) = -4.0f;
+  EXPECT_DOUBLE_EQ(norm(a, NormType::L1), 7.0);
+  EXPECT_DOUBLE_EQ(norm(a, NormType::L2), 5.0);
+  EXPECT_DOUBLE_EQ(norm(a, NormType::Inf), 4.0);
+}
+
+TEST(Norms, IntegerDepths) {
+  Mat a = full(3, 3, S16C1, -2);
+  EXPECT_DOUBLE_EQ(norm(a, NormType::L1), 18.0);
+  EXPECT_DOUBLE_EQ(norm(a, NormType::L2), std::sqrt(36.0));
+  EXPECT_DOUBLE_EQ(norm(a, NormType::Inf), 2.0);
+  Mat u = full(2, 2, U8C1, 200);
+  EXPECT_DOUBLE_EQ(norm(u, NormType::Inf), 200.0);
+}
+
+TEST(Norms, TriangleInequality) {
+  std::mt19937 rng(1);
+  Mat a(9, 13, F32C1), b(9, 13, F32C1);
+  std::uniform_real_distribution<float> dist(-5.f, 5.f);
+  for (int r = 0; r < 9; ++r)
+    for (int c = 0; c < 13; ++c) {
+      a.at<float>(r, c) = dist(rng);
+      b.at<float>(r, c) = dist(rng);
+    }
+  Mat s;
+  add(a, b, s);
+  for (auto t : {NormType::L1, NormType::L2, NormType::Inf})
+    EXPECT_LE(norm(s, t), norm(a, t) + norm(b, t) + 1e-6);
+}
+
+TEST(Norms, NormDiffZeroIffEqual) {
+  Mat a = full(4, 4, U8C1, 7);
+  EXPECT_DOUBLE_EQ(normDiff(a, a.clone()), 0.0);
+  Mat b = a.clone();
+  b.at<std::uint8_t>(2, 2) = 10;
+  EXPECT_DOUBLE_EQ(normDiff(a, b, NormType::L1), 3.0);
+  EXPECT_DOUBLE_EQ(normDiff(a, b, NormType::Inf), 3.0);
+  EXPECT_DOUBLE_EQ(normDiff(a, b, NormType::L2), 3.0);
+}
+
+TEST(Norms, DiffIsUnsaturated) {
+  // u8 absdiff saturates at 255 per element, but normDiff computes in
+  // double: check a case where they agree and the range check holds.
+  Mat a = full(1, 4, U8C1, 255), b = zeros(1, 4, U8C1);
+  EXPECT_DOUBLE_EQ(normDiff(a, b, NormType::L1), 4 * 255.0);
+}
+
+TEST(MeanStdDevOp, AnalyticValues) {
+  Mat a(1, 4, F32C1);
+  a.at<float>(0, 0) = 2;
+  a.at<float>(0, 1) = 4;
+  a.at<float>(0, 2) = 4;
+  a.at<float>(0, 3) = 6;
+  const auto r = meanStdDev(a);
+  EXPECT_DOUBLE_EQ(r.mean, 4.0);
+  EXPECT_NEAR(r.stddev, std::sqrt(2.0), 1e-9);
+}
+
+TEST(MeanStdDevOp, ConstantHasZeroDeviation) {
+  const auto r = meanStdDev(full(16, 16, U8C1, 42));
+  EXPECT_DOUBLE_EQ(r.mean, 42.0);
+  EXPECT_NEAR(r.stddev, 0.0, 1e-9);
+}
+
+TEST(Norms, Validation) {
+  Mat empty;
+  EXPECT_THROW(norm(empty), Error);
+  Mat a(2, 2, U8C1), b(2, 3, U8C1);
+  EXPECT_THROW(normDiff(a, b), Error);
+}
+
+}  // namespace
+}  // namespace simdcv::core

@@ -1,0 +1,129 @@
+// saturate_cast and cvRound semantics, including the exhaustive and boundary
+// behaviour the SIMD kernels must reproduce.
+#include "core/saturate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace simdcv {
+namespace {
+
+TEST(CvRound, TiesGoToEven) {
+  EXPECT_EQ(cvRound(0.5), 0);
+  EXPECT_EQ(cvRound(1.5), 2);
+  EXPECT_EQ(cvRound(2.5), 2);
+  EXPECT_EQ(cvRound(3.5), 4);
+  EXPECT_EQ(cvRound(-0.5), 0);
+  EXPECT_EQ(cvRound(-1.5), -2);
+  EXPECT_EQ(cvRound(-2.5), -2);
+}
+
+TEST(CvRound, FloatOverloadMatchesDouble) {
+  for (float v : {0.5f, 1.5f, 2.49f, 2.51f, -3.5f, -3.49f, 1e6f}) {
+    EXPECT_EQ(cvRound(v), cvRound(static_cast<double>(v))) << v;
+  }
+}
+
+TEST(CvRound, FloorCeil) {
+  EXPECT_EQ(cvFloor(2.9), 2);
+  EXPECT_EQ(cvFloor(-2.1), -3);
+  EXPECT_EQ(cvCeil(2.1), 3);
+  EXPECT_EQ(cvCeil(-2.9), -2);
+}
+
+TEST(SaturateCast, U8FromS16Exhaustive) {
+  for (int v = -32768; v <= 32767; ++v) {
+    const int expect = v < 0 ? 0 : (v > 255 ? 255 : v);
+    EXPECT_EQ(saturate_cast<std::uint8_t>(static_cast<std::int16_t>(v)), expect);
+  }
+}
+
+TEST(SaturateCast, S16FromS32Boundaries) {
+  EXPECT_EQ(saturate_cast<std::int16_t>(32767), 32767);
+  EXPECT_EQ(saturate_cast<std::int16_t>(32768), 32767);
+  EXPECT_EQ(saturate_cast<std::int16_t>(-32768), -32768);
+  EXPECT_EQ(saturate_cast<std::int16_t>(-32769), -32768);
+  EXPECT_EQ(saturate_cast<std::int16_t>(std::numeric_limits<std::int32_t>::max()), 32767);
+  EXPECT_EQ(saturate_cast<std::int16_t>(std::numeric_limits<std::int32_t>::min()), -32768);
+  EXPECT_EQ(saturate_cast<std::int16_t>(0), 0);
+}
+
+TEST(SaturateCast, S16FromFloat) {
+  EXPECT_EQ(saturate_cast<std::int16_t>(100.4f), 100);
+  EXPECT_EQ(saturate_cast<std::int16_t>(100.6f), 101);
+  EXPECT_EQ(saturate_cast<std::int16_t>(100.5f), 100);  // ties to even
+  EXPECT_EQ(saturate_cast<std::int16_t>(101.5f), 102);
+  EXPECT_EQ(saturate_cast<std::int16_t>(40000.0f), 32767);
+  EXPECT_EQ(saturate_cast<std::int16_t>(-40000.0f), -32768);
+  EXPECT_EQ(saturate_cast<std::int16_t>(32767.4f), 32767);
+  EXPECT_EQ(saturate_cast<std::int16_t>(-32768.4f), -32768);
+}
+
+TEST(SaturateCast, U8FromFloat) {
+  EXPECT_EQ(saturate_cast<std::uint8_t>(-1.0f), 0);
+  EXPECT_EQ(saturate_cast<std::uint8_t>(0.49f), 0);
+  EXPECT_EQ(saturate_cast<std::uint8_t>(254.5f), 254);  // ties to even
+  EXPECT_EQ(saturate_cast<std::uint8_t>(255.5f), 255);
+  EXPECT_EQ(saturate_cast<std::uint8_t>(1e9f), 255);
+}
+
+TEST(SaturateCast, S8Boundaries) {
+  EXPECT_EQ(saturate_cast<std::int8_t>(127), 127);
+  EXPECT_EQ(saturate_cast<std::int8_t>(128), 127);
+  EXPECT_EQ(saturate_cast<std::int8_t>(-128), -128);
+  EXPECT_EQ(saturate_cast<std::int8_t>(-129), -128);
+  EXPECT_EQ(saturate_cast<std::int8_t>(std::uint8_t{200}), 127);
+  EXPECT_EQ(saturate_cast<std::int8_t>(std::uint32_t{1u << 31}), 127);
+}
+
+TEST(SaturateCast, U16Boundaries) {
+  EXPECT_EQ(saturate_cast<std::uint16_t>(-1), 0);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(65535), 65535);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(65536), 65535);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(static_cast<std::int16_t>(-5)), 0);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(70000.0f), 65535);
+}
+
+TEST(SaturateCast, S32FromFloatSaturates) {
+  EXPECT_EQ(saturate_cast<std::int32_t>(3e9f), std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(saturate_cast<std::int32_t>(-3e9f), std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(saturate_cast<std::int32_t>(std::nanf("")), 0);
+  EXPECT_EQ(saturate_cast<std::int32_t>(1.5f), 2);
+}
+
+TEST(SaturateCast, WideningIsExact) {
+  EXPECT_EQ(saturate_cast<float>(std::int32_t{123456}), 123456.0f);
+  EXPECT_EQ(saturate_cast<double>(std::uint8_t{255}), 255.0);
+  EXPECT_EQ(saturate_cast<std::int16_t>(std::uint8_t{255}), 255);
+  EXPECT_EQ(saturate_cast<std::int32_t>(std::int16_t{-32768}), -32768);
+}
+
+// Property: saturate_cast<D>(x) == clamp(x) for every int32 in a sampled
+// sweep (dense near boundaries, sparse elsewhere).
+TEST(SaturateCast, ClampPropertySweep) {
+  auto check = [](std::int32_t v) {
+    const long long x = v;
+    EXPECT_EQ(saturate_cast<std::uint8_t>(v),
+              static_cast<std::uint8_t>(std::min(255LL, std::max(0LL, x))));
+    EXPECT_EQ(saturate_cast<std::int16_t>(v),
+              static_cast<std::int16_t>(std::min(32767LL, std::max(-32768LL, x))));
+    EXPECT_EQ(saturate_cast<std::uint16_t>(v),
+              static_cast<std::uint16_t>(std::min(65535LL, std::max(0LL, x))));
+  };
+  for (int d = -300; d <= 300; ++d) {
+    check(d);
+    check(255 + d);
+    check(32767 + d);
+    check(-32768 + d);
+    check(65535 + d);
+  }
+  for (std::int64_t v = std::numeric_limits<std::int32_t>::min();
+       v <= std::numeric_limits<std::int32_t>::max(); v += 9999991) {
+    check(static_cast<std::int32_t>(v));
+  }
+}
+
+}  // namespace
+}  // namespace simdcv

@@ -1,0 +1,223 @@
+// Adaptive threshold, Laplacian, LUT, CLAHE, bilateral filter.
+#include "imgproc/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "imgproc/filter.hpp"
+
+namespace simdcv::imgproc {
+namespace {
+
+Mat randomU8(int rows, int cols, unsigned seed) {
+  Mat m(rows, cols, U8C1);
+  std::mt19937 rng(seed);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      m.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(rng());
+  return m;
+}
+
+TEST(AdaptiveThreshold, HandlesIlluminationGradient) {
+  // Text-like dark dots on a background whose brightness ramps 60..220:
+  // a global threshold cannot separate both ends; the adaptive one can.
+  Mat src(40, 120, U8C1);
+  for (int r = 0; r < 40; ++r)
+    for (int c = 0; c < 120; ++c)
+      src.at<std::uint8_t>(r, c) =
+          static_cast<std::uint8_t>(60 + (160 * c) / 119);
+  // Dots at both the dark and bright end.
+  for (int c : {10, 110}) {
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx)
+        src.at<std::uint8_t>(20 + dy, c + dx) = static_cast<std::uint8_t>(
+            src.at<std::uint8_t>(20 + dy, c + dx) - 50);
+  }
+  Mat bin;
+  adaptiveThreshold(src, bin, 255, AdaptiveMethod::Mean,
+                    ThresholdType::BinaryInv, 11, 10);
+  EXPECT_EQ(bin.at<std::uint8_t>(20, 10), 255);   // dark-end dot found
+  EXPECT_EQ(bin.at<std::uint8_t>(20, 110), 255);  // bright-end dot found
+  EXPECT_EQ(bin.at<std::uint8_t>(5, 60), 0);      // plain background clean
+}
+
+TEST(AdaptiveThreshold, GaussianVariantAndPolarity) {
+  const Mat src = randomU8(32, 32, 1);
+  Mat bin, binInv;
+  adaptiveThreshold(src, bin, 200, AdaptiveMethod::Gaussian,
+                    ThresholdType::Binary, 9, 0);
+  adaptiveThreshold(src, binInv, 200, AdaptiveMethod::Gaussian,
+                    ThresholdType::BinaryInv, 9, 0);
+  for (int r = 0; r < 32; ++r)
+    for (int c = 0; c < 32; ++c) {
+      const auto a = bin.at<std::uint8_t>(r, c);
+      const auto b = binInv.at<std::uint8_t>(r, c);
+      EXPECT_TRUE((a == 200 && b == 0) || (a == 0 && b == 200));
+    }
+}
+
+TEST(AdaptiveThreshold, Validation) {
+  Mat src = randomU8(8, 8, 2), dst;
+  EXPECT_THROW(adaptiveThreshold(src, dst, 255, AdaptiveMethod::Mean,
+                                 ThresholdType::Binary, 4, 0),
+               Error);
+  EXPECT_THROW(adaptiveThreshold(src, dst, 255, AdaptiveMethod::Mean,
+                                 ThresholdType::Trunc, 5, 0),
+               Error);
+}
+
+TEST(Laplacian, ZeroOnLinearRamp) {
+  // The Laplacian of a plane is zero everywhere.
+  Mat src(16, 16, F32C1);
+  for (int r = 0; r < 16; ++r)
+    for (int c = 0; c < 16; ++c)
+      src.at<float>(r, c) = 3.0f * c - 2.0f * r + 5.0f;
+  for (int ksize : {1, 3, 5}) {
+    Mat lap;
+    Laplacian(src, lap, Depth::F32, ksize);
+    for (int r = 4; r < 12; ++r)
+      for (int c = 4; c < 12; ++c)
+        EXPECT_NEAR(lap.at<float>(r, c), 0.0f, 1e-3) << ksize;
+  }
+}
+
+TEST(Laplacian, ConstantOnQuadratic) {
+  // f = x^2 + y^2 -> Laplacian = 4 (ksize 1 stencil computes it exactly).
+  Mat src(16, 16, F32C1);
+  for (int r = 0; r < 16; ++r)
+    for (int c = 0; c < 16; ++c)
+      src.at<float>(r, c) = static_cast<float>(c * c + r * r);
+  Mat lap;
+  Laplacian(src, lap, Depth::F32, 1);
+  for (int r = 4; r < 12; ++r)
+    for (int c = 4; c < 12; ++c) EXPECT_NEAR(lap.at<float>(r, c), 4.0f, 1e-3);
+}
+
+TEST(Laplacian, SignFlipsAcrossBlobBoundary) {
+  Mat src = zeros(21, 21, U8C1);
+  src.roi({8, 8, 5, 5}).setTo(200);  // bright block over cols/rows 8..12
+  Mat lap;
+  Laplacian(src, lap, Depth::S16, 3);
+  EXPECT_EQ(lap.at<std::int16_t>(10, 10), 0);  // constant interior
+  EXPECT_LT(lap.at<std::int16_t>(10, 12), 0);  // inside edge of bright block
+  EXPECT_GT(lap.at<std::int16_t>(10, 13), 0);  // just outside
+}
+
+TEST(ApplyLut, IdentityAndInversion) {
+  const Mat src = randomU8(9, 17, 3);
+  std::array<std::uint8_t, 256> id{}, inv{};
+  for (int i = 0; i < 256; ++i) {
+    id[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    inv[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(255 - i);
+  }
+  Mat same, negd, back;
+  applyLut(src, same, id);
+  EXPECT_EQ(countMismatches(src, same), 0u);
+  applyLut(src, negd, inv);
+  applyLut(negd, back, inv);
+  EXPECT_EQ(countMismatches(src, back), 0u);
+  EXPECT_EQ(negd.at<std::uint8_t>(0, 0), 255 - src.at<std::uint8_t>(0, 0));
+}
+
+TEST(Clahe, RaisesLocalContrastWithoutGlobalBlowup) {
+  // Low-contrast left half, high-contrast right half.
+  Mat src(64, 64, U8C1);
+  std::mt19937 rng(4);
+  for (int r = 0; r < 64; ++r)
+    for (int c = 0; c < 64; ++c) {
+      const int span = c < 32 ? 16 : 200;
+      src.at<std::uint8_t>(r, c) =
+          static_cast<std::uint8_t>(120 + static_cast<int>(rng() % span) - span / 2);
+    }
+  Mat eq;
+  clahe(src, eq, 4.0, 4, 4);
+  auto localStddev = [](const Mat& m, Rect r) {
+    double s = 0, s2 = 0;
+    for (int y = r.y; y < r.y + r.height; ++y)
+      for (int x = r.x; x < r.x + r.width; ++x) {
+        const double v = m.at<std::uint8_t>(y, x);
+        s += v;
+        s2 += v * v;
+      }
+    const double n = r.width * static_cast<double>(r.height);
+    return std::sqrt(std::max(0.0, s2 / n - (s / n) * (s / n)));
+  };
+  // Contrast on the flat half must increase.
+  EXPECT_GT(localStddev(eq, {4, 4, 24, 56}), localStddev(src, {4, 4, 24, 56}) * 1.5);
+}
+
+TEST(Clahe, ConstantImageStaysNearlyConstant) {
+  Mat src = full(32, 32, U8C1, 90);
+  Mat eq;
+  clahe(src, eq, 2.0, 4, 4);
+  // Clipping + redistribution maps a single-bin histogram near 255*(cdf=1);
+  // the essential property: output is still constant (no tile seams).
+  const auto v = eq.at<std::uint8_t>(0, 0);
+  EXPECT_EQ(countMismatches(eq, full(32, 32, U8C1, v)), 0u);
+}
+
+TEST(Clahe, Validation) {
+  Mat src = randomU8(16, 16, 5), dst;
+  EXPECT_THROW(clahe(src, dst, 0.0), Error);
+  EXPECT_THROW(clahe(src, dst, 2.0, 0, 4), Error);
+  Mat f(4, 4, F32C1);
+  EXPECT_THROW(clahe(f, dst), Error);
+}
+
+TEST(Bilateral, PreservesStepEdgeWhileSmoothingNoise) {
+  // Noisy two-level image: bilateral must flatten each side without
+  // blurring across the step.
+  Mat src(32, 32, U8C1);
+  std::mt19937 rng(6);
+  for (int r = 0; r < 32; ++r)
+    for (int c = 0; c < 32; ++c) {
+      const int base = c < 16 ? 60 : 190;
+      src.at<std::uint8_t>(r, c) =
+          static_cast<std::uint8_t>(base + static_cast<int>(rng() % 11) - 5);
+    }
+  Mat out;
+  bilateralFilter(src, out, 7, 25.0, 3.0);
+  // Edge stays sharp: pixels adjacent to the boundary remain near their
+  // side's level.
+  for (int r = 4; r < 28; ++r) {
+    EXPECT_LT(out.at<std::uint8_t>(r, 15), 90);
+    EXPECT_GT(out.at<std::uint8_t>(r, 16), 160);
+  }
+  // Noise shrinks within each side.
+  auto sideVar = [&](const Mat& m, int c0, int c1) {
+    double s = 0, s2 = 0;
+    int n = 0;
+    for (int r = 2; r < 30; ++r)
+      for (int c = c0; c < c1; ++c) {
+        const double v = m.at<std::uint8_t>(r, c);
+        s += v;
+        s2 += v * v;
+        ++n;
+      }
+    return s2 / n - (s / n) * (s / n);
+  };
+  EXPECT_LT(sideVar(out, 2, 13), sideVar(src, 2, 13) * 0.5);
+}
+
+TEST(Bilateral, LargeSigmaColorApproachesGaussian) {
+  // With sigmaColor >> 255, the range kernel is ~1 and bilateral reduces to
+  // a plain spatial Gaussian.
+  const Mat src = randomU8(24, 24, 7);
+  Mat bil, gau;
+  bilateralFilter(src, bil, 5, 1e6, 1.2);
+  GaussianBlur(src, gau, {5, 5}, 1.2, 1.2, BorderType::Reflect101);
+  EXPECT_LE(maxAbsDiff(bil, gau), 2.0);  // quantization differences only
+}
+
+TEST(Bilateral, Validation) {
+  Mat src = randomU8(8, 8, 8), dst;
+  EXPECT_THROW(bilateralFilter(src, dst, 4, 10, 10), Error);
+  EXPECT_THROW(bilateralFilter(src, dst, 5, 0, 10), Error);
+  Mat c3(4, 4, U8C3);
+  EXPECT_THROW(bilateralFilter(c3, dst, 5, 10, 10), Error);
+}
+
+}  // namespace
+}  // namespace simdcv::imgproc

@@ -1,0 +1,172 @@
+// Color conversion: BT.601 gray weights, path agreement, channel plumbing.
+#include "imgproc/color.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace simdcv::imgproc {
+namespace {
+
+std::vector<KernelPath> paths() {
+  return {KernelPath::ScalarNoVec, KernelPath::Auto, KernelPath::Sse2,
+          KernelPath::Neon};
+}
+
+Mat randomBgr(int rows, int cols, unsigned seed, int channels = 3) {
+  Mat m(rows, cols, PixelType(Depth::U8, channels));
+  std::mt19937 rng(seed);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols * channels; ++c)
+      m.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(rng());
+  return m;
+}
+
+int refGray(int b, int g, int r) {
+  return (b * 1868 + g * 9617 + r * 4899 + (1 << 13)) >> 14;
+}
+
+TEST(CvtColor, Bgr2GrayMatchesFixedPointReference) {
+  const Mat src = randomBgr(23, 41, 1);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat gray;
+    cvtColor(src, gray, ColorCode::BGR2GRAY, p);
+    ASSERT_EQ(gray.type(), U8C1);
+    for (int r = 0; r < src.rows(); ++r)
+      for (int c = 0; c < src.cols(); ++c) {
+        const std::uint8_t* px = src.ptr<std::uint8_t>(r) + 3 * c;
+        ASSERT_EQ(gray.at<std::uint8_t>(r, c), refGray(px[0], px[1], px[2]))
+            << toString(p) << " @" << r << "," << c;
+      }
+  }
+}
+
+TEST(CvtColor, AllPathsBitExact) {
+  const Mat src = randomBgr(64, 99, 2);
+  Mat ref;
+  cvtColor(src, ref, ColorCode::BGR2GRAY, KernelPath::Auto);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat got;
+    cvtColor(src, got, ColorCode::BGR2GRAY, p);
+    EXPECT_EQ(countMismatches(ref, got), 0u) << toString(p);
+  }
+}
+
+TEST(CvtColor, Rgb2GraySwapsWeights) {
+  Mat px(1, 1, U8C3);
+  px.at<std::uint8_t>(0, 0) = 10;   // first channel
+  px.at<std::uint8_t>(0, 1) = 20;
+  px.at<std::uint8_t>(0, 2) = 30;   // third channel
+  Mat asBgr, asRgb;
+  cvtColor(px, asBgr, ColorCode::BGR2GRAY);
+  cvtColor(px, asRgb, ColorCode::RGB2GRAY);
+  EXPECT_EQ(asBgr.at<std::uint8_t>(0, 0), refGray(10, 20, 30));
+  EXPECT_EQ(asRgb.at<std::uint8_t>(0, 0), refGray(30, 20, 10));
+}
+
+TEST(CvtColor, GrayOfGrayPixelIsIdentity) {
+  // Weights sum to 16384, so a neutral pixel maps to itself.
+  for (int v : {0, 1, 127, 128, 254, 255}) {
+    Mat px(1, 1, U8C3);
+    px.setTo(v);
+    Mat gray;
+    cvtColor(px, gray, ColorCode::BGR2GRAY);
+    EXPECT_EQ(gray.at<std::uint8_t>(0, 0), v);
+  }
+}
+
+TEST(CvtColor, Gray2BgrReplicates) {
+  Mat g(2, 3, U8C1);
+  g.setTo(99);
+  Mat bgr;
+  cvtColor(g, bgr, ColorCode::GRAY2BGR);
+  ASSERT_EQ(bgr.channels(), 3);
+  for (int c = 0; c < 9; ++c) EXPECT_EQ(bgr.at<std::uint8_t>(1, c), 99);
+}
+
+TEST(CvtColor, Bgr2RgbIsInvolution) {
+  const Mat src = randomBgr(9, 17, 3);
+  Mat rgb, back;
+  cvtColor(src, rgb, ColorCode::BGR2RGB);
+  cvtColor(rgb, back, ColorCode::BGR2RGB);
+  EXPECT_EQ(countMismatches(src, back), 0u);
+  EXPECT_EQ(rgb.at<std::uint8_t>(0, 0), src.at<std::uint8_t>(0, 2));
+}
+
+TEST(CvtColor, AlphaRoundTrip) {
+  const Mat src = randomBgr(5, 7, 4);
+  Mat bgra, back;
+  cvtColor(src, bgra, ColorCode::BGR2BGRA);
+  ASSERT_EQ(bgra.channels(), 4);
+  EXPECT_EQ(bgra.at<std::uint8_t>(0, 3), 255);  // alpha filled
+  cvtColor(bgra, back, ColorCode::BGRA2BGR);
+  EXPECT_EQ(countMismatches(src, back), 0u);
+}
+
+TEST(CvtColor, RejectsWrongChannels) {
+  Mat gray(4, 4, U8C1), dst;
+  EXPECT_THROW(cvtColor(gray, dst, ColorCode::BGR2GRAY), Error);
+  Mat f(4, 4, F32C1);
+  EXPECT_THROW(cvtColor(f, dst, ColorCode::GRAY2BGR), Error);
+}
+
+TEST(SplitMerge, RoundTripC3) {
+  const Mat src = randomBgr(13, 29, 5);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    std::vector<Mat> planes;
+    split(src, planes, p);
+    ASSERT_EQ(planes.size(), 3u);
+    for (int r = 0; r < src.rows(); ++r)
+      for (int c = 0; c < src.cols(); ++c)
+        for (int k = 0; k < 3; ++k)
+          ASSERT_EQ(planes[static_cast<std::size_t>(k)].at<std::uint8_t>(r, c),
+                    src.at<std::uint8_t>(r, 3 * c + k))
+              << toString(p);
+    Mat merged;
+    merge(planes, merged, p);
+    EXPECT_EQ(countMismatches(src, merged), 0u) << toString(p);
+  }
+}
+
+TEST(SplitMerge, RoundTripC4AndF32) {
+  const Mat src4 = randomBgr(6, 11, 6, 4);
+  std::vector<Mat> planes;
+  split(src4, planes);
+  ASSERT_EQ(planes.size(), 4u);
+  Mat merged;
+  merge(planes, merged);
+  EXPECT_EQ(countMismatches(src4, merged), 0u);
+
+  Mat f(4, 5, PixelType(Depth::F32, 2));
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 10; ++c) f.at<float>(r, c) = r * 10.0f + c;
+  std::vector<Mat> fp;
+  split(f, fp);
+  EXPECT_FLOAT_EQ(fp[1].at<float>(2, 3), f.at<float>(2, 2 * 3 + 1));
+  Mat fm;
+  merge(fp, fm);
+  EXPECT_EQ(countMismatches(f, fm), 0u);
+}
+
+TEST(SplitMerge, MergeValidation) {
+  Mat a(4, 4, U8C1), b(4, 5, U8C1), dst;
+  std::vector<Mat> bad = {a, b};
+  EXPECT_THROW(merge(bad, dst), Error);
+  std::vector<Mat> none;
+  EXPECT_THROW(merge(none, dst), Error);
+}
+
+TEST(SplitMerge, SingleChannelSplitIsCopy) {
+  const Mat src = randomBgr(5, 5, 7, 1);
+  std::vector<Mat> planes;
+  split(src, planes);
+  ASSERT_EQ(planes.size(), 1u);
+  EXPECT_EQ(countMismatches(src, planes[0]), 0u);
+  EXPECT_FALSE(planes[0].sharesStorageWith(src));
+}
+
+}  // namespace
+}  // namespace simdcv::imgproc

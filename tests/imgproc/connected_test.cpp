@@ -1,0 +1,118 @@
+// Connected components: labeling correctness, connectivity modes, stats.
+#include "imgproc/connected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace simdcv::imgproc {
+namespace {
+
+Mat fromPattern(const char* rows[], int h, int w) {
+  Mat m = zeros(h, w, U8C1);
+  for (int r = 0; r < h; ++r)
+    for (int c = 0; c < w; ++c)
+      if (rows[r][c] == '#') m.at<std::uint8_t>(r, c) = 255;
+  return m;
+}
+
+TEST(ConnectedComponents, TwoSeparateBlobs) {
+  const char* p[] = {
+      "##....",
+      "##....",
+      "....##",
+      "....##",
+  };
+  Mat labels;
+  const int n = connectedComponents(fromPattern(p, 4, 6), labels);
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(labels.at<std::int32_t>(0, 0), 1);  // scan order numbering
+  EXPECT_EQ(labels.at<std::int32_t>(3, 5), 2);
+  EXPECT_EQ(labels.at<std::int32_t>(0, 3), 0);  // background
+}
+
+TEST(ConnectedComponents, DiagonalTouchDependsOnConnectivity) {
+  const char* p[] = {
+      "#.",
+      ".#",
+  };
+  const Mat img = fromPattern(p, 2, 2);
+  Mat labels;
+  EXPECT_EQ(connectedComponents(img, labels, Connectivity::Eight), 1);
+  EXPECT_EQ(connectedComponents(img, labels, Connectivity::Four), 2);
+}
+
+TEST(ConnectedComponents, UShapeMergesAcrossRows) {
+  // The two arms of a U get different provisional labels that must merge.
+  const char* p[] = {
+      "#.#",
+      "#.#",
+      "###",
+  };
+  Mat labels;
+  EXPECT_EQ(connectedComponents(fromPattern(p, 3, 3), labels), 1);
+  EXPECT_EQ(labels.at<std::int32_t>(0, 0), labels.at<std::int32_t>(0, 2));
+}
+
+TEST(ConnectedComponents, SpiralIsOneComponent) {
+  const char* p[] = {
+      "#####",
+      "....#",
+      "###.#",
+      "#...#",
+      "#####",
+  };
+  Mat labels;
+  EXPECT_EQ(connectedComponents(fromPattern(p, 5, 5), labels), 1);
+}
+
+TEST(ConnectedComponents, EmptyAndFullImages) {
+  Mat labels;
+  EXPECT_EQ(connectedComponents(zeros(8, 8, U8C1), labels), 0);
+  EXPECT_EQ(countMismatches(labels, zeros(8, 8, S32C1)), 0u);
+  EXPECT_EQ(connectedComponents(full(8, 8, U8C1, 255), labels), 1);
+  EXPECT_EQ(labels.at<std::int32_t>(7, 7), 1);
+}
+
+TEST(ConnectedComponents, ManySinglePixels) {
+  Mat img = zeros(10, 10, U8C1);
+  for (int r = 0; r < 10; r += 2)
+    for (int c = 0; c < 10; c += 2) img.at<std::uint8_t>(r, c) = 1;
+  Mat labels;
+  EXPECT_EQ(connectedComponents(img, labels), 25);
+  std::set<std::int32_t> seen;
+  for (int r = 0; r < 10; ++r)
+    for (int c = 0; c < 10; ++c)
+      if (labels.at<std::int32_t>(r, c)) seen.insert(labels.at<std::int32_t>(r, c));
+  EXPECT_EQ(seen.size(), 25u);
+}
+
+TEST(ConnectedComponents, StatsAreExact) {
+  const char* p[] = {
+      ".....",
+      ".###.",
+      ".###.",
+      ".....",
+      "#....",
+  };
+  Mat labels;
+  std::vector<ComponentStats> stats;
+  const int n = connectedComponentsWithStats(fromPattern(p, 5, 5), labels, stats);
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(stats[0].area, 6);
+  EXPECT_EQ(stats[0].bbox, Rect(1, 1, 3, 2));
+  EXPECT_DOUBLE_EQ(stats[0].centroid_x, 2.0);
+  EXPECT_DOUBLE_EQ(stats[0].centroid_y, 1.5);
+  EXPECT_EQ(stats[1].area, 1);
+  EXPECT_EQ(stats[1].bbox, Rect(0, 4, 1, 1));
+}
+
+TEST(ConnectedComponents, Validation) {
+  Mat f(4, 4, F32C1), labels;
+  EXPECT_THROW(connectedComponents(f, labels), Error);
+  Mat empty;
+  EXPECT_THROW(connectedComponents(empty, labels), Error);
+}
+
+}  // namespace
+}  // namespace simdcv::imgproc

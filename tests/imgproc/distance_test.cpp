@@ -1,0 +1,128 @@
+// Distance transform and Hough line detection.
+#include "imgproc/distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace simdcv::imgproc {
+namespace {
+
+TEST(DistanceTransform, SingleSeedL1) {
+  // One zero pixel in the center: L1 metric gives city-block distance.
+  Mat bin = full(9, 9, U8C1, 255);
+  bin.at<std::uint8_t>(4, 4) = 0;
+  Mat dist;
+  distanceTransform(bin, dist, DistanceMetric::L1);
+  for (int y = 0; y < 9; ++y)
+    for (int x = 0; x < 9; ++x)
+      EXPECT_FLOAT_EQ(dist.at<float>(y, x),
+                      static_cast<float>(std::abs(x - 4) + std::abs(y - 4)))
+          << x << "," << y;
+}
+
+TEST(DistanceTransform, ChamferApproximatesEuclidean) {
+  Mat bin = full(21, 21, U8C1, 255);
+  bin.at<std::uint8_t>(10, 10) = 0;
+  Mat dist;
+  distanceTransform(bin, dist, DistanceMetric::Chamfer);
+  // Exact on axes, within ~8% of Euclidean elsewhere (3-4 chamfer bound).
+  EXPECT_FLOAT_EQ(dist.at<float>(10, 15), 5.0f);
+  EXPECT_FLOAT_EQ(dist.at<float>(3, 10), 7.0f);
+  for (int y = 2; y < 19; ++y)
+    for (int x = 2; x < 19; ++x) {
+      const double eu = std::hypot(x - 10, y - 10);
+      if (eu == 0) continue;
+      EXPECT_NEAR(dist.at<float>(y, x) / eu, 1.0, 0.09) << x << "," << y;
+    }
+}
+
+TEST(DistanceTransform, ZeroEverywhereOnZeros) {
+  Mat dist;
+  distanceTransform(zeros(6, 6, U8C1), dist);
+  EXPECT_EQ(countMismatches(dist, zeros(6, 6, F32C1)), 0u);
+}
+
+TEST(DistanceTransform, AllForegroundGivesInfinity) {
+  Mat dist;
+  distanceTransform(full(4, 4, U8C1, 1), dist);
+  EXPECT_TRUE(std::isinf(dist.at<float>(2, 2)));
+}
+
+TEST(DistanceTransform, NearestOfTwoSeedsWins) {
+  Mat bin = full(5, 20, U8C1, 255);
+  bin.at<std::uint8_t>(2, 2) = 0;
+  bin.at<std::uint8_t>(2, 17) = 0;
+  Mat dist;
+  distanceTransform(bin, dist, DistanceMetric::L1);
+  EXPECT_FLOAT_EQ(dist.at<float>(2, 5), 3.0f);    // nearer to seed at 2
+  EXPECT_FLOAT_EQ(dist.at<float>(2, 14), 3.0f);   // nearer to seed at 17
+  EXPECT_FLOAT_EQ(dist.at<float>(2, 9), 7.0f);    // midpoint-ish
+}
+
+TEST(HoughLines, DetectsHorizontalAndVerticalLines) {
+  Mat edges = zeros(64, 64, U8C1);
+  for (int x = 0; x < 64; ++x) edges.at<std::uint8_t>(20, x) = 255;  // y = 20
+  for (int y = 0; y < 64; ++y) edges.at<std::uint8_t>(y, 45) = 255;  // x = 45
+  const auto lines = houghLines(edges, 1.0, M_PI / 180.0, 50);
+  ASSERT_GE(lines.size(), 2u);
+  bool horiz = false, vert = false;
+  for (const auto& l : lines) {
+    // Horizontal line y=20: theta ~ pi/2, rho ~ 20.
+    if (std::abs(l.theta - M_PI / 2) < 0.03 && std::abs(l.rho - 20) < 1.5)
+      horiz = true;
+    // Vertical line x=45: theta ~ 0, rho ~ 45.
+    if ((l.theta < 0.03 || l.theta > M_PI - 0.03) && std::abs(std::abs(l.rho) - 45) < 1.5)
+      vert = true;
+  }
+  EXPECT_TRUE(horiz);
+  EXPECT_TRUE(vert);
+}
+
+TEST(HoughLines, DetectsDiagonal) {
+  Mat edges = zeros(64, 64, U8C1);
+  for (int i = 0; i < 64; ++i) edges.at<std::uint8_t>(i, i) = 255;  // y = x
+  const auto lines = houghLines(edges, 1.0, M_PI / 180.0, 40);
+  ASSERT_FALSE(lines.empty());
+  // y = x: x*cos(3pi/4) + y*sin(3pi/4) = 0 -> theta ~ 135 deg, rho ~ 0.
+  const auto& top = lines.front();
+  EXPECT_NEAR(top.theta, 3 * M_PI / 4, 0.03);
+  EXPECT_NEAR(top.rho, 0.0, 1.5);
+}
+
+TEST(HoughLines, VoteCountMatchesLineLength) {
+  Mat edges = zeros(32, 32, U8C1);
+  for (int x = 4; x < 28; ++x) edges.at<std::uint8_t>(10, x) = 255;  // 24 px
+  const auto lines = houghLines(edges, 1.0, M_PI / 180.0, 10);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NEAR(lines.front().votes, 24, 2);
+}
+
+TEST(HoughLines, NoiseBelowThresholdYieldsNothing) {
+  Mat edges = zeros(32, 32, U8C1);
+  edges.at<std::uint8_t>(3, 7) = 255;
+  edges.at<std::uint8_t>(20, 11) = 255;
+  EXPECT_TRUE(houghLines(edges, 1.0, M_PI / 180.0, 5).empty());
+}
+
+TEST(HoughLines, StrongestFirstOrdering) {
+  Mat edges = zeros(64, 64, U8C1);
+  for (int x = 0; x < 64; ++x) edges.at<std::uint8_t>(10, x) = 255;  // long
+  for (int x = 20; x < 44; ++x) edges.at<std::uint8_t>(40, x) = 255; // short
+  const auto lines = houghLines(edges, 1.0, M_PI / 180.0, 15);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_GE(lines[0].votes, lines[1].votes);
+  EXPECT_NEAR(lines[0].rho, 10, 1.5);  // long line wins
+}
+
+TEST(HoughLines, Validation) {
+  Mat edges = zeros(8, 8, U8C1);
+  EXPECT_THROW(houghLines(edges, 0.0, 0.01, 5), Error);
+  EXPECT_THROW(houghLines(edges, 1.0, 0.01, 0), Error);
+  Mat f(4, 4, F32C1), d;
+  EXPECT_THROW(houghLines(f, 1.0, 0.01, 5), Error);
+  EXPECT_THROW(distanceTransform(f, d), Error);
+}
+
+}  // namespace
+}  // namespace simdcv::imgproc

@@ -1,0 +1,159 @@
+// Gradient magnitude and the full edge-detection pipeline.
+#include "imgproc/edge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "imgproc/filter.hpp"
+
+namespace simdcv::imgproc {
+namespace {
+
+std::vector<KernelPath> paths() {
+  return {KernelPath::ScalarNoVec, KernelPath::Auto, KernelPath::Sse2,
+          KernelPath::Avx2, KernelPath::Neon};
+}
+
+Mat randomS16(int rows, int cols, unsigned seed, int lo = -32768, int hi = 32767) {
+  Mat m(rows, cols, S16C1);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      m.at<std::int16_t>(r, c) = static_cast<std::int16_t>(dist(rng));
+  return m;
+}
+
+TEST(Magnitude, MatchesScalarDefinition) {
+  const Mat gx = randomS16(13, 37, 1, -1000, 1000);
+  const Mat gy = randomS16(13, 37, 2, -1000, 1000);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat mag;
+    gradientMagnitude(gx, gy, mag, p);
+    for (int r = 0; r < gx.rows(); ++r)
+      for (int c = 0; c < gx.cols(); ++c) {
+        const int want = std::min(
+            255, std::abs(static_cast<int>(gx.at<std::int16_t>(r, c))) +
+                     std::abs(static_cast<int>(gy.at<std::int16_t>(r, c))));
+        ASSERT_EQ(mag.at<std::uint8_t>(r, c), want) << toString(p);
+      }
+  }
+}
+
+TEST(Magnitude, AllPathsBitExactOnFullS16Range) {
+  // Includes INT16_MIN, where saturating-abs semantics matter.
+  const Mat gx = randomS16(16, 33, 3);
+  const Mat gy = randomS16(16, 33, 4);
+  Mat ref;
+  gradientMagnitude(gx, gy, ref, KernelPath::Auto);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat got;
+    gradientMagnitude(gx, gy, got, p);
+    EXPECT_EQ(countMismatches(ref, got), 0u) << toString(p);
+  }
+}
+
+TEST(Magnitude, ExtremeValuesSaturateTo255) {
+  Mat gx(1, 8, S16C1), gy(1, 8, S16C1);
+  gx.setTo(-32768);
+  gy.setTo(-32768);
+  Mat mag;
+  gradientMagnitude(gx, gy, mag);
+  for (int c = 0; c < 8; ++c) EXPECT_EQ(mag.at<std::uint8_t>(0, c), 255);
+}
+
+TEST(Magnitude, ZeroGradientsGiveZero) {
+  Mat gx = zeros(4, 4, S16C1), gy = zeros(4, 4, S16C1), mag;
+  gradientMagnitude(gx, gy, mag);
+  EXPECT_EQ(countMismatches(mag, zeros(4, 4, U8C1)), 0u);
+}
+
+TEST(Magnitude, RejectsMismatchedInputs) {
+  Mat a = zeros(4, 4, S16C1), b = zeros(4, 5, S16C1), dst;
+  EXPECT_THROW(gradientMagnitude(a, b, dst), Error);
+  Mat f = zeros(4, 4, F32C1);
+  EXPECT_THROW(gradientMagnitude(a, f, dst), Error);
+}
+
+TEST(EdgeDetect, FindsVerticalEdge) {
+  Mat src = zeros(32, 32, U8C1);
+  for (int r = 0; r < 32; ++r)
+    for (int c = 16; c < 32; ++c) src.at<std::uint8_t>(r, c) = 220;
+  Mat edges;
+  edgeDetect(src, edges, 100.0);
+  ASSERT_EQ(edges.depth(), Depth::U8);
+  // Edge pixels near column 16 fire; far-away pixels do not.
+  int onNearEdge = 0;
+  for (int r = 8; r < 24; ++r)
+    for (int c = 15; c <= 16; ++c)
+      if (edges.at<std::uint8_t>(r, c) == 255) ++onNearEdge;
+  EXPECT_GT(onNearEdge, 16);
+  for (int r = 8; r < 24; ++r) {
+    EXPECT_EQ(edges.at<std::uint8_t>(r, 4), 0);
+    EXPECT_EQ(edges.at<std::uint8_t>(r, 28), 0);
+  }
+}
+
+TEST(EdgeDetect, OutputIsBinary) {
+  std::mt19937 rng(9);
+  Mat src(24, 24, U8C1);
+  for (int r = 0; r < 24; ++r)
+    for (int c = 0; c < 24; ++c)
+      src.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(rng() & 0xff);
+  Mat edges;
+  edgeDetect(src, edges, 150.0);
+  for (int r = 0; r < 24; ++r)
+    for (int c = 0; c < 24; ++c) {
+      const auto v = edges.at<std::uint8_t>(r, c);
+      EXPECT_TRUE(v == 0 || v == 255) << static_cast<int>(v);
+    }
+}
+
+TEST(EdgeDetect, ConstantImageHasNoEdges) {
+  Mat src = full(16, 16, U8C1, 128);
+  Mat edges;
+  edgeDetect(src, edges, 10.0);
+  EXPECT_EQ(countMismatches(edges, zeros(16, 16, U8C1)), 0u);
+}
+
+TEST(EdgeDetect, ThresholdControlsSensitivity) {
+  std::mt19937 rng(10);
+  Mat src(32, 32, U8C1);
+  for (int r = 0; r < 32; ++r)
+    for (int c = 0; c < 32; ++c)
+      src.at<std::uint8_t>(r, c) =
+          static_cast<std::uint8_t>(128 + (static_cast<int>(rng() % 64)) - 32);
+  auto countOn = [](const Mat& m) {
+    int n = 0;
+    for (int r = 0; r < m.rows(); ++r)
+      for (int c = 0; c < m.cols(); ++c)
+        if (m.at<std::uint8_t>(r, c)) ++n;
+    return n;
+  };
+  Mat low, high;
+  edgeDetect(src, low, 20.0);
+  edgeDetect(src, high, 200.0);
+  EXPECT_GT(countOn(low), countOn(high));
+}
+
+TEST(EdgeDetect, AllPathsBitExact) {
+  std::mt19937 rng(11);
+  Mat src(29, 43, U8C1);
+  for (int r = 0; r < 29; ++r)
+    for (int c = 0; c < 43; ++c)
+      src.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(rng() & 0xff);
+  Mat ref;
+  edgeDetect(src, ref, 120.0, 3, BorderType::Reflect101, KernelPath::Auto);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat got;
+    edgeDetect(src, got, 120.0, 3, BorderType::Reflect101, p);
+    EXPECT_EQ(countMismatches(ref, got), 0u) << toString(p);
+  }
+}
+
+}  // namespace
+}  // namespace simdcv::imgproc

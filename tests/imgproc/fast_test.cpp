@@ -1,0 +1,118 @@
+// FAST-9 corner detection.
+#include "imgproc/fast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace simdcv::imgproc {
+namespace {
+
+// Bright square on dark background: corners of the square are FAST corners,
+// edge midpoints are not.
+Mat squareScene() {
+  Mat m = full(40, 40, U8C1, 20);
+  m.roi({12, 12, 16, 16}).setTo(220);
+  return m;
+}
+
+bool hasCornerNear(const std::vector<KeyPoint>& kps, int x, int y, int r = 2) {
+  for (const auto& kp : kps)
+    if (std::abs(kp.x - x) <= r && std::abs(kp.y - y) <= r) return true;
+  return false;
+}
+
+TEST(Fast9, DetectsSquareCorners) {
+  const auto kps = fast9(squareScene(), 40);
+  ASSERT_FALSE(kps.empty());
+  EXPECT_TRUE(hasCornerNear(kps, 12, 12));
+  EXPECT_TRUE(hasCornerNear(kps, 27, 12));
+  EXPECT_TRUE(hasCornerNear(kps, 12, 27));
+  EXPECT_TRUE(hasCornerNear(kps, 27, 27));
+}
+
+TEST(Fast9, RejectsEdgesAndFlatRegions) {
+  const auto kps = fast9(squareScene(), 40);
+  // Middle of an edge is not a corner; deep inside/outside is flat.
+  EXPECT_FALSE(hasCornerNear(kps, 20, 12, 1));
+  EXPECT_FALSE(hasCornerNear(kps, 20, 20, 3));
+  EXPECT_FALSE(hasCornerNear(kps, 5, 5, 1));
+}
+
+TEST(Fast9, ConstantImageHasNoCorners) {
+  EXPECT_TRUE(fast9(full(32, 32, U8C1, 128), 10).empty());
+}
+
+TEST(Fast9, DarkCornerOnBrightBackgroundAlsoFires) {
+  Mat m = full(40, 40, U8C1, 220);
+  m.roi({12, 12, 16, 16}).setTo(20);
+  EXPECT_TRUE(hasCornerNear(fast9(m, 40), 12, 12));
+}
+
+TEST(Fast9, ThresholdMonotone) {
+  std::mt19937 rng(1);
+  Mat m(48, 48, U8C1);
+  for (int r = 0; r < 48; ++r)
+    for (int c = 0; c < 48; ++c)
+      m.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(rng());
+  const auto loose = fast9(m, 10, /*nms=*/false);
+  const auto tight = fast9(m, 60, /*nms=*/false);
+  EXPECT_GE(loose.size(), tight.size());
+  // Every tight corner is also a loose corner.
+  for (const auto& kp : tight)
+    EXPECT_TRUE(fast9IsCorner(m, kp.x, kp.y, 10));
+}
+
+TEST(Fast9, ScoresAreConsistentWithSegmentTest) {
+  const auto kps = fast9(squareScene(), 30, /*nms=*/false);
+  const Mat scene = squareScene();
+  for (const auto& kp : kps) {
+    EXPECT_GE(kp.score, 30);
+    EXPECT_TRUE(fast9IsCorner(scene, kp.x, kp.y, kp.score));
+    if (kp.score < 254) {
+      EXPECT_FALSE(fast9IsCorner(scene, kp.x, kp.y, kp.score + 1));
+    }
+  }
+}
+
+TEST(Fast9, NonmaxSuppressionThinsClusters) {
+  std::mt19937 rng(2);
+  Mat m(64, 64, U8C1);
+  for (int r = 0; r < 64; ++r)
+    for (int c = 0; c < 64; ++c)
+      m.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(rng());
+  const auto raw = fast9(m, 20, false);
+  const auto nms = fast9(m, 20, true);
+  EXPECT_LT(nms.size(), raw.size());
+  // No two NMS survivors are 8-adjacent.
+  for (std::size_t i = 0; i < nms.size(); ++i)
+    for (std::size_t j = i + 1; j < nms.size(); ++j)
+      EXPECT_FALSE(std::abs(nms[i].x - nms[j].x) <= 1 &&
+                   std::abs(nms[i].y - nms[j].y) <= 1);
+}
+
+TEST(Fast9, RespectsBorderMargin) {
+  std::mt19937 rng(3);
+  Mat m(32, 32, U8C1);
+  for (int r = 0; r < 32; ++r)
+    for (int c = 0; c < 32; ++c)
+      m.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(rng());
+  for (const auto& kp : fast9(m, 5, false)) {
+    EXPECT_GE(kp.x, 3);
+    EXPECT_GE(kp.y, 3);
+    EXPECT_LT(kp.x, 29);
+    EXPECT_LT(kp.y, 29);
+  }
+}
+
+TEST(Fast9, TinyAndInvalidInputs) {
+  EXPECT_TRUE(fast9(full(6, 6, U8C1, 0), 10).empty());
+  Mat c3(16, 16, U8C3);
+  EXPECT_THROW(fast9(c3, 10), Error);
+  Mat ok(16, 16, U8C1);
+  EXPECT_THROW(fast9(ok, 0), Error);
+  EXPECT_THROW(fast9(ok, 255), Error);
+}
+
+}  // namespace
+}  // namespace simdcv::imgproc

@@ -1,0 +1,89 @@
+// Harris response and corner extraction.
+#include "imgproc/harris.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/array_ops.hpp"
+
+namespace simdcv::imgproc {
+namespace {
+
+Mat squareScene() {
+  Mat m = full(48, 48, U8C1, 30);
+  m.roi({16, 16, 16, 16}).setTo(220);
+  return m;
+}
+
+TEST(Harris, ResponsePositiveAtCornersNegativeOnEdges) {
+  Mat resp;
+  cornerHarris(squareScene(), resp);
+  ASSERT_EQ(resp.depth(), Depth::F32);
+  // Corner of the square: both eigenvalues large -> strongly positive.
+  float cornerMax = -1e30f;
+  for (int y = 14; y <= 18; ++y)
+    for (int x = 14; x <= 18; ++x)
+      cornerMax = std::max(cornerMax, resp.at<float>(y, x));
+  EXPECT_GT(cornerMax, 0.0f);
+  // Mid-edge: one large, one ~zero eigenvalue -> R < 0.
+  float edgeMin = 1e30f;
+  for (int y = 22; y <= 26; ++y)
+    edgeMin = std::min(edgeMin, resp.at<float>(y, 16));
+  EXPECT_LT(edgeMin, 0.0f);
+  // Flat region: R ~ 0.
+  EXPECT_NEAR(resp.at<float>(24, 24), 0.0f, 1.0f);
+  EXPECT_NEAR(resp.at<float>(5, 5), 0.0f, 1.0f);
+  // Corner response dominates the edge response magnitude-wise at the
+  // corner pixel itself.
+  EXPECT_GT(cornerMax, std::abs(resp.at<float>(24, 24)));
+}
+
+TEST(Harris, FindsAllFourSquareCorners) {
+  const auto kps = harrisCorners(squareScene(), 10, 0.1, 6.0);
+  ASSERT_GE(kps.size(), 4u);
+  auto near = [&](int x, int y) {
+    for (const auto& kp : kps)
+      if (std::abs(kp.x - x) <= 3 && std::abs(kp.y - y) <= 3) return true;
+    return false;
+  };
+  EXPECT_TRUE(near(16, 16));
+  EXPECT_TRUE(near(31, 16));
+  EXPECT_TRUE(near(16, 31));
+  EXPECT_TRUE(near(31, 31));
+}
+
+TEST(Harris, ConstantImageHasNoCorners) {
+  EXPECT_TRUE(harrisCorners(full(32, 32, U8C1, 100), 10).empty());
+}
+
+TEST(Harris, MinDistanceSpacing) {
+  const auto kps = harrisCorners(squareScene(), 100, 0.01, 8.0);
+  for (std::size_t i = 0; i < kps.size(); ++i)
+    for (std::size_t j = i + 1; j < kps.size(); ++j) {
+      const double dx = kps[i].x - kps[j].x;
+      const double dy = kps[i].y - kps[j].y;
+      EXPECT_GE(dx * dx + dy * dy, 64.0);
+    }
+}
+
+TEST(Harris, MaxCornersRespected) {
+  const auto kps = harrisCorners(squareScene(), 2, 0.01, 1.0);
+  EXPECT_LE(kps.size(), 2u);
+  EXPECT_GE(kps.size(), 1u);
+}
+
+TEST(Harris, StrongestFirst) {
+  const auto kps = harrisCorners(squareScene(), 10, 0.01, 4.0);
+  for (std::size_t i = 1; i < kps.size(); ++i)
+    EXPECT_GE(kps[i - 1].score, kps[i].score);
+}
+
+TEST(Harris, Validation) {
+  Mat f(8, 8, F32C1), resp;
+  EXPECT_THROW(cornerHarris(f, resp), Error);
+  Mat u8(8, 8, U8C1);
+  EXPECT_THROW(cornerHarris(u8, resp, 4), Error);
+  EXPECT_THROW(harrisCorners(u8, 0), Error);
+}
+
+}  // namespace
+}  // namespace simdcv::imgproc

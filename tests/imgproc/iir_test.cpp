@@ -1,0 +1,125 @@
+// IIR smoothing: recurrence exactness, impulse response, path agreement.
+#include "imgproc/iir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace simdcv::imgproc {
+namespace {
+
+std::vector<KernelPath> paths() {
+  return {KernelPath::ScalarNoVec, KernelPath::Auto, KernelPath::Sse2,
+          KernelPath::Avx2, KernelPath::Neon};
+}
+
+Mat randomF32(int rows, int cols, unsigned seed) {
+  Mat m(rows, cols, F32C1);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-10.f, 10.f);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) m.at<float>(r, c) = dist(rng);
+  return m;
+}
+
+TEST(IirHorizontal, MatchesScalarRecurrence) {
+  const Mat src = randomF32(9, 37, 1);  // 9 rows: SIMD quad + scalar tail
+  const float alpha = 0.3f;
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat dst;
+    iirSmoothHorizontal(src, dst, alpha, p);
+    for (int r = 0; r < src.rows(); ++r) {
+      float y = src.at<float>(r, 0);
+      ASSERT_EQ(dst.at<float>(r, 0), y) << toString(p);
+      for (int c = 1; c < src.cols(); ++c) {
+        y = alpha * src.at<float>(r, c) + (1.0f - alpha) * y;
+        ASSERT_EQ(dst.at<float>(r, c), y) << toString(p) << " @" << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST(IirVertical, MatchesScalarRecurrence) {
+  const Mat src = randomF32(23, 13, 2);
+  const float alpha = 0.6f;
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat dst;
+    iirSmoothVertical(src, dst, alpha, p);
+    for (int c = 0; c < src.cols(); ++c) {
+      float y = src.at<float>(0, c);
+      ASSERT_EQ(dst.at<float>(0, c), y) << toString(p);
+      for (int r = 1; r < src.rows(); ++r) {
+        y = alpha * src.at<float>(r, c) + (1.0f - alpha) * y;
+        ASSERT_EQ(dst.at<float>(r, c), y) << toString(p);
+      }
+    }
+  }
+}
+
+TEST(IirHorizontal, ImpulseResponseDecaysGeometrically) {
+  Mat src = zeros(1, 32, F32C1);
+  src.at<float>(0, 4) = 1.0f;
+  Mat dst;
+  const float alpha = 0.5f;
+  iirSmoothHorizontal(src, dst, alpha);
+  EXPECT_FLOAT_EQ(dst.at<float>(0, 4), 0.5f);
+  for (int c = 5; c < 12; ++c)
+    EXPECT_FLOAT_EQ(dst.at<float>(0, c), dst.at<float>(0, c - 1) * 0.5f);
+  EXPECT_FLOAT_EQ(dst.at<float>(0, 3), 0.0f);  // causal: nothing before
+}
+
+TEST(IirHorizontal, AlphaOneIsIdentity) {
+  const Mat src = randomF32(6, 16, 3);
+  Mat dst;
+  iirSmoothHorizontal(src, dst, 1.0f);
+  EXPECT_EQ(countMismatches(src, dst), 0u);
+}
+
+TEST(IirSmooth, ConstantImageIsFixedPoint) {
+  const Mat src = full(12, 12, F32C1, 3.25);
+  Mat h, v, both;
+  iirSmoothHorizontal(src, h, 0.4f);
+  iirSmoothVertical(src, v, 0.4f);
+  iirSmooth2D(src, both, 0.4f);
+  EXPECT_EQ(countMismatches(src, h), 0u);
+  EXPECT_EQ(countMismatches(src, v), 0u);
+  EXPECT_LT(maxAbsDiff(src, both), 1e-5);
+}
+
+TEST(IirSmooth2D, ReducesNoiseVariance) {
+  const Mat src = randomF32(64, 64, 4);
+  Mat dst;
+  iirSmooth2D(src, dst, 0.25f);
+  auto variance = [](const Mat& m) {
+    double s = 0, s2 = 0;
+    for (int r = 0; r < m.rows(); ++r)
+      for (int c = 0; c < m.cols(); ++c) {
+        s += m.at<float>(r, c);
+        s2 += static_cast<double>(m.at<float>(r, c)) * m.at<float>(r, c);
+      }
+    const double n = static_cast<double>(m.total());
+    return s2 / n - (s / n) * (s / n);
+  };
+  EXPECT_LT(variance(dst), variance(src) * 0.2);
+}
+
+TEST(IirSmooth, Validation) {
+  Mat u8(4, 4, U8C1), dst;
+  EXPECT_THROW(iirSmoothHorizontal(u8, dst, 0.5f), Error);
+  Mat f = randomF32(4, 4, 5);
+  EXPECT_THROW(iirSmoothHorizontal(f, dst, 0.0f), Error);
+  EXPECT_THROW(iirSmoothVertical(f, dst, 1.5f), Error);
+}
+
+TEST(IirHorizontal, SingleColumnImage) {
+  const Mat src = randomF32(10, 1, 6);
+  Mat dst;
+  iirSmoothHorizontal(src, dst, 0.5f);
+  EXPECT_EQ(countMismatches(src, dst), 0u);  // one sample per row: y = x0
+}
+
+}  // namespace
+}  // namespace simdcv::imgproc

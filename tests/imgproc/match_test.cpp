@@ -1,0 +1,130 @@
+// Template matching: SAD kernel exactness, localization, path agreement.
+#include "imgproc/match.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace simdcv::imgproc {
+namespace {
+
+std::vector<KernelPath> paths() {
+  return {KernelPath::ScalarNoVec, KernelPath::Auto, KernelPath::Sse2,
+          KernelPath::Avx2, KernelPath::Neon};
+}
+
+Mat randomU8(int rows, int cols, unsigned seed) {
+  Mat m(rows, cols, U8C1);
+  std::mt19937 rng(seed);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      m.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(rng());
+  return m;
+}
+
+TEST(SadRange, AllPathsExactOnRandomData) {
+  std::mt19937 rng(1);
+  std::vector<std::uint8_t> a(1003), b(1003);  // odd length: vector tail
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::uint8_t>(rng());
+    b[i] = static_cast<std::uint8_t>(rng());
+  }
+  std::uint64_t want = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    want += static_cast<std::uint64_t>(std::abs(static_cast<int>(a[i]) - b[i]));
+  EXPECT_EQ(autovec::sadRange(a.data(), b.data(), a.size()), want);
+  EXPECT_EQ(novec::sadRange(a.data(), b.data(), a.size()), want);
+  EXPECT_EQ(sse2::sadRange(a.data(), b.data(), a.size()), want);
+  EXPECT_EQ(neon::sadRange(a.data(), b.data(), a.size()), want);
+}
+
+TEST(SadRange, ExtremesAndAccumulatorHeadroom) {
+  // Max-difference data over a long run stresses accumulator widths
+  // (the NEON u16 ladder drains every 128 blocks).
+  const std::size_t n = 1 << 20;
+  std::vector<std::uint8_t> a(n, 255), b(n, 0);
+  const std::uint64_t want = 255ull * n;
+  EXPECT_EQ(sse2::sadRange(a.data(), b.data(), n), want);
+  EXPECT_EQ(neon::sadRange(a.data(), b.data(), n), want);
+  EXPECT_EQ(autovec::sadRange(a.data(), b.data(), n), want);
+  EXPECT_EQ(sse2::sadRange(a.data(), a.data(), n), 0u);
+}
+
+TEST(SadAt, MatchesManualWindow) {
+  const Mat img = randomU8(24, 31, 2);
+  const Mat tmpl = randomU8(5, 7, 3);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    const auto got = sadAt(img, tmpl, 11, 9, p);
+    std::uint64_t want = 0;
+    for (int r = 0; r < 5; ++r)
+      for (int c = 0; c < 7; ++c)
+        want += static_cast<std::uint64_t>(
+            std::abs(static_cast<int>(img.at<std::uint8_t>(9 + r, 11 + c)) -
+                     tmpl.at<std::uint8_t>(r, c)));
+    EXPECT_EQ(got, want) << toString(p);
+  }
+}
+
+TEST(MatchTemplate, FindsEmbeddedPatch) {
+  Mat img = randomU8(64, 80, 4);
+  const Rect where(37, 22, 12, 9);
+  const Mat tmpl = img.roi(where).clone();
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    const auto best = findBestMatch(img, tmpl, p);
+    EXPECT_EQ(best.x, where.x) << toString(p);
+    EXPECT_EQ(best.y, where.y) << toString(p);
+    EXPECT_EQ(best.sad, 0u) << toString(p);
+  }
+}
+
+TEST(MatchTemplate, FindsPatchUnderNoise) {
+  Mat img = randomU8(48, 48, 5);
+  Mat tmpl = img.roi({10, 30, 8, 8}).clone();
+  // Perturb the template slightly: the true location must still win.
+  std::mt19937 rng(6);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c) {
+      int v = tmpl.at<std::uint8_t>(r, c) + static_cast<int>(rng() % 7) - 3;
+      tmpl.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(
+          v < 0 ? 0 : (v > 255 ? 255 : v));
+    }
+  const auto best = findBestMatch(img, tmpl);
+  EXPECT_EQ(best.x, 10);
+  EXPECT_EQ(best.y, 30);
+  EXPECT_GT(best.sad, 0u);
+}
+
+TEST(MatchTemplate, SadMapGeometryAndContent) {
+  const Mat img = randomU8(20, 26, 7);
+  const Mat tmpl = randomU8(6, 5, 8);
+  Mat map;
+  matchTemplateSad(img, tmpl, map);
+  ASSERT_EQ(map.size(), Size(26 - 5 + 1, 20 - 6 + 1));
+  ASSERT_EQ(map.depth(), Depth::F32);
+  // Spot-check against sadAt.
+  for (int y : {0, 7, 14})
+    for (int x : {0, 11, 21})
+      EXPECT_EQ(static_cast<std::uint64_t>(map.at<float>(y, x)),
+                sadAt(img, tmpl, x, y));
+}
+
+TEST(MatchTemplate, WholeImageTemplate) {
+  const Mat img = randomU8(9, 9, 9);
+  Mat map;
+  matchTemplateSad(img, img, map);
+  ASSERT_EQ(map.size(), Size(1, 1));
+  EXPECT_EQ(map.at<float>(0, 0), 0.0f);
+}
+
+TEST(MatchTemplate, Validation) {
+  Mat img = randomU8(8, 8, 10), big = randomU8(10, 10, 11), dst;
+  EXPECT_THROW(matchTemplateSad(img, big, dst), Error);
+  EXPECT_THROW(sadAt(img, randomU8(4, 4, 12), 6, 6), Error);
+  Mat f(4, 4, F32C1);
+  EXPECT_THROW(matchTemplateSad(f, f, dst), Error);
+}
+
+}  // namespace
+}  // namespace simdcv::imgproc

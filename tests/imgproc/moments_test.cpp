@@ -1,0 +1,141 @@
+// Moments and Hu invariants: analytic values and invariance properties.
+#include "imgproc/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imgproc/geometry.hpp"
+
+namespace simdcv::imgproc {
+namespace {
+
+Mat rectShape(int rows, int cols, Rect r) {
+  Mat m = zeros(rows, cols, U8C1);
+  m.roi(r).setTo(255);
+  return m;
+}
+
+TEST(Moments, CentroidOfRectangle) {
+  // Rectangle spanning cols [10, 20), rows [5, 11): centroid (14.5, 7.5).
+  const Mat img = rectShape(32, 32, {10, 5, 10, 6});
+  const Moments m = moments(img);
+  EXPECT_DOUBLE_EQ(m.m00, 255.0 * 10 * 6);
+  EXPECT_DOUBLE_EQ(m.centroidX(), 14.5);
+  EXPECT_DOUBLE_EQ(m.centroidY(), 7.5);
+}
+
+TEST(Moments, CentralMomentsOfUniformRectangle) {
+  // For a uniform a x b rectangle: mu20/m00 = (a^2-1)/12 (discrete),
+  // mu11 = 0, odd central moments = 0 by symmetry.
+  const int a = 11, b = 7;  // width, height
+  const Mat img = rectShape(32, 32, {4, 6, a, b});
+  const Moments m = moments(img);
+  EXPECT_NEAR(m.mu20 / m.m00, (a * a - 1) / 12.0, 1e-9);
+  EXPECT_NEAR(m.mu02 / m.m00, (b * b - 1) / 12.0, 1e-9);
+  EXPECT_NEAR(m.mu11, 0.0, 1e-6);
+  EXPECT_NEAR(m.mu30, 0.0, 1e-6);
+  EXPECT_NEAR(m.mu03, 0.0, 1e-6);
+}
+
+TEST(Moments, CentralMomentsTranslationInvariant) {
+  const Mat a = rectShape(64, 64, {8, 10, 12, 9});
+  const Mat b = rectShape(64, 64, {30, 27, 12, 9});
+  const Moments ma = moments(a);
+  const Moments mb = moments(b);
+  EXPECT_NEAR(ma.mu20, mb.mu20, 1e-6);
+  EXPECT_NEAR(ma.mu11, mb.mu11, 1e-6);
+  EXPECT_NEAR(ma.mu02, mb.mu02, 1e-6);
+  EXPECT_NEAR(ma.mu30, mb.mu30, 1e-5);
+  EXPECT_NEAR(ma.mu03, mb.mu03, 1e-5);
+}
+
+TEST(Moments, NormalizedMomentsScaleInvariant) {
+  // Same aspect shape at 1x and 2x scale: nu_pq match closely.
+  const Mat small = rectShape(64, 64, {10, 10, 8, 14});
+  const Mat big = rectShape(128, 128, {20, 20, 16, 28});
+  const Moments ms = moments(small);
+  const Moments mb = moments(big);
+  EXPECT_NEAR(ms.nu20, mb.nu20, 5e-4);
+  EXPECT_NEAR(ms.nu02, mb.nu02, 5e-4);
+  EXPECT_NEAR(ms.nu11, mb.nu11, 5e-4);
+}
+
+TEST(Moments, ZeroImage) {
+  const Moments m = moments(zeros(8, 8, U8C1));
+  EXPECT_EQ(m.m00, 0.0);
+  EXPECT_EQ(m.centroidX(), 0.0);
+  EXPECT_EQ(huMoments(m)[0], 0.0);
+}
+
+TEST(Moments, F32MatchesU8UpToScale) {
+  Mat u8 = rectShape(24, 24, {5, 7, 9, 6});
+  Mat f32(24, 24, F32C1);
+  for (int r = 0; r < 24; ++r)
+    for (int c = 0; c < 24; ++c)
+      f32.at<float>(r, c) = u8.at<std::uint8_t>(r, c) / 255.0f;
+  const Moments mu = moments(u8);
+  const Moments mf = moments(f32);
+  EXPECT_NEAR(mu.m00 / 255.0, mf.m00, 1e-6);
+  EXPECT_NEAR(mu.centroidX(), mf.centroidX(), 1e-9);
+  // nu scales as 1/k under intensity scaling by k (mu ~ k, m00^2 ~ k^2).
+  EXPECT_NEAR(mu.nu20 * 255.0, mf.nu20, 1e-9);
+}
+
+TEST(HuMoments, RotationInvariance) {
+  // An L-shaped blob rotated by 90 degrees keeps its Hu invariants.
+  Mat shape = zeros(64, 64, U8C1);
+  shape.roi({20, 20, 20, 8}).setTo(255);
+  shape.roi({20, 20, 8, 24}).setTo(255);
+  Mat rotated;
+  rotate(shape, rotated, Rotation::Cw90);
+  const auto ha = huMoments(moments(shape));
+  const auto hb = huMoments(moments(rotated));
+  for (int i = 0; i < 6; ++i) {
+    const double scale = std::max({std::abs(ha[static_cast<std::size_t>(i)]),
+                                   std::abs(hb[static_cast<std::size_t>(i)]),
+                                   1e-12});
+    EXPECT_NEAR(ha[static_cast<std::size_t>(i)] / scale,
+                hb[static_cast<std::size_t>(i)] / scale, 1e-6)
+        << "h" << i + 1;
+  }
+  // h7 flips sign under reflection but not rotation.
+  EXPECT_NEAR(ha[6], hb[6], std::abs(ha[6]) * 1e-6 + 1e-18);
+}
+
+TEST(HuMoments, ReflectionFlipsH7Sign) {
+  // A strongly chiral shape (L plus an off-diagonal nub) so h7 is far from
+  // the fp-noise floor.
+  Mat shape = zeros(64, 64, U8C1);
+  shape.roi({20, 20, 20, 8}).setTo(255);
+  shape.roi({20, 20, 8, 24}).setTo(255);
+  shape.roi({34, 36, 10, 6}).setTo(255);
+  Mat mirrored;
+  flip(shape, mirrored, FlipAxis::Horizontal);
+  const auto ha = huMoments(moments(shape));
+  const auto hb = huMoments(moments(mirrored));
+  // h7 is a 4th-order product of ~1e-5 normalized moments, so its natural
+  // magnitude here is ~1e-20; the fp noise floor is ~1e-16 of the largest
+  // term (~1e-18), i.e. ~1e-34. 1e-22 cleanly separates signal from noise.
+  ASSERT_GT(std::abs(ha[6]), 1e-22);
+  EXPECT_NEAR(ha[6], -hb[6], std::abs(ha[6]) * 1e-6);
+  EXPECT_NEAR(ha[0], hb[0], std::abs(ha[0]) * 1e-9);
+}
+
+TEST(HuMoments, DistinguishesShapes) {
+  const Mat square = rectShape(64, 64, {20, 20, 16, 16});
+  const Mat bar = rectShape(64, 64, {10, 28, 44, 5});
+  const auto hs = huMoments(moments(square));
+  const auto hb = huMoments(moments(bar));
+  EXPECT_GT(std::abs(hs[0] - hb[0]), 1e-3);  // h1 separates them
+}
+
+TEST(Moments, Validation) {
+  Mat s16(4, 4, S16C1);
+  EXPECT_THROW(moments(s16), Error);
+  Mat empty;
+  EXPECT_THROW(moments(empty), Error);
+}
+
+}  // namespace
+}  // namespace simdcv::imgproc

@@ -1,0 +1,143 @@
+// Cross-module integration over the feature/geometry modules: pyramids +
+// FAST + template matching + warping + adaptive processing, end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench/images.hpp"
+#include "imgproc/adaptive.hpp"
+#include "imgproc/connected.hpp"
+#include "imgproc/fast.hpp"
+#include "imgproc/geometry.hpp"
+#include "imgproc/histogram.hpp"
+#include "imgproc/match.hpp"
+#include "imgproc/morphology.hpp"
+#include "imgproc/pyramid.hpp"
+#include "imgproc/resize.hpp"
+#include "imgproc/threshold.hpp"
+
+namespace simdcv {
+namespace {
+
+using namespace imgproc;
+
+TEST(FeaturePipeline, TrackPatchAcrossTranslation) {
+  // "Video tracking" scenario: take a frame, shift it, and recover the
+  // motion of a distinctive patch by SAD matching.
+  const Mat frame0 = bench::makeScene(bench::Scene::Natural, {160, 120}, 21);
+  AffineMat shift = affineIdentity();
+  shift[2] = 7;  // dst samples src at x+7: content moves left by 7
+  shift[5] = 4;
+  Mat frame1;
+  warpAffine(frame0, frame1, shift, {160, 120}, BorderType::Replicate);
+
+  // Pick the strongest FAST corner away from the borders as the patch.
+  const auto kps = fast9(frame0, 15);
+  ASSERT_FALSE(kps.empty());
+  KeyPoint best{};
+  for (const auto& kp : kps)
+    if (kp.score > best.score && kp.x > 20 && kp.x < 120 && kp.y > 20 &&
+        kp.y < 90)
+      best = kp;
+  ASSERT_GT(best.score, 0);
+
+  const Mat patch = frame0.roi({best.x - 8, best.y - 8, 16, 16}).clone();
+  const auto found = findBestMatch(frame1, patch);
+  // Content moved by (-7, -4): the patch reappears at origin - shift.
+  EXPECT_EQ(found.x, best.x - 8 - 7);
+  EXPECT_EQ(found.y, best.y - 8 - 4);
+}
+
+TEST(FeaturePipeline, FastCountsTrackPyramidLevels) {
+  // Corner counts should drop as resolution halves, but corners should
+  // persist at the first pyramid level of a corner-rich scene.
+  const Mat scene = bench::makeScene(bench::Scene::Checker, {256, 256}, 3);
+  const auto levels = buildPyramid(scene, 3);
+  ASSERT_EQ(levels.size(), 3u);
+  std::size_t counts[3];
+  for (int l = 0; l < 3; ++l)
+    counts[l] = fast9(levels[static_cast<std::size_t>(l)], 25).size();
+  EXPECT_GT(counts[0], 0u);
+  EXPECT_GT(counts[1], 0u);
+  EXPECT_GT(counts[0], counts[2]);
+}
+
+TEST(FeaturePipeline, BlobCountingUnderRotation) {
+  // Blob count is invariant to moderate rotation: threshold -> components.
+  Mat blobs = zeros(96, 96, U8C1);
+  for (int i = 0; i < 5; ++i)
+    blobs.roi({12 + i * 16, 20 + (i % 2) * 30, 8, 8}).setTo(255);
+  Mat labels;
+  EXPECT_EQ(connectedComponents(blobs, labels), 5);
+
+  Mat rotated;
+  const AffineMat fwd = getRotationMatrix2D(48, 48, 20.0, 1.0);
+  warpAffine(blobs, rotated, invertAffine(fwd), {96, 96},
+             BorderType::Constant, 0.0);
+  Mat rebin;
+  threshold(rotated, rebin, 100, 255, ThresholdType::Binary);
+  EXPECT_EQ(connectedComponents(rebin, labels), 5);
+}
+
+TEST(FeaturePipeline, AdaptivePipelineBeatsGlobalOnVignettedPage) {
+  // Vignetted "document": global Otsu misses content in the dark corner
+  // that adaptive threshold keeps.
+  Mat page = full(96, 96, U8C1, 200);
+  for (int i = 0; i < 6; ++i) page.roi({10 + i * 14, 46, 9, 4}).setTo(60);
+  for (int r = 0; r < 96; ++r)
+    for (int c = 0; c < 96; ++c) {
+      const double d = std::hypot(r - 0.0, c - 0.0) / 135.0;
+      page.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(
+          page.at<std::uint8_t>(r, c) * (1.0 - 0.65 * d));
+    }
+  Mat adaptive;
+  adaptiveThreshold(page, adaptive, 255, AdaptiveMethod::Mean,
+                    ThresholdType::BinaryInv, 15, 12);
+  Mat labels;
+  std::vector<ComponentStats> stats;
+  connectedComponentsWithStats(adaptive, labels, stats);
+  int wordish = 0;
+  for (const auto& s : stats)
+    if (s.area >= 12 && s.area <= 200) ++wordish;
+  EXPECT_GE(wordish, 5);  // all six dashes survive (allow one merge)
+}
+
+TEST(FeaturePipeline, ClaheThenFastFindsMoreCornersInShadow) {
+  // Local contrast enhancement recovers corners hidden in a dark region.
+  Mat scene = bench::makeScene(bench::Scene::Checker, {128, 128}, 9);
+  // Crush the left half into [0, 24]: corners become sub-threshold.
+  for (int r = 0; r < 128; ++r)
+    for (int c = 0; c < 64; ++c)
+      scene.at<std::uint8_t>(r, c) =
+          static_cast<std::uint8_t>(scene.at<std::uint8_t>(r, c) / 10);
+  auto leftCorners = [](const std::vector<KeyPoint>& kps) {
+    std::size_t n = 0;
+    for (const auto& kp : kps) n += kp.x < 56;
+    return n;
+  };
+  const auto before = leftCorners(fast9(scene, 30));
+  // A generous clip limit: the few-valued checkerboard histogram needs tall
+  // bins to survive clipping (a tight limit cancels the equalization, which
+  // is the contrast-*limited* part working as designed).
+  Mat enhanced;
+  clahe(scene, enhanced, 40.0, 4, 4);
+  const auto after = leftCorners(fast9(enhanced, 30));
+  EXPECT_EQ(before, 0u);
+  EXPECT_GT(after, 50u);
+}
+
+TEST(FeaturePipeline, ResizeThenMatchStillLocalizes) {
+  // Downscale-then-match: a 2x downscaled patch matches the downscaled
+  // frame at halved coordinates.
+  const Mat frame = bench::makeScene(bench::Scene::Natural, {128, 128}, 30);
+  Mat half;
+  resize(frame, half, {64, 64});
+  const Mat patch = half.roi({20, 28, 12, 12}).clone();
+  const auto found = findBestMatch(half, patch);
+  EXPECT_EQ(found.x, 20);
+  EXPECT_EQ(found.y, 28);
+  EXPECT_EQ(found.sad, 0u);
+}
+
+}  // namespace
+}  // namespace simdcv

@@ -1,0 +1,219 @@
+// Image I/O round trips and format edge cases.
+#include "io/image_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <filesystem>
+#include <random>
+
+namespace simdcv::io {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "simdcv_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+Mat randomU8(int rows, int cols, int channels, unsigned seed) {
+  Mat m(rows, cols, PixelType(Depth::U8, channels));
+  std::mt19937 rng(seed);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols * channels; ++c)
+      m.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(rng() & 0xff);
+  return m;
+}
+
+TEST_F(IoTest, BmpGrayRoundTrip) {
+  const Mat img = randomU8(37, 53, 1, 1);  // width not divisible by 4: padding
+  writeBmp(path("g.bmp"), img);
+  const Mat back = readBmp(path("g.bmp"));
+  ASSERT_EQ(back.type(), U8C1);
+  ASSERT_EQ(back.size(), img.size());
+  EXPECT_EQ(countMismatches(img, back), 0u);
+}
+
+TEST_F(IoTest, BmpColorRoundTrip) {
+  const Mat img = randomU8(24, 31, 3, 2);
+  writeBmp(path("c.bmp"), img);
+  const Mat back = readBmp(path("c.bmp"));
+  ASSERT_EQ(back.type(), U8C3);
+  EXPECT_EQ(countMismatches(img, back), 0u);
+}
+
+TEST_F(IoTest, BmpRowPaddingWidths) {
+  for (int w : {1, 2, 3, 4, 5, 7, 8, 33}) {
+    const Mat img = randomU8(5, w, 1, static_cast<unsigned>(w));
+    writeBmp(path("p.bmp"), img);
+    EXPECT_EQ(countMismatches(img, readBmp(path("p.bmp"))), 0u) << w;
+  }
+}
+
+TEST_F(IoTest, BmpSizeMatchesPaperFormula) {
+  // The paper quotes 1.2MB for 640x480 bitmaps (24-bit color + header).
+  const Mat img = randomU8(480, 640, 3, 3);
+  writeBmp(path("s.bmp"), img);
+  const auto bytes = std::filesystem::file_size(path("s.bmp"));
+  EXPECT_NEAR(static_cast<double>(bytes), 640.0 * 480 * 3 + 54, 64.0);
+}
+
+TEST_F(IoTest, BmpRoiSourceWrites) {
+  Mat big = randomU8(20, 20, 1, 4);
+  Mat view = big.roi(Rect(2, 2, 10, 9));
+  writeBmp(path("roi.bmp"), view);
+  EXPECT_EQ(countMismatches(view.clone(), readBmp(path("roi.bmp"))), 0u);
+}
+
+TEST_F(IoTest, BmpRejectsGarbage) {
+  {
+    std::FILE* f = std::fopen(path("bad.bmp").c_str(), "wb");
+    std::fputs("this is not a bitmap at all", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(readBmp(path("bad.bmp")), Error);
+  EXPECT_THROW(readBmp(path("missing.bmp")), Error);
+}
+
+TEST_F(IoTest, BmpRejectsWrongType) {
+  Mat f32(4, 4, F32C1);
+  EXPECT_THROW(writeBmp(path("f.bmp"), f32), Error);
+  Mat empty;
+  EXPECT_THROW(writeBmp(path("e.bmp"), empty), Error);
+}
+
+TEST_F(IoTest, PgmRoundTrip) {
+  const Mat img = randomU8(17, 29, 1, 5);
+  writePnm(path("g.pgm"), img);
+  EXPECT_EQ(countMismatches(img, readPnm(path("g.pgm"))), 0u);
+}
+
+TEST_F(IoTest, PpmRoundTrip) {
+  const Mat img = randomU8(9, 14, 3, 6);
+  writePnm(path("c.ppm"), img);
+  const Mat back = readPnm(path("c.ppm"));
+  ASSERT_EQ(back.channels(), 3);
+  EXPECT_EQ(countMismatches(img, back), 0u);
+}
+
+TEST_F(IoTest, PnmHandlesComments) {
+  {
+    std::FILE* f = std::fopen(path("cmt.pgm").c_str(), "wb");
+    std::fputs("P5\n# a comment line\n2 2\n# another\n255\n", f);
+    const unsigned char px[4] = {1, 2, 3, 4};
+    std::fwrite(px, 1, 4, f);
+    std::fclose(f);
+  }
+  const Mat img = readPnm(path("cmt.pgm"));
+  ASSERT_EQ(img.size(), Size(2, 2));
+  EXPECT_EQ(img.at<std::uint8_t>(1, 1), 4);
+}
+
+TEST_F(IoTest, PnmRejectsTruncated) {
+  {
+    std::FILE* f = std::fopen(path("t.pgm").c_str(), "wb");
+    std::fputs("P5\n100 100\n255\nxx", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(readPnm(path("t.pgm")), Error);
+}
+
+TEST_F(IoTest, DispatchByExtension) {
+  const Mat img = randomU8(8, 8, 1, 7);
+  writeImage(path("a.bmp"), img);
+  writeImage(path("a.pgm"), img);
+  EXPECT_EQ(countMismatches(img, readImage(path("a.bmp"))), 0u);
+  EXPECT_EQ(countMismatches(img, readImage(path("a.pgm"))), 0u);
+  EXPECT_THROW(writeImage(path("a.jpg"), img), Error);
+  EXPECT_THROW(readImage(path("a.xyz")), Error);
+}
+
+TEST_F(IoTest, Bmp32BitReadsAsBgr) {
+  // Hand-craft a 2x1 32-bit BMP (BGRA); reader must drop alpha -> U8C3.
+  std::vector<std::uint8_t> f;
+  auto u16 = [&](unsigned v) { f.push_back(v & 0xff); f.push_back((v >> 8) & 0xff); };
+  auto u32 = [&](unsigned v) { for (int i = 0; i < 4; ++i) f.push_back((v >> (8 * i)) & 0xff); };
+  f.push_back('B'); f.push_back('M');
+  u32(54 + 8); u32(0); u32(54);            // file header
+  u32(40); u32(2); u32(1); u16(1); u16(32); // info: 2x1, 32bpp
+  u32(0); u32(8); u32(2835); u32(2835); u32(0); u32(0);
+  // Pixel row (bottom-up, single row): BGRA BGRA.
+  const std::uint8_t px[8] = {10, 20, 30, 255, 40, 50, 60, 128};
+  f.insert(f.end(), px, px + 8);
+  {
+    std::FILE* fp = std::fopen(path("p32.bmp").c_str(), "wb");
+    std::fwrite(f.data(), 1, f.size(), fp);
+    std::fclose(fp);
+  }
+  const Mat img = readBmp(path("p32.bmp"));
+  ASSERT_EQ(img.type(), U8C3);
+  ASSERT_EQ(img.size(), Size(2, 1));
+  EXPECT_EQ(img.at<std::uint8_t>(0, 0), 10);
+  EXPECT_EQ(img.at<std::uint8_t>(0, 2), 30);
+  EXPECT_EQ(img.at<std::uint8_t>(0, 3), 40);  // second pixel B
+}
+
+TEST_F(IoTest, BmpNonGrayPaletteExpandsToColor) {
+  // 8-bit BMP whose palette is NOT the identity ramp: reader must expand
+  // through the palette into U8C3.
+  std::vector<std::uint8_t> f;
+  auto u16 = [&](unsigned v) { f.push_back(v & 0xff); f.push_back((v >> 8) & 0xff); };
+  auto u32 = [&](unsigned v) { for (int i = 0; i < 4; ++i) f.push_back((v >> (8 * i)) & 0xff); };
+  f.push_back('B'); f.push_back('M');
+  const unsigned dataOff = 54 + 256 * 4;
+  u32(dataOff + 4); u32(0); u32(dataOff);
+  u32(40); u32(1); u32(1); u16(1); u16(8);
+  u32(0); u32(4); u32(2835); u32(2835); u32(256); u32(0);
+  for (int i = 0; i < 256; ++i) {      // palette: entry i = (B=i, G=2i, R=255-i)
+    f.push_back(static_cast<std::uint8_t>(i));
+    f.push_back(static_cast<std::uint8_t>(2 * i));
+    f.push_back(static_cast<std::uint8_t>(255 - i));
+    f.push_back(0);
+  }
+  f.push_back(7); f.push_back(0); f.push_back(0); f.push_back(0);  // 1 px + pad
+  {
+    std::FILE* fp = std::fopen(path("pal.bmp").c_str(), "wb");
+    std::fwrite(f.data(), 1, f.size(), fp);
+    std::fclose(fp);
+  }
+  const Mat img = readBmp(path("pal.bmp"));
+  ASSERT_EQ(img.type(), U8C3);
+  EXPECT_EQ(img.at<std::uint8_t>(0, 0), 7);        // B
+  EXPECT_EQ(img.at<std::uint8_t>(0, 1), 14);       // G
+  EXPECT_EQ(img.at<std::uint8_t>(0, 2), 255 - 7);  // R
+}
+
+TEST_F(IoTest, BmpTopDownHeightNegative) {
+  // Write a bottom-up file through writeBmp, then flip the height sign and
+  // reverse rows manually to make a top-down file: both must read equal.
+  const Mat img = randomU8(6, 4, 1, 42);
+  writeBmp(path("bu.bmp"), img);
+  std::ifstream in(path("bu.bmp"), std::ios::binary);
+  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  // height at offset 22 -> -6 (two's complement), and reverse the 6 rows.
+  const std::int32_t negH = -6;
+  std::memcpy(&buf[22], &negH, 4);
+  const unsigned dataOff = buf[10] | (buf[11] << 8);
+  const std::size_t rowBytes = 4;  // width 4, 8bpp, padded to 4
+  for (int r = 0; r < 3; ++r)
+    for (std::size_t b = 0; b < rowBytes; ++b)
+      std::swap(buf[dataOff + r * rowBytes + b],
+                buf[dataOff + (5 - r) * rowBytes + b]);
+  {
+    std::FILE* fp = std::fopen(path("td.bmp").c_str(), "wb");
+    std::fwrite(buf.data(), 1, buf.size(), fp);
+    std::fclose(fp);
+  }
+  EXPECT_EQ(countMismatches(img, readBmp(path("td.bmp"))), 0u);
+}
+
+}  // namespace
+}  // namespace simdcv::io

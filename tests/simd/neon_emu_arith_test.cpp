@@ -1,0 +1,204 @@
+// NEON emulation — arithmetic family semantics: wrapping, saturating,
+// halving, widening, pairwise, absolute difference, estimates.
+#include "simd/neon_compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace {
+
+TEST(NeonArith, WrappingAddSub) {
+  const uint8x16_t a = vdupq_n_u8(250);
+  const uint8x16_t b = vdupq_n_u8(10);
+  EXPECT_EQ(vgetq_lane_u8(vaddq_u8(a, b), 0), 4);   // wraps mod 256
+  EXPECT_EQ(vgetq_lane_u8(vsubq_u8(b, a), 0), 16);  // wraps
+  const int16x8_t c = vdupq_n_s16(32767);
+  EXPECT_EQ(vgetq_lane_s16(vaddq_s16(c, vdupq_n_s16(1)), 3), -32768);
+}
+
+TEST(NeonArith, SaturatingAdd) {
+  EXPECT_EQ(vgetq_lane_u8(vqaddq_u8(vdupq_n_u8(250), vdupq_n_u8(10)), 0), 255);
+  EXPECT_EQ(vgetq_lane_s8(vqaddq_s8(vdupq_n_s8(120), vdupq_n_s8(10)), 0), 127);
+  EXPECT_EQ(vgetq_lane_s8(vqaddq_s8(vdupq_n_s8(-120), vdupq_n_s8(-10)), 0), -128);
+  EXPECT_EQ(vgetq_lane_s16(vqaddq_s16(vdupq_n_s16(32000), vdupq_n_s16(1000)), 7), 32767);
+  EXPECT_EQ(vgetq_lane_s32(vqaddq_s32(vdupq_n_s32(2147483000), vdupq_n_s32(1000)), 0),
+            2147483647);
+  // Non-saturating case passes through exactly.
+  EXPECT_EQ(vgetq_lane_s16(vqaddq_s16(vdupq_n_s16(100), vdupq_n_s16(-300)), 0), -200);
+}
+
+TEST(NeonArith, SaturatingSub) {
+  EXPECT_EQ(vgetq_lane_u8(vqsubq_u8(vdupq_n_u8(10), vdupq_n_u8(50)), 0), 0);
+  EXPECT_EQ(vgetq_lane_s16(vqsubq_s16(vdupq_n_s16(-32000), vdupq_n_s16(1000)), 0),
+            -32768);
+  EXPECT_EQ(vgetq_lane_u16(vqsubq_u16(vdupq_n_u16(500), vdupq_n_u16(100)), 0), 400);
+}
+
+TEST(NeonArith, HalvingAdds) {
+  // vhadd floors, vrhadd rounds.
+  EXPECT_EQ(vgetq_lane_u8(vhaddq_u8(vdupq_n_u8(5), vdupq_n_u8(6)), 0), 5);
+  EXPECT_EQ(vgetq_lane_u8(vrhaddq_u8(vdupq_n_u8(5), vdupq_n_u8(6)), 0), 6);
+  // No intermediate overflow at the top of the range.
+  EXPECT_EQ(vgetq_lane_u8(vhaddq_u8(vdupq_n_u8(255), vdupq_n_u8(255)), 0), 255);
+  EXPECT_EQ(vgetq_lane_s16(vhaddq_s16(vdupq_n_s16(-3), vdupq_n_s16(0)), 0), -2);  // floor(-1.5)
+  EXPECT_EQ(vgetq_lane_s8(vhsubq_s8(vdupq_n_s8(1), vdupq_n_s8(4)), 0), -2);  // floor(-1.5)
+}
+
+TEST(NeonArith, MultiplyAndAccumulate) {
+  const float32x4_t a = vdupq_n_f32(2.0f);
+  const float32x4_t b = vdupq_n_f32(3.0f);
+  const float32x4_t c = vdupq_n_f32(10.0f);
+  EXPECT_EQ(vgetq_lane_f32(vmulq_f32(a, b), 0), 6.0f);
+  EXPECT_EQ(vgetq_lane_f32(vmlaq_f32(c, a, b), 1), 16.0f);
+  EXPECT_EQ(vgetq_lane_f32(vmlsq_f32(c, a, b), 2), 4.0f);
+  EXPECT_EQ(vgetq_lane_f32(vmulq_n_f32(a, 5.0f), 3), 10.0f);
+  EXPECT_EQ(vgetq_lane_f32(vmlaq_n_f32(c, a, 5.0f), 0), 20.0f);
+  const int16x8_t i = vdupq_n_s16(300);
+  EXPECT_EQ(vgetq_lane_s16(vmulq_s16(i, vdupq_n_s16(100)), 0),
+            static_cast<std::int16_t>(30000));
+  // Integer multiply wraps.
+  EXPECT_EQ(vgetq_lane_s16(vmulq_s16(i, vdupq_n_s16(300)), 0),
+            static_cast<std::int16_t>(90000 & 0xffff));
+}
+
+TEST(NeonArith, WideningMultiply) {
+  const std::int16_t av[4] = {300, -300, 32767, -32768};
+  const std::int16_t bv[4] = {300, 300, 32767, -32768};
+  const int32x4_t w = vmull_s16(vld1_s16(av), vld1_s16(bv));
+  EXPECT_EQ(vgetq_lane_s32(w, 0), 90000);
+  EXPECT_EQ(vgetq_lane_s32(w, 1), -90000);
+  EXPECT_EQ(vgetq_lane_s32(w, 2), 32767 * 32767);
+  EXPECT_EQ(vgetq_lane_s32(w, 3), 32768 * 32768);
+  const uint8x8_t u = vdup_n_u8(200);
+  EXPECT_EQ(vgetq_lane_u16(vmull_u8(u, u), 0), 40000);
+}
+
+TEST(NeonArith, WideningAddSubAccumulate) {
+  const std::int8_t av[8] = {100, -100, 127, -128, 0, 1, 2, 3};
+  const int8x8_t a = vld1_s8(av);
+  const int16x8_t l = vaddl_s8(a, a);
+  EXPECT_EQ(vgetq_lane_s16(l, 0), 200);
+  EXPECT_EQ(vgetq_lane_s16(l, 3), -256);
+  const int16x8_t acc = vmlal_s8(l, a, a);
+  EXPECT_EQ(vgetq_lane_s16(acc, 0), 200 + 10000);
+  const int16x8_t wide = vaddw_s8(l, a);
+  EXPECT_EQ(vgetq_lane_s16(wide, 2), 127 * 2 + 127);
+  EXPECT_EQ(vgetq_lane_s16(vsubl_s8(a, vdup_n_s8(100)), 3), -228);
+}
+
+TEST(NeonArith, MovlWidens) {
+  const std::uint8_t uv[8] = {0, 1, 128, 255, 4, 5, 6, 7};
+  const uint16x8_t w = vmovl_u8(vld1_u8(uv));
+  EXPECT_EQ(vgetq_lane_u16(w, 2), 128);
+  EXPECT_EQ(vgetq_lane_u16(w, 3), 255);
+  const std::int16_t sv[4] = {-32768, -1, 0, 32767};
+  const int32x4_t ws = vmovl_s16(vld1_s16(sv));
+  EXPECT_EQ(vgetq_lane_s32(ws, 0), -32768);
+  EXPECT_EQ(vgetq_lane_s32(ws, 3), 32767);
+}
+
+TEST(NeonArith, MinMax) {
+  const std::uint8_t av[16] = {0, 255, 10, 20, 5, 5, 200, 100,
+                               1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint8_t bv[16] = {255, 0, 20, 10, 5, 6, 100, 200,
+                               8, 7, 6, 5, 4, 3, 2, 1};
+  const uint8x16_t a = vld1q_u8(av), b = vld1q_u8(bv);
+  EXPECT_EQ(vgetq_lane_u8(vminq_u8(a, b), 0), 0);
+  EXPECT_EQ(vgetq_lane_u8(vmaxq_u8(a, b), 0), 255);
+  EXPECT_EQ(vgetq_lane_u8(vminq_u8(a, b), 6), 100);
+  const float32x4_t f = vdupq_n_f32(-1.5f);
+  EXPECT_EQ(vgetq_lane_f32(vmaxq_f32(f, vdupq_n_f32(0.0f)), 0), 0.0f);
+  EXPECT_EQ(vgetq_lane_f32(vminq_f32(f, vdupq_n_f32(0.0f)), 0), -1.5f);
+  const int16x4_t s = vdup_n_s16(-5);
+  EXPECT_EQ(vget_lane_s16(vmax_s16(s, vdup_n_s16(3)), 0), 3);
+}
+
+TEST(NeonArith, AbsAndNegate) {
+  EXPECT_EQ(vgetq_lane_s16(vabsq_s16(vdupq_n_s16(-100)), 0), 100);
+  // vabs of INT_MIN wraps; vqabs saturates — architectural difference.
+  EXPECT_EQ(vgetq_lane_s16(vabsq_s16(vdupq_n_s16(-32768)), 0), -32768);
+  EXPECT_EQ(vgetq_lane_s16(vqabsq_s16(vdupq_n_s16(-32768)), 0), 32767);
+  EXPECT_EQ(vgetq_lane_s8(vqabsq_s8(vdupq_n_s8(-128)), 0), 127);
+  EXPECT_EQ(vgetq_lane_s32(vnegq_s32(vdupq_n_s32(7)), 0), -7);
+  EXPECT_EQ(vgetq_lane_f32(vabsq_f32(vdupq_n_f32(-2.5f)), 0), 2.5f);
+  EXPECT_EQ(vgetq_lane_f32(vnegq_f32(vdupq_n_f32(-2.5f)), 0), 2.5f);
+}
+
+TEST(NeonArith, AbsoluteDifference) {
+  // Unsigned |a-b| must not underflow.
+  EXPECT_EQ(vgetq_lane_u8(vabdq_u8(vdupq_n_u8(10), vdupq_n_u8(250)), 0), 240);
+  EXPECT_EQ(vgetq_lane_u8(vabdq_u8(vdupq_n_u8(250), vdupq_n_u8(10)), 0), 240);
+  EXPECT_EQ(vgetq_lane_s16(vabdq_s16(vdupq_n_s16(-100), vdupq_n_s16(100)), 0), 200);
+  EXPECT_EQ(vgetq_lane_f32(vabdq_f32(vdupq_n_f32(1.5f), vdupq_n_f32(-1.0f)), 0), 2.5f);
+  // Accumulating form.
+  EXPECT_EQ(vgetq_lane_u8(vabaq_u8(vdupq_n_u8(5), vdupq_n_u8(10), vdupq_n_u8(12)), 0), 7);
+}
+
+TEST(NeonArith, PairwiseAdd) {
+  const std::int16_t av[4] = {1, 2, 3, 4};
+  const std::int16_t bv[4] = {10, 20, 30, 40};
+  const int16x4_t r = vpadd_s16(vld1_s16(av), vld1_s16(bv));
+  EXPECT_EQ(vget_lane_s16(r, 0), 3);
+  EXPECT_EQ(vget_lane_s16(r, 1), 7);
+  EXPECT_EQ(vget_lane_s16(r, 2), 30);
+  EXPECT_EQ(vget_lane_s16(r, 3), 70);
+  const float fv[2] = {1.5f, 2.5f};
+  const float32x2_t fr = vpadd_f32(vld1_f32(fv), vld1_f32(fv));
+  EXPECT_EQ(vget_lane_f32(fr, 0), 4.0f);
+}
+
+TEST(NeonArith, PairwiseWideningAddAndAccumulate) {
+  std::uint8_t buf[16];
+  for (int i = 0; i < 16; ++i) buf[i] = 255;
+  const uint16x8_t l = vpaddlq_u8(vld1q_u8(buf));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(vgetq_lane_u16(l, i), 510);
+  const uint16x8_t acc = vpadalq_u8(l, vld1q_u8(buf));
+  EXPECT_EQ(vgetq_lane_u16(acc, 0), 1020);
+  const std::int16_t sv[4] = {-30000, -30000, 30000, 30000};
+  const int32x2_t w = vpaddl_s16(vld1_s16(sv));
+  EXPECT_EQ(vget_lane_s32(w, 0), -60000);
+  EXPECT_EQ(vget_lane_s32(w, 1), 60000);
+}
+
+TEST(NeonArith, PairwiseMinMax) {
+  const std::uint8_t av[8] = {1, 9, 4, 2, 7, 7, 0, 255};
+  const uint8x8_t a = vld1_u8(av);
+  const uint8x8_t mx = vpmax_u8(a, a);
+  EXPECT_EQ(vget_lane_u8(mx, 0), 9);
+  EXPECT_EQ(vget_lane_u8(mx, 1), 4);
+  EXPECT_EQ(vget_lane_u8(mx, 3), 255);
+  const uint8x8_t mn = vpmin_u8(a, a);
+  EXPECT_EQ(vget_lane_u8(mn, 0), 1);
+  EXPECT_EQ(vget_lane_u8(mn, 3), 0);
+}
+
+TEST(NeonArith, ReciprocalEstimateAndStep) {
+  // Emulation returns correctly rounded values; Newton iteration with
+  // vrecps must converge to 1/x regardless of estimate precision.
+  const float32x4_t x = vdupq_n_f32(3.0f);
+  float32x4_t e = vrecpeq_f32(x);
+  e = vmulq_f32(e, vrecpsq_f32(x, e));
+  EXPECT_NEAR(vgetq_lane_f32(e, 0), 1.0f / 3.0f, 1e-6f);
+  float32x4_t r = vrsqrteq_f32(x);
+  r = vmulq_f32(r, vrsqrtsq_f32(vmulq_f32(x, r), r));
+  EXPECT_NEAR(vgetq_lane_f32(r, 0), 1.0f / std::sqrt(3.0f), 1e-4f);
+}
+
+TEST(NeonArith, PropertySweepSaturatingMatchesWideMath) {
+  // vqadd_s16 == clamp(a+b) over a deterministic sweep of lane values.
+  for (int a = -40000; a <= 40000; a += 7777) {
+    for (int b = -40000; b <= 40000; b += 9999) {
+      const std::int16_t sa = static_cast<std::int16_t>(a);
+      const std::int16_t sb = static_cast<std::int16_t>(b);
+      const int expect =
+          std::min(32767, std::max(-32768, static_cast<int>(sa) + sb));
+      const int16x8_t r = vqaddq_s16(vdupq_n_s16(sa), vdupq_n_s16(sb));
+      ASSERT_EQ(vgetq_lane_s16(r, 5), expect) << sa << "+" << sb;
+    }
+  }
+}
+
+}  // namespace

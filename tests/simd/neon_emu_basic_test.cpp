@@ -1,0 +1,161 @@
+// NEON emulation layer: types, loads/stores, lane access, combine/split,
+// dup, reinterpret. (Runs against real <arm_neon.h> unchanged on ARM.)
+#include "simd/neon_compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+namespace {
+
+TEST(NeonTypes, SizesMatchArchitecture) {
+  EXPECT_EQ(sizeof(int8x8_t), 8u);
+  EXPECT_EQ(sizeof(int16x4_t), 8u);
+  EXPECT_EQ(sizeof(int32x2_t), 8u);
+  EXPECT_EQ(sizeof(float32x2_t), 8u);
+  EXPECT_EQ(sizeof(int8x16_t), 16u);
+  EXPECT_EQ(sizeof(int16x8_t), 16u);
+  EXPECT_EQ(sizeof(int32x4_t), 16u);
+  EXPECT_EQ(sizeof(int64x2_t), 16u);
+  EXPECT_EQ(sizeof(float32x4_t), 16u);
+  EXPECT_EQ(sizeof(uint8x16x2_t), 32u);
+  EXPECT_EQ(sizeof(float32x4x3_t), 48u);
+}
+
+TEST(NeonLoadStore, RoundTripF32) {
+  const float in[4] = {1.0f, -2.5f, 3.25f, 4e6f};
+  float out[4] = {};
+  vst1q_f32(out, vld1q_f32(in));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(in[i], out[i]);
+}
+
+TEST(NeonLoadStore, RoundTripAllQTypes) {
+  {
+    const std::int8_t in[16] = {-128, -1, 0, 1, 127, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+    std::int8_t out[16] = {};
+    vst1q_s8(out, vld1q_s8(in));
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(in[i], out[i]);
+  }
+  {
+    const std::uint16_t in[8] = {0, 1, 65535, 32768, 4, 5, 6, 7};
+    std::uint16_t out[8] = {};
+    vst1q_u16(out, vld1q_u16(in));
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(in[i], out[i]);
+  }
+  {
+    const std::int64_t in[2] = {-(1LL << 62), (1LL << 62)};
+    std::int64_t out[2] = {};
+    vst1q_s64(out, vld1q_s64(in));
+    EXPECT_EQ(in[0], out[0]);
+    EXPECT_EQ(in[1], out[1]);
+  }
+}
+
+TEST(NeonLoadStore, UnalignedPointerWorks) {
+  alignas(16) std::uint8_t buf[32] = {};
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<std::uint8_t>(i);
+  const uint8x16_t v = vld1q_u8(buf + 3);  // deliberately misaligned
+  EXPECT_EQ(vgetq_lane_u8(v, 0), 3);
+  EXPECT_EQ(vgetq_lane_u8(v, 15), 18);
+}
+
+TEST(NeonDup, BroadcastsAllLanes) {
+  const int16x8_t v = vdupq_n_s16(-1234);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(vgetq_lane_s16(v, i), -1234);
+  const float32x2_t f = vdup_n_f32(2.5f);
+  EXPECT_EQ(vget_lane_f32(f, 0), 2.5f);
+  EXPECT_EQ(vget_lane_f32(f, 1), 2.5f);
+  const uint8x16_t u = vmovq_n_u8(200);
+  EXPECT_EQ(vgetq_lane_u8(u, 7), 200);
+}
+
+TEST(NeonLane, SetLane) {
+  int32x4_t v = vdupq_n_s32(0);
+  v = vsetq_lane_s32(42, v, 2);
+  EXPECT_EQ(vgetq_lane_s32(v, 0), 0);
+  EXPECT_EQ(vgetq_lane_s32(v, 2), 42);
+}
+
+TEST(NeonCombine, CombineAndSplit) {
+  const std::int16_t lo[4] = {1, 2, 3, 4};
+  const std::int16_t hi[4] = {5, 6, 7, 8};
+  const int16x8_t q = vcombine_s16(vld1_s16(lo), vld1_s16(hi));
+  std::int16_t out[8];
+  vst1q_s16(out, q);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i + 1);
+  std::int16_t lo2[4], hi2[4];
+  vst1_s16(lo2, vget_low_s16(q));
+  vst1_s16(hi2, vget_high_s16(q));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(lo2[i], lo[i]);
+    EXPECT_EQ(hi2[i], hi[i]);
+  }
+}
+
+TEST(NeonReinterpret, PreservesBits) {
+  const float32x4_t f = vdupq_n_f32(1.0f);
+  const uint32x4_t u = vreinterpretq_u32_f32(f);
+  EXPECT_EQ(vgetq_lane_u32(u, 0), 0x3f800000u);
+  const float32x4_t back = vreinterpretq_f32_u32(u);
+  EXPECT_EQ(vgetq_lane_f32(back, 3), 1.0f);
+  // s16 <-> u8 reinterpret is byte-order preserving (little endian).
+  const int16x8_t s = vdupq_n_s16(0x0102);
+  const uint8x16_t b = vreinterpretq_u8_s16(s);
+  EXPECT_EQ(vgetq_lane_u8(b, 0), 0x02);
+  EXPECT_EQ(vgetq_lane_u8(b, 1), 0x01);
+}
+
+TEST(NeonDupLane, BroadcastChosenLane) {
+  const std::int16_t in[4] = {10, 20, 30, 40};
+  const int16x4_t d = vld1_s16(in);
+  const int16x8_t q = vdupq_lane_s16(d, 2);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(vgetq_lane_s16(q, i), 30);
+  const int16x4_t d2 = vdup_lane_s16(d, 3);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(vget_lane_s16(d2, i), 40);
+}
+
+TEST(NeonInterleaved, Vld2Deinterleaves) {
+  std::uint8_t buf[32];
+  for (int i = 0; i < 16; ++i) {
+    buf[2 * i] = static_cast<std::uint8_t>(i);        // even stream
+    buf[2 * i + 1] = static_cast<std::uint8_t>(100 + i);  // odd stream
+  }
+  const uint8x16x2_t v = vld2q_u8(buf);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(vgetq_lane_u8(v.val[0], i), i);
+    EXPECT_EQ(vgetq_lane_u8(v.val[1], i), 100 + i);
+  }
+  std::uint8_t out[32] = {};
+  vst2q_u8(out, v);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[i], buf[i]);
+}
+
+TEST(NeonInterleaved, Vld3RgbSplit) {
+  // 16 RGB pixels: R=i, G=2i, B=255-i.
+  std::uint8_t rgb[48];
+  for (int i = 0; i < 16; ++i) {
+    rgb[3 * i] = static_cast<std::uint8_t>(i);
+    rgb[3 * i + 1] = static_cast<std::uint8_t>(2 * i);
+    rgb[3 * i + 2] = static_cast<std::uint8_t>(255 - i);
+  }
+  const uint8x16x3_t v = vld3q_u8(rgb);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(vgetq_lane_u8(v.val[0], i), i);
+    EXPECT_EQ(vgetq_lane_u8(v.val[1], i), 2 * i);
+    EXPECT_EQ(vgetq_lane_u8(v.val[2], i), 255 - i);
+  }
+}
+
+TEST(NeonInterleaved, Vld4RoundTripF32) {
+  float buf[16];
+  for (int i = 0; i < 16; ++i) buf[i] = static_cast<float>(i) * 0.5f;
+  const float32x4x4_t v = vld4q_f32(buf);
+  EXPECT_EQ(vgetq_lane_f32(v.val[0], 1), buf[4]);
+  EXPECT_EQ(vgetq_lane_f32(v.val[3], 0), buf[3]);
+  float out[16] = {};
+  vst4q_f32(out, v);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], buf[i]);
+}
+
+}  // namespace

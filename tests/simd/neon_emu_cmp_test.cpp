@@ -1,0 +1,109 @@
+// NEON emulation — comparisons, logical ops, bit select, bit counting.
+#include "simd/neon_compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace {
+
+TEST(NeonCmp, UnsignedCompareMasksAreAllOnesOrZero) {
+  const uint8x16_t a = vdupq_n_u8(200);
+  const uint8x16_t b = vdupq_n_u8(100);
+  const uint8x16_t gt = vcgtq_u8(a, b);
+  const uint8x16_t lt = vcltq_u8(a, b);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(vgetq_lane_u8(gt, i), 0xff);
+    EXPECT_EQ(vgetq_lane_u8(lt, i), 0x00);
+  }
+  // 200 vs 100 signed would flip: unsigned semantics matter.
+  const int8x16_t sa = vreinterpretq_s8_u8(a);
+  const int8x16_t sb = vreinterpretq_s8_u8(b);
+  EXPECT_EQ(vgetq_lane_u8(vcgtq_s8(sa, sb), 0), 0x00);  // -56 > 100 is false
+}
+
+TEST(NeonCmp, AllFiveRelations) {
+  const int32x4_t a = vdupq_n_s32(5);
+  const int32x4_t b = vdupq_n_s32(5);
+  const int32x4_t c = vdupq_n_s32(6);
+  EXPECT_EQ(vgetq_lane_u32(vceqq_s32(a, b), 0), 0xffffffffu);
+  EXPECT_EQ(vgetq_lane_u32(vcgeq_s32(a, b), 1), 0xffffffffu);
+  EXPECT_EQ(vgetq_lane_u32(vcleq_s32(a, b), 2), 0xffffffffu);
+  EXPECT_EQ(vgetq_lane_u32(vcgtq_s32(a, b), 3), 0u);
+  EXPECT_EQ(vgetq_lane_u32(vcltq_s32(a, c), 0), 0xffffffffu);
+}
+
+TEST(NeonCmp, FloatCompareAndNaN) {
+  const float32x4_t a = vdupq_n_f32(1.0f);
+  const float32x4_t nan = vdupq_n_f32(std::nanf(""));
+  EXPECT_EQ(vgetq_lane_u32(vcgtq_f32(a, vdupq_n_f32(0.5f)), 0), 0xffffffffu);
+  // Every ordered comparison with NaN is false.
+  EXPECT_EQ(vgetq_lane_u32(vceqq_f32(nan, nan), 0), 0u);
+  EXPECT_EQ(vgetq_lane_u32(vcgeq_f32(nan, a), 0), 0u);
+  EXPECT_EQ(vgetq_lane_u32(vcleq_f32(nan, a), 0), 0u);
+}
+
+TEST(NeonCmp, AbsoluteCompares) {
+  const float32x4_t a = vdupq_n_f32(-3.0f);
+  const float32x4_t b = vdupq_n_f32(2.0f);
+  EXPECT_EQ(vgetq_lane_u32(vcagtq_f32(a, b), 0), 0xffffffffu);  // |-3| > |2|
+  EXPECT_EQ(vgetq_lane_u32(vcaleq_f32(b, a), 0), 0xffffffffu);  // |2| <= |-3|
+}
+
+TEST(NeonCmp, TestBits) {
+  const uint8x16_t a = vdupq_n_u8(0b1010);
+  EXPECT_EQ(vgetq_lane_u8(vtstq_u8(a, vdupq_n_u8(0b0010)), 0), 0xff);
+  EXPECT_EQ(vgetq_lane_u8(vtstq_u8(a, vdupq_n_u8(0b0101)), 0), 0x00);
+}
+
+TEST(NeonLogic, BitwiseOps) {
+  const uint8x16_t a = vdupq_n_u8(0b1100);
+  const uint8x16_t b = vdupq_n_u8(0b1010);
+  EXPECT_EQ(vgetq_lane_u8(vandq_u8(a, b), 0), 0b1000);
+  EXPECT_EQ(vgetq_lane_u8(vorrq_u8(a, b), 0), 0b1110);
+  EXPECT_EQ(vgetq_lane_u8(veorq_u8(a, b), 0), 0b0110);
+  EXPECT_EQ(vgetq_lane_u8(vbicq_u8(a, b), 0), 0b0100);   // a & ~b
+  EXPECT_EQ(vgetq_lane_u8(vornq_u8(a, b), 0), 0xfd);     // a | ~b
+  EXPECT_EQ(vgetq_lane_u8(vmvnq_u8(a), 0), 0xf3);
+  // 64-bit lanes support and/orr/eor too.
+  const uint64x2_t w = vdupq_n_u64(0xff00ff00ff00ff00ull);
+  EXPECT_EQ(vgetq_lane_u64(veorq_u64(w, w), 0), 0u);
+}
+
+TEST(NeonBsl, SelectsPerBit) {
+  const uint32x4_t mask = vdupq_n_u32(0x0000ffffu);
+  const uint32x4_t a = vdupq_n_u32(0xAAAAAAAAu);
+  const uint32x4_t b = vdupq_n_u32(0x55555555u);
+  EXPECT_EQ(vgetq_lane_u32(vbslq_u32(mask, a, b), 0), 0x5555AAAAu);
+}
+
+TEST(NeonBsl, FloatSelectionWithCompareMask) {
+  // max(v, 0) via compare + select: the idiom the threshold kernel uses.
+  const float vals[4] = {-1.0f, 2.0f, -3.0f, 4.0f};
+  const float32x4_t v = vld1q_f32(vals);
+  const uint32x4_t gt = vcgtq_f32(v, vdupq_n_f32(0.0f));
+  const float32x4_t r = vbslq_f32(gt, v, vdupq_n_f32(0.0f));
+  EXPECT_EQ(vgetq_lane_f32(r, 0), 0.0f);
+  EXPECT_EQ(vgetq_lane_f32(r, 1), 2.0f);
+  EXPECT_EQ(vgetq_lane_f32(r, 2), 0.0f);
+  EXPECT_EQ(vgetq_lane_f32(r, 3), 4.0f);
+}
+
+TEST(NeonMisc, PopcountPerByte) {
+  const uint8x16_t v = vdupq_n_u8(0b10110001);
+  EXPECT_EQ(vgetq_lane_u8(vcntq_u8(v), 5), 4);
+  EXPECT_EQ(vget_lane_u8(vcnt_u8(vdup_n_u8(0xff)), 0), 8);
+  EXPECT_EQ(vget_lane_u8(vcnt_u8(vdup_n_u8(0)), 0), 0);
+}
+
+TEST(NeonMisc, CountLeadingZeros) {
+  EXPECT_EQ(vgetq_lane_u8(vclzq_u8(vdupq_n_u8(1)), 0), 7);
+  EXPECT_EQ(vgetq_lane_u8(vclzq_u8(vdupq_n_u8(0)), 0), 8);
+  EXPECT_EQ(vgetq_lane_u8(vclzq_u8(vdupq_n_u8(0x80)), 0), 0);
+  EXPECT_EQ(vgetq_lane_u16(vclzq_u16(vdupq_n_u16(256)), 0), 7);
+  EXPECT_EQ(vgetq_lane_s32(vclzq_s32(vdupq_n_s32(1)), 0), 31);
+  EXPECT_EQ(vget_lane_u32(vclz_u32(vdup_n_u32(0)), 0), 32u);
+}
+
+}  // namespace

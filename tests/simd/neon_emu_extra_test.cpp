@@ -1,0 +1,127 @@
+// NEON emulation — extra families: lane/broadcast loads, vcreate, vqneg,
+// vqdmulh/vqrdmulh/vqdmull, vsli/vsri, vabdl/vabal.
+#include "simd/neon_compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace {
+
+TEST(NeonExtra, LoadDupBroadcasts) {
+  const float f = 2.75f;
+  const float32x4_t v = vld1q_dup_f32(&f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(vgetq_lane_f32(v, i), 2.75f);
+  const std::uint8_t b = 99;
+  const uint8x8_t d = vld1_dup_u8(&b);
+  EXPECT_EQ(vget_lane_u8(d, 7), 99);
+}
+
+TEST(NeonExtra, LoadStoreLane) {
+  const std::int16_t x = -555;
+  int16x8_t v = vdupq_n_s16(7);
+  v = vld1q_lane_s16(&x, v, 3);
+  EXPECT_EQ(vgetq_lane_s16(v, 3), -555);
+  EXPECT_EQ(vgetq_lane_s16(v, 2), 7);
+  std::int16_t out = 0;
+  vst1q_lane_s16(&out, v, 3);
+  EXPECT_EQ(out, -555);
+}
+
+TEST(NeonExtra, CreateFromBits) {
+  const uint8x8_t v = vcreate_u8(0x0807060504030201ull);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(vget_lane_u8(v, i), i + 1);
+  const uint32x2_t w = vcreate_u32(0x00000002'00000001ull);
+  EXPECT_EQ(vget_lane_u32(w, 0), 1u);
+  EXPECT_EQ(vget_lane_u32(w, 1), 2u);
+}
+
+TEST(NeonExtra, SaturatingNegate) {
+  EXPECT_EQ(vgetq_lane_s16(vqnegq_s16(vdupq_n_s16(-32768)), 0), 32767);
+  EXPECT_EQ(vgetq_lane_s16(vqnegq_s16(vdupq_n_s16(100)), 0), -100);
+  EXPECT_EQ(vgetq_lane_s8(vqnegq_s8(vdupq_n_s8(-128)), 5), 127);
+  EXPECT_EQ(vget_lane_s32(vqneg_s32(vdup_n_s32(7)), 0), -7);
+}
+
+TEST(NeonExtra, QdmulhFixedPointMultiply) {
+  // Q15 multiply: 0.5 * 0.5 = 0.25 -> 0x2000.
+  EXPECT_EQ(vgetq_lane_s16(
+                vqdmulhq_s16(vdupq_n_s16(0x4000), vdupq_n_s16(0x4000)), 0),
+            0x2000);
+  // Saturation corner: INT16_MIN * INT16_MIN doubles past INT16_MAX.
+  EXPECT_EQ(vgetq_lane_s16(
+                vqdmulhq_s16(vdupq_n_s16(-32768), vdupq_n_s16(-32768)), 0),
+            32767);
+  // Sign handling.
+  EXPECT_EQ(vgetq_lane_s16(
+                vqdmulhq_s16(vdupq_n_s16(0x4000), vdupq_n_s16(-0x4000)), 0),
+            -0x2000);
+  // Q31 variant.
+  EXPECT_EQ(vgetq_lane_s32(vqdmulhq_s32(vdupq_n_s32(0x40000000),
+                                        vdupq_n_s32(0x40000000)),
+                           0),
+            0x20000000);
+  EXPECT_EQ(vgetq_lane_s32(
+                vqdmulhq_s32(vdupq_n_s32(std::numeric_limits<std::int32_t>::min()),
+                             vdupq_n_s32(std::numeric_limits<std::int32_t>::min())),
+                0),
+            std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(NeonExtra, QrdmulhRounds) {
+  // 2*3*5462 = 32772: truncating >> 16 gives 0, rounding adds 2^15 and
+  // carries to 1.
+  EXPECT_EQ(vgetq_lane_s16(vqdmulhq_s16(vdupq_n_s16(3), vdupq_n_s16(5462)), 0), 0);
+  EXPECT_EQ(vgetq_lane_s16(vqrdmulhq_s16(vdupq_n_s16(3), vdupq_n_s16(5462)), 0), 1);
+  // Just below the rounding boundary stays 0 (2*3*5461 + 2^15 < 2^16).
+  EXPECT_EQ(vgetq_lane_s16(vqrdmulhq_s16(vdupq_n_s16(3), vdupq_n_s16(5461)), 0), 0);
+}
+
+TEST(NeonExtra, QdmullWidens) {
+  const std::int16_t a[4] = {1000, -1000, 32767, -32768};
+  const std::int16_t b[4] = {1000, 1000, 32767, -32768};
+  const int32x4_t r = vqdmull_s16(vld1_s16(a), vld1_s16(b));
+  EXPECT_EQ(vgetq_lane_s32(r, 0), 2000000);
+  EXPECT_EQ(vgetq_lane_s32(r, 1), -2000000);
+  EXPECT_EQ(vgetq_lane_s32(r, 2), 2 * 32767 * 32767);
+  EXPECT_EQ(vgetq_lane_s32(r, 3), std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(NeonExtra, ShiftLeftInsert) {
+  // vsli: keep the low n bits of a, insert b << n above them.
+  const uint8x16_t r =
+      vsliq_n_u8(vdupq_n_u8(0xFF), vdupq_n_u8(0b101), 4);
+  EXPECT_EQ(vgetq_lane_u8(r, 0), 0x5F);
+  const uint16x8_t r16 = vsliq_n_u16(vdupq_n_u16(0x000F), vdupq_n_u16(1), 8);
+  EXPECT_EQ(vgetq_lane_u16(r16, 0), 0x010F);
+}
+
+TEST(NeonExtra, ShiftRightInsert) {
+  // vsri: keep the high n bits of a, insert b >> n below them.
+  const uint8x16_t r = vsriq_n_u8(vdupq_n_u8(0xF0), vdupq_n_u8(0xFF), 4);
+  EXPECT_EQ(vgetq_lane_u8(r, 0), 0xFF);
+  const uint8x16_t r2 = vsriq_n_u8(vdupq_n_u8(0xF0), vdupq_n_u8(0x00), 4);
+  EXPECT_EQ(vgetq_lane_u8(r2, 0), 0xF0);
+  // n == bits: everything kept from a.
+  const uint8x16_t r3 = vsriq_n_u8(vdupq_n_u8(0xAB), vdupq_n_u8(0xFF), 8);
+  EXPECT_EQ(vgetq_lane_u8(r3, 0), 0xAB);
+}
+
+TEST(NeonExtra, WideningAbsoluteDifference) {
+  const std::uint8_t a[8] = {0, 255, 100, 50, 1, 2, 3, 4};
+  const std::uint8_t b[8] = {255, 0, 50, 100, 1, 2, 3, 4};
+  const uint16x8_t d = vabdl_u8(vld1_u8(a), vld1_u8(b));
+  EXPECT_EQ(vgetq_lane_u16(d, 0), 255);
+  EXPECT_EQ(vgetq_lane_u16(d, 1), 255);
+  EXPECT_EQ(vgetq_lane_u16(d, 2), 50);
+  EXPECT_EQ(vgetq_lane_u16(d, 4), 0);
+  const uint16x8_t acc = vabal_u8(d, vld1_u8(a), vld1_u8(b));
+  EXPECT_EQ(vgetq_lane_u16(acc, 0), 510);
+  const int32x4_t sd = vabdl_s16(vld1_s16((const std::int16_t[4]){-32768, 0, 5, -5}),
+                                 vld1_s16((const std::int16_t[4]){32767, 0, -5, 5}));
+  EXPECT_EQ(vgetq_lane_s32(sd, 0), 65535);
+  EXPECT_EQ(vgetq_lane_s32(sd, 2), 10);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// NEON emulation — permutes: ext, rev, zip/uzp/trn, table lookup.
+#include "simd/neon_compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace {
+
+uint8x16_t iotaU8() {
+  std::uint8_t v[16];
+  for (int i = 0; i < 16; ++i) v[i] = static_cast<std::uint8_t>(i);
+  return vld1q_u8(v);
+}
+
+TEST(NeonExt, ExtractsAcrossPair) {
+  const uint8x16_t a = iotaU8();
+  uint8x16_t b;
+  {
+    std::uint8_t v[16];
+    for (int i = 0; i < 16; ++i) v[i] = static_cast<std::uint8_t>(100 + i);
+    b = vld1q_u8(v);
+  }
+  const uint8x16_t r = vextq_u8(a, b, 3);
+  EXPECT_EQ(vgetq_lane_u8(r, 0), 3);
+  EXPECT_EQ(vgetq_lane_u8(r, 12), 15);
+  EXPECT_EQ(vgetq_lane_u8(r, 13), 100);
+  EXPECT_EQ(vgetq_lane_u8(r, 15), 102);
+  // n == 0 is identity on a.
+  const uint8x16_t id = vextq_u8(a, b, 0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(vgetq_lane_u8(id, i), i);
+  // Float variant (used by sliding-window row convolution).
+  const float fa[4] = {0, 1, 2, 3}, fb[4] = {4, 5, 6, 7};
+  const float32x4_t fr = vextq_f32(vld1q_f32(fa), vld1q_f32(fb), 1);
+  EXPECT_EQ(vgetq_lane_f32(fr, 0), 1.0f);
+  EXPECT_EQ(vgetq_lane_f32(fr, 3), 4.0f);
+}
+
+TEST(NeonRev, Rev64ReversesWithinDoublewords) {
+  const uint8x16_t r = vrev64q_u8(iotaU8());
+  EXPECT_EQ(vgetq_lane_u8(r, 0), 7);
+  EXPECT_EQ(vgetq_lane_u8(r, 7), 0);
+  EXPECT_EQ(vgetq_lane_u8(r, 8), 15);
+  EXPECT_EQ(vgetq_lane_u8(r, 15), 8);
+  const std::int16_t sv[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  const int16x8_t sr = vrev64q_s16(vld1q_s16(sv));
+  EXPECT_EQ(vgetq_lane_s16(sr, 0), 3);
+  EXPECT_EQ(vgetq_lane_s16(sr, 4), 7);
+}
+
+TEST(NeonRev, Rev16SwapsBytePairs) {
+  const uint8x16_t r = vrev16q_u8(iotaU8());
+  EXPECT_EQ(vgetq_lane_u8(r, 0), 1);
+  EXPECT_EQ(vgetq_lane_u8(r, 1), 0);
+  EXPECT_EQ(vgetq_lane_u8(r, 14), 15);
+  EXPECT_EQ(vgetq_lane_u8(r, 15), 14);
+}
+
+TEST(NeonRev, Rev32OnU16) {
+  const std::uint16_t v[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  const uint16x8_t r = vrev32q_u16(vld1q_u16(v));
+  EXPECT_EQ(vgetq_lane_u16(r, 0), 1);
+  EXPECT_EQ(vgetq_lane_u16(r, 1), 0);
+  EXPECT_EQ(vgetq_lane_u16(r, 6), 7);
+}
+
+TEST(NeonZip, InterleavesHalves) {
+  const std::int16_t av[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  const std::int16_t bv[8] = {10, 11, 12, 13, 14, 15, 16, 17};
+  const int16x8x2_t z = vzipq_s16(vld1q_s16(av), vld1q_s16(bv));
+  const std::int16_t want0[8] = {0, 10, 1, 11, 2, 12, 3, 13};
+  const std::int16_t want1[8] = {4, 14, 5, 15, 6, 16, 7, 17};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(vgetq_lane_s16(z.val[0], i), want0[i]);
+    EXPECT_EQ(vgetq_lane_s16(z.val[1], i), want1[i]);
+  }
+}
+
+TEST(NeonUzp, DeinterleavesEvenOdd) {
+  const std::int16_t av[8] = {0, 10, 1, 11, 2, 12, 3, 13};
+  const std::int16_t bv[8] = {4, 14, 5, 15, 6, 16, 7, 17};
+  const int16x8x2_t u = vuzpq_s16(vld1q_s16(av), vld1q_s16(bv));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(vgetq_lane_s16(u.val[0], i), i);       // evens: 0..7
+    EXPECT_EQ(vgetq_lane_s16(u.val[1], i), 10 + i);  // odds: 10..17
+  }
+}
+
+TEST(NeonZipUzp, AreInverses) {
+  const std::uint8_t av[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+  const std::uint8_t bv[8] = {8, 6, 7, 5, 3, 0, 9, 2};
+  const uint8x8x2_t z = vzip_u8(vld1_u8(av), vld1_u8(bv));
+  const uint8x8x2_t u = vuzp_u8(z.val[0], z.val[1]);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(vget_lane_u8(u.val[0], i), av[i]);
+    EXPECT_EQ(vget_lane_u8(u.val[1], i), bv[i]);
+  }
+}
+
+TEST(NeonTrn, TransposesPairs) {
+  const std::int32_t av[4] = {0, 1, 2, 3};
+  const std::int32_t bv[4] = {10, 11, 12, 13};
+  const int32x4x2_t t = vtrnq_s32(vld1q_s32(av), vld1q_s32(bv));
+  const std::int32_t want0[4] = {0, 10, 2, 12};
+  const std::int32_t want1[4] = {1, 11, 3, 13};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(vgetq_lane_s32(t.val[0], i), want0[i]);
+    EXPECT_EQ(vgetq_lane_s32(t.val[1], i), want1[i]);
+  }
+}
+
+TEST(NeonTbl, LookupWithOutOfRangeZero) {
+  const std::uint8_t table[8] = {10, 20, 30, 40, 50, 60, 70, 80};
+  const std::uint8_t idx[8] = {0, 7, 3, 8, 255, 1, 2, 6};
+  const uint8x8_t r = vtbl1_u8(vld1_u8(table), vld1_u8(idx));
+  const std::uint8_t want[8] = {10, 80, 40, 0, 0, 20, 30, 70};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(vget_lane_u8(r, i), want[i]);
+}
+
+TEST(NeonTbl, Tbl2SpansTwoRegisters) {
+  uint8x8x2_t table;
+  {
+    std::uint8_t t0[8], t1[8];
+    for (int i = 0; i < 8; ++i) {
+      t0[i] = static_cast<std::uint8_t>(i);
+      t1[i] = static_cast<std::uint8_t>(100 + i);
+    }
+    table.val[0] = vld1_u8(t0);
+    table.val[1] = vld1_u8(t1);
+  }
+  const std::uint8_t idx[8] = {0, 8, 15, 16, 7, 9, 200, 3};
+  const uint8x8_t r = vtbl2_u8(table, vld1_u8(idx));
+  const std::uint8_t want[8] = {0, 100, 107, 0, 7, 101, 0, 3};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(vget_lane_u8(r, i), want[i]);
+}
+
+TEST(NeonTbx, KeepsAccumulatorOutOfRange) {
+  const std::uint8_t table[8] = {10, 20, 30, 40, 50, 60, 70, 80};
+  const std::uint8_t acc[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint8_t idx[8] = {0, 99, 2, 99, 4, 99, 6, 99};
+  const uint8x8_t r = vtbx1_u8(vld1_u8(acc), vld1_u8(table), vld1_u8(idx));
+  const std::uint8_t want[8] = {10, 2, 30, 4, 50, 6, 70, 8};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(vget_lane_u8(r, i), want[i]);
+}
+
+}  // namespace

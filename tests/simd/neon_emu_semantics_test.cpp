@@ -1,0 +1,126 @@
+// NEON emulation — ARM-reference semantics for the subtle corners:
+// unsigned halving subtraction (full-precision intermediate), boundary
+// shift counts, fixed-point conversion saturation, mask-algebra duals and
+// NaN behaviour of the absolute compares.
+#include "simd/neon_compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace {
+
+TEST(NeonSemantics, UnsignedHalvingSubUsesFullPrecisionIntermediate) {
+  // vhsub u16: (10 - 50) >> 1 in unbounded arithmetic = -20, truncated to
+  // u16 = 0xFFEC (per the ARM ARM pseudocode), NOT a zero-clamped value.
+  const uint16x8_t r = vhsubq_u16(vdupq_n_u16(10), vdupq_n_u16(50));
+  EXPECT_EQ(vgetq_lane_u16(r, 0), 0xFFEC);
+  const uint32x4_t r32 = vhsubq_u32(vdupq_n_u32(10), vdupq_n_u32(50));
+  EXPECT_EQ(vgetq_lane_u32(r32, 0), 0xFFFFFFECu);
+  // And the plain direction still halves exactly.
+  EXPECT_EQ(vgetq_lane_u16(vhsubq_u16(vdupq_n_u16(50), vdupq_n_u16(10)), 0), 20);
+}
+
+TEST(NeonSemantics, RightShiftByFullWidth) {
+  // vshr #bits: signed replicates the sign bit; unsigned gives zero.
+  EXPECT_EQ(vgetq_lane_s16(vshrq_n_s16(vdupq_n_s16(-5), 16), 0), -1);
+  EXPECT_EQ(vgetq_lane_s16(vshrq_n_s16(vdupq_n_s16(5), 16), 0), 0);
+  EXPECT_EQ(vgetq_lane_u16(vshrq_n_u16(vdupq_n_u16(0xFFFF), 16), 0), 0);
+  // Rounding shift by full width: (x + 2^(bits-1)) >> bits.
+  EXPECT_EQ(vgetq_lane_u8(vrshrq_n_u8(vdupq_n_u8(200), 8), 0), 1);
+  EXPECT_EQ(vgetq_lane_u8(vrshrq_n_u8(vdupq_n_u8(100), 8), 0), 0);
+}
+
+TEST(NeonSemantics, WideningShiftByNarrowWidth) {
+  // vshll #bits (the maximum) doubles every element's magnitude range.
+  const std::uint8_t v[8] = {1, 255, 0, 7, 0, 0, 0, 0};
+  const uint16x8_t w = vshll_n_u8(vld1_u8(v), 8);
+  EXPECT_EQ(vgetq_lane_u16(w, 0), 256);
+  EXPECT_EQ(vgetq_lane_u16(w, 1), 255u * 256u);
+}
+
+TEST(NeonSemantics, FixedPointConversionSaturates) {
+  // vcvtq_n_s32_f32 scales BEFORE the saturating convert: large inputs with
+  // many fractional bits must clamp, not wrap.
+  const int32x4_t r = vcvtq_n_s32_f32(vdupq_n_f32(1e9f), 16);
+  EXPECT_EQ(vgetq_lane_s32(r, 0), std::numeric_limits<std::int32_t>::max());
+  const int32x4_t neg = vcvtq_n_s32_f32(vdupq_n_f32(-1e9f), 16);
+  EXPECT_EQ(vgetq_lane_s32(neg, 0), std::numeric_limits<std::int32_t>::min());
+  // Round trip at modest magnitude is exact for dyadic rationals.
+  const float32x4_t back =
+      vcvtq_n_f32_s32(vcvtq_n_s32_f32(vdupq_n_f32(5.125f), 8), 8);
+  EXPECT_EQ(vgetq_lane_f32(back, 0), 5.125f);
+}
+
+TEST(NeonSemantics, MaskAlgebraDuals) {
+  // vbic(a, b) == vand(a, vmvn(b)); vorn(a, b) == vorr(a, vmvn(b)).
+  const uint8x16_t a = vdupq_n_u8(0xC3);
+  const uint8x16_t b = vdupq_n_u8(0x5A);
+  EXPECT_EQ(vgetq_lane_u8(vbicq_u8(a, b), 0),
+            vgetq_lane_u8(vandq_u8(a, vmvnq_u8(b)), 0));
+  EXPECT_EQ(vgetq_lane_u8(vornq_u8(a, b), 0),
+            vgetq_lane_u8(vorrq_u8(a, vmvnq_u8(b)), 0));
+  // bsl with all-ones mask picks a, all-zeros picks b.
+  EXPECT_EQ(vgetq_lane_u8(vbslq_u8(vdupq_n_u8(0xFF), a, b), 0), 0xC3);
+  EXPECT_EQ(vgetq_lane_u8(vbslq_u8(vdupq_n_u8(0x00), a, b), 0), 0x5A);
+}
+
+TEST(NeonSemantics, AbsoluteComparesIgnoreSignButNotNaN) {
+  const float32x4_t nan = vdupq_n_f32(std::nanf(""));
+  const float32x4_t one = vdupq_n_f32(1.0f);
+  // |NaN| comparisons are unordered -> false.
+  EXPECT_EQ(vgetq_lane_u32(vcageq_f32(nan, one), 0), 0u);
+  EXPECT_EQ(vgetq_lane_u32(vcaleq_f32(nan, one), 0), 0u);
+  // Sign is ignored: |-2| >= |1|.
+  EXPECT_EQ(vgetq_lane_u32(vcageq_f32(vdupq_n_f32(-2.0f), one), 0), 0xFFFFFFFFu);
+}
+
+TEST(NeonSemantics, PairwiseMinMaxFloat) {
+  const float av[2] = {3.0f, -1.0f};
+  const float bv[2] = {0.5f, 0.25f};
+  const float32x2_t mx = vpmax_f32(vld1_f32(av), vld1_f32(bv));
+  const float32x2_t mn = vpmin_f32(vld1_f32(av), vld1_f32(bv));
+  EXPECT_EQ(vget_lane_f32(mx, 0), 3.0f);
+  EXPECT_EQ(vget_lane_f32(mx, 1), 0.5f);
+  EXPECT_EQ(vget_lane_f32(mn, 0), -1.0f);
+  EXPECT_EQ(vget_lane_f32(mn, 1), 0.25f);
+}
+
+TEST(NeonSemantics, MovnWrapsLikeTruncation) {
+  // vmovn drops high bits (mod 2^16), unlike vqmovn.
+  const std::int32_t v[4] = {0x12345, -0x12345, 65536, -65536};
+  const int16x4_t n = vmovn_s32(vld1q_s32(v));
+  EXPECT_EQ(vget_lane_s16(n, 0), static_cast<std::int16_t>(0x2345));
+  EXPECT_EQ(vget_lane_s16(n, 2), 0);
+  EXPECT_EQ(vget_lane_s16(n, 3), 0);
+}
+
+TEST(NeonSemantics, SaturatingShiftNarrowClampsPerLane) {
+  const std::int32_t v[4] = {1 << 20, -(1 << 20), 100 << 4, -(100 << 4)};
+  const int16x4_t r = vqshrn_n_s32(vld1q_s32(v), 4);
+  EXPECT_EQ(vget_lane_s16(r, 0), 32767);
+  EXPECT_EQ(vget_lane_s16(r, 1), -32768);
+  EXPECT_EQ(vget_lane_s16(r, 2), 100);
+  EXPECT_EQ(vget_lane_s16(r, 3), -100);
+}
+
+TEST(NeonSemantics, ShiftByVectorUsesLowByteOfCount) {
+  // The shift count is the *bottom byte* of each lane, interpreted signed.
+  const int16x8_t counts = vdupq_n_s16(0x0102);  // low byte = 2
+  const int16x8_t r = vshlq_s16(vdupq_n_s16(3), counts);
+  EXPECT_EQ(vgetq_lane_s16(r, 0), 12);  // 3 << 2, not 3 << 0x102
+  const int16x8_t negCounts = vdupq_n_s16(0x01FE);  // low byte = -2
+  const int16x8_t r2 = vshlq_s16(vdupq_n_s16(12), negCounts);
+  EXPECT_EQ(vgetq_lane_s16(r2, 0), 3);  // arithmetic right shift by 2
+}
+
+TEST(NeonSemantics, CombineGetRoundTripAllWidths) {
+  const std::uint32_t v[4] = {1u, 2u, 3u, 4u};
+  const uint32x4_t q = vld1q_u32(v);
+  const uint32x4_t back = vcombine_u32(vget_low_u32(q), vget_high_u32(q));
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(vgetq_lane_u32(back, i), v[static_cast<std::size_t>(i)]);
+}
+
+}  // namespace

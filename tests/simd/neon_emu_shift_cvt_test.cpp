@@ -1,0 +1,163 @@
+// NEON emulation — shifts, conversions, narrowing. These are the ops the
+// paper's conversion kernel is built from, so semantics here are critical.
+#include "simd/neon_compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace {
+
+TEST(NeonShift, LeftAndRightImmediate) {
+  EXPECT_EQ(vgetq_lane_s16(vshlq_n_s16(vdupq_n_s16(3), 4), 0), 48);
+  EXPECT_EQ(vgetq_lane_u8(vshlq_n_u8(vdupq_n_u8(0x81), 1), 0), 0x02);  // wraps out
+  EXPECT_EQ(vgetq_lane_s16(vshrq_n_s16(vdupq_n_s16(-32), 4), 0), -2);  // arithmetic
+  EXPECT_EQ(vgetq_lane_u16(vshrq_n_u16(vdupq_n_u16(0x8000), 15), 0), 1);  // logical
+}
+
+TEST(NeonShift, RoundingRightShift) {
+  // (v + (1 << (n-1))) >> n.
+  EXPECT_EQ(vgetq_lane_s16(vrshrq_n_s16(vdupq_n_s16(5), 1), 0), 3);   // 2.5 -> 3
+  EXPECT_EQ(vgetq_lane_s16(vrshrq_n_s16(vdupq_n_s16(-5), 1), 0), -2); // -2.5 -> -2
+  EXPECT_EQ(vgetq_lane_s16(vshrq_n_s16(vdupq_n_s16(5), 1), 0), 2);    // trunc-floor
+  EXPECT_EQ(vgetq_lane_u8(vrshrq_n_u8(vdupq_n_u8(255), 4), 0), 16);
+}
+
+TEST(NeonShift, ShiftAndAccumulate) {
+  EXPECT_EQ(vgetq_lane_s32(vsraq_n_s32(vdupq_n_s32(10), vdupq_n_s32(64), 3), 0), 18);
+  EXPECT_EQ(vgetq_lane_s32(vrsraq_n_s32(vdupq_n_s32(10), vdupq_n_s32(7), 3), 0), 11);
+}
+
+TEST(NeonShift, ShiftBySignedVector) {
+  // Positive counts shift left, negative shift right (NEON vshl semantics).
+  const std::int16_t counts[8] = {2, -2, 0, -15, 1, -1, 3, -3};
+  const int16x8_t c = vld1q_s16(counts);
+  const int16x8_t v = vdupq_n_s16(-32);
+  const int16x8_t r = vshlq_s16(v, c);
+  EXPECT_EQ(vgetq_lane_s16(r, 0), -128);
+  EXPECT_EQ(vgetq_lane_s16(r, 1), -8);
+  EXPECT_EQ(vgetq_lane_s16(r, 2), -32);
+  EXPECT_EQ(vgetq_lane_s16(r, 3), -1);  // arithmetic shift keeps sign
+  const uint16x8_t u = vshlq_u16(vdupq_n_u16(0x8000), c);
+  EXPECT_EQ(vgetq_lane_u16(u, 1), 0x2000);
+  EXPECT_EQ(vgetq_lane_u16(u, 3), 1);
+}
+
+TEST(NeonShift, WideningShiftLeft) {
+  const std::uint8_t v[8] = {1, 2, 255, 0, 4, 5, 6, 7};
+  const uint16x8_t w = vshll_n_u8(vld1_u8(v), 4);
+  EXPECT_EQ(vgetq_lane_u16(w, 0), 16);
+  EXPECT_EQ(vgetq_lane_u16(w, 2), 255 * 16);
+}
+
+TEST(NeonShift, NarrowingShifts) {
+  const int32x4_t v = vdupq_n_s32(0x12345);
+  EXPECT_EQ(vget_lane_s16(vshrn_n_s32(v, 8), 0),
+            static_cast<std::int16_t>(0x123));
+  // Saturating narrow shift clamps.
+  EXPECT_EQ(vget_lane_s16(vqshrn_n_s32(vdupq_n_s32(1 << 30), 2), 0), 32767);
+  EXPECT_EQ(vget_lane_s16(vqrshrn_n_s32(vdupq_n_s32(5), 1), 0), 3);
+  // Unsigned saturating narrow from signed clamps negatives to 0.
+  EXPECT_EQ(vget_lane_u8(vqrshrun_n_s16(vdupq_n_s16(-100), 2), 0), 0);
+  EXPECT_EQ(vget_lane_u8(vqrshrun_n_s16(vdupq_n_s16(1000), 2), 0), 250);
+  EXPECT_EQ(vget_lane_u8(vqrshrun_n_s16(vdupq_n_s16(1022), 2), 0), 255);  // 255.5 rounds
+}
+
+TEST(NeonNarrow, MovnTruncatesQmovnSaturates) {
+  const std::int32_t vals[4] = {70000, -70000, 1234, -1234};
+  const int32x4_t v = vld1q_s32(vals);
+  const int16x4_t truncated = vmovn_s32(v);
+  EXPECT_EQ(vget_lane_s16(truncated, 0), static_cast<std::int16_t>(70000));  // wraps
+  EXPECT_EQ(vget_lane_s16(truncated, 2), 1234);
+  const int16x4_t saturated = vqmovn_s32(v);
+  EXPECT_EQ(vget_lane_s16(saturated, 0), 32767);
+  EXPECT_EQ(vget_lane_s16(saturated, 1), -32768);
+  EXPECT_EQ(vget_lane_s16(saturated, 3), -1234);
+}
+
+TEST(NeonNarrow, QmovunClampsAtZero) {
+  const std::int16_t vals[8] = {-5, 0, 255, 256, 300, 32767, -32768, 100};
+  const uint8x8_t r = vqmovun_s16(vld1q_s16(vals));
+  EXPECT_EQ(vget_lane_u8(r, 0), 0);
+  EXPECT_EQ(vget_lane_u8(r, 1), 0);
+  EXPECT_EQ(vget_lane_u8(r, 2), 255);
+  EXPECT_EQ(vget_lane_u8(r, 3), 255);
+  EXPECT_EQ(vget_lane_u8(r, 6), 0);
+  EXPECT_EQ(vget_lane_u8(r, 7), 100);
+}
+
+TEST(NeonCvt, FloatToIntTruncatesTowardZero) {
+  const float vals[4] = {1.9f, -1.9f, 0.5f, -0.5f};
+  const int32x4_t r = vcvtq_s32_f32(vld1q_f32(vals));
+  EXPECT_EQ(vgetq_lane_s32(r, 0), 1);
+  EXPECT_EQ(vgetq_lane_s32(r, 1), -1);
+  EXPECT_EQ(vgetq_lane_s32(r, 2), 0);
+  EXPECT_EQ(vgetq_lane_s32(r, 3), 0);
+}
+
+TEST(NeonCvt, FloatToIntSaturatesAndZerosNaN) {
+  const float vals[4] = {1e20f, -1e20f, std::nanf(""), 2147483520.0f};
+  const int32x4_t r = vcvtq_s32_f32(vld1q_f32(vals));
+  EXPECT_EQ(vgetq_lane_s32(r, 0), std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(vgetq_lane_s32(r, 1), std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(vgetq_lane_s32(r, 2), 0);
+  EXPECT_EQ(vgetq_lane_s32(r, 3), 2147483520);  // largest float below 2^31
+}
+
+TEST(NeonCvt, RoundToNearestEvenVariant) {
+  const float vals[4] = {0.5f, 1.5f, 2.5f, -2.5f};
+  const int32x4_t r = vcvtnq_s32_f32(vld1q_f32(vals));
+  EXPECT_EQ(vgetq_lane_s32(r, 0), 0);
+  EXPECT_EQ(vgetq_lane_s32(r, 1), 2);
+  EXPECT_EQ(vgetq_lane_s32(r, 2), 2);
+  EXPECT_EQ(vgetq_lane_s32(r, 3), -2);
+}
+
+TEST(NeonCvt, UnsignedConversionClampsNegatives) {
+  const float vals[4] = {-5.0f, 0.0f, 255.9f, 5e9f};
+  const uint32x4_t r = vcvtq_u32_f32(vld1q_f32(vals));
+  EXPECT_EQ(vgetq_lane_u32(r, 0), 0u);
+  EXPECT_EQ(vgetq_lane_u32(r, 1), 0u);
+  EXPECT_EQ(vgetq_lane_u32(r, 2), 255u);
+  EXPECT_EQ(vgetq_lane_u32(r, 3), 4294967295u);
+}
+
+TEST(NeonCvt, IntToFloatExact) {
+  const std::int32_t vals[4] = {0, -1, 8388608, -2147483648};
+  const float32x4_t f = vcvtq_f32_s32(vld1q_s32(vals));
+  EXPECT_EQ(vgetq_lane_f32(f, 0), 0.0f);
+  EXPECT_EQ(vgetq_lane_f32(f, 1), -1.0f);
+  EXPECT_EQ(vgetq_lane_f32(f, 2), 8388608.0f);
+  EXPECT_EQ(vgetq_lane_f32(f, 3), -2147483648.0f);
+  const std::uint32_t uvals[4] = {0u, 4294967295u, 65536u, 1u};
+  const float32x4_t uf = vcvtq_f32_u32(vld1q_u32(uvals));
+  EXPECT_EQ(vgetq_lane_f32(uf, 1), 4294967296.0f);  // rounds up to 2^32
+  EXPECT_EQ(vgetq_lane_f32(uf, 2), 65536.0f);
+}
+
+TEST(NeonCvt, FixedPointConversions) {
+  // 8 fractional bits: 256 -> 1.0.
+  const float32x4_t f = vcvtq_n_f32_s32(vdupq_n_s32(384), 8);
+  EXPECT_EQ(vgetq_lane_f32(f, 0), 1.5f);
+  const int32x4_t i = vcvtq_n_s32_f32(vdupq_n_f32(1.5f), 8);
+  EXPECT_EQ(vgetq_lane_s32(i, 0), 384);
+  const uint32x4_t u = vcvtq_n_u32_f32(vdupq_n_f32(0.25f), 4);
+  EXPECT_EQ(vgetq_lane_u32(u, 0), 4u);
+}
+
+// Cross-check the paper's full 8-pixel conversion dance at the intrinsic
+// level (the composition used by core::neon::cvt32f16s).
+TEST(NeonCvt, EightPixelConversionComposition) {
+  const float src[8] = {1.4f, -1.4f, 40000.0f, -40000.0f, 0.5f, 1.5f, -0.5f, 100.0f};
+  const int32x4_t i0 = vcvtnq_s32_f32(vld1q_f32(src));
+  const int32x4_t i1 = vcvtnq_s32_f32(vld1q_f32(src + 4));
+  const int16x8_t packed = vcombine_s16(vqmovn_s32(i0), vqmovn_s32(i1));
+  std::int16_t out[8];
+  vst1q_s16(out, packed);
+  const std::int16_t want[8] = {1, -1, 32767, -32768, 0, 2, 0, 100};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], want[i]) << i;
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+// Typed property tests: algebraic laws of the NEON emulation, swept across
+// every integer Q-register type with randomized lanes. Each law is checked
+// against an independent scalar model.
+#include "simd/neon_compat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <random>
+
+namespace {
+
+// Per-type binding of the intrinsics under test.
+template <typename E>
+struct Ops;
+
+#define SIMDCV_TYPED_OPS(ET, VT, SUF, N)                                      \
+  template <>                                                                 \
+  struct Ops<ET> {                                                            \
+    using Elem = ET;                                                          \
+    using Vec = VT;                                                           \
+    static constexpr int lanes = N;                                           \
+    static Vec load(const Elem* p) { return vld1q_##SUF(p); }                 \
+    static void store(Elem* p, Vec v) { vst1q_##SUF(p, v); }                  \
+    static Vec add(Vec a, Vec b) { return vaddq_##SUF(a, b); }                \
+    static Vec sub(Vec a, Vec b) { return vsubq_##SUF(a, b); }                \
+    static Vec qadd(Vec a, Vec b) { return vqaddq_##SUF(a, b); }              \
+    static Vec qsub(Vec a, Vec b) { return vqsubq_##SUF(a, b); }              \
+    static Vec vmin(Vec a, Vec b) { return vminq_##SUF(a, b); }               \
+    static Vec vmax(Vec a, Vec b) { return vmaxq_##SUF(a, b); }               \
+    static Vec vabd(Vec a, Vec b) { return vabdq_##SUF(a, b); }               \
+    static auto cgt(Vec a, Vec b) { return vcgtq_##SUF(a, b); }               \
+    static auto ceq(Vec a, Vec b) { return vceqq_##SUF(a, b); }               \
+    static Vec dup(Elem v) { return vdupq_n_##SUF(v); }                       \
+    static Vec ext(Vec a, Vec b, int n) { return vextq_##SUF(a, b, n); }      \
+  };
+
+SIMDCV_TYPED_OPS(std::int8_t, int8x16_t, s8, 16)
+SIMDCV_TYPED_OPS(std::uint8_t, uint8x16_t, u8, 16)
+SIMDCV_TYPED_OPS(std::int16_t, int16x8_t, s16, 8)
+SIMDCV_TYPED_OPS(std::uint16_t, uint16x8_t, u16, 8)
+SIMDCV_TYPED_OPS(std::int32_t, int32x4_t, s32, 4)
+SIMDCV_TYPED_OPS(std::uint32_t, uint32x4_t, u32, 4)
+#undef SIMDCV_TYPED_OPS
+
+template <typename E>
+class NeonLawsTest : public ::testing::Test {
+ protected:
+  using O = Ops<E>;
+  static constexpr int N = O::lanes;
+
+  void SetUp() override { rng_.seed(0xC0FFEE ^ sizeof(E)); }
+
+  // Random lanes, biased toward the rails where saturation laws bite.
+  std::array<E, Ops<E>::lanes> randomLanes() {
+    std::array<E, N> a{};
+    for (auto& v : a) {
+      switch (rng_() % 5) {
+        case 0: v = std::numeric_limits<E>::min(); break;
+        case 1: v = std::numeric_limits<E>::max(); break;
+        case 2: v = static_cast<E>(0); break;
+        default: v = static_cast<E>(rng_()); break;
+      }
+    }
+    return a;
+  }
+
+  std::mt19937 rng_;
+};
+
+using LaneTypes = ::testing::Types<std::int8_t, std::uint8_t, std::int16_t,
+                                   std::uint16_t, std::int32_t, std::uint32_t>;
+TYPED_TEST_SUITE(NeonLawsTest, LaneTypes);
+
+TYPED_TEST(NeonLawsTest, LoadStoreRoundTrip) {
+  using O = Ops<TypeParam>;
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto in = this->randomLanes();
+    std::array<TypeParam, O::lanes> out{};
+    O::store(out.data(), O::load(in.data()));
+    EXPECT_EQ(in, out);
+  }
+}
+
+TYPED_TEST(NeonLawsTest, AddSubInverse) {
+  using O = Ops<TypeParam>;
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto a = this->randomLanes();
+    const auto b = this->randomLanes();
+    // (a + b) - b == a, even under modular wrap.
+    std::array<TypeParam, O::lanes> out{};
+    O::store(out.data(),
+             O::sub(O::add(O::load(a.data()), O::load(b.data())), O::load(b.data())));
+    EXPECT_EQ(out, a);
+  }
+}
+
+TYPED_TEST(NeonLawsTest, SaturatingAddMatchesClampModel) {
+  using O = Ops<TypeParam>;
+  using W = long long;
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto a = this->randomLanes();
+    const auto b = this->randomLanes();
+    std::array<TypeParam, O::lanes> got{};
+    O::store(got.data(), O::qadd(O::load(a.data()), O::load(b.data())));
+    for (int i = 0; i < O::lanes; ++i) {
+      const W s = static_cast<W>(a[static_cast<std::size_t>(i)]) +
+                  static_cast<W>(b[static_cast<std::size_t>(i)]);
+      const W lo = static_cast<W>(std::numeric_limits<TypeParam>::min());
+      const W hi = static_cast<W>(std::numeric_limits<TypeParam>::max());
+      EXPECT_EQ(static_cast<W>(got[static_cast<std::size_t>(i)]),
+                std::clamp(s, lo, hi))
+          << "lane " << i;
+    }
+  }
+}
+
+TYPED_TEST(NeonLawsTest, SaturatingSubMatchesClampModel) {
+  using O = Ops<TypeParam>;
+  using W = long long;
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto a = this->randomLanes();
+    const auto b = this->randomLanes();
+    std::array<TypeParam, O::lanes> got{};
+    O::store(got.data(), O::qsub(O::load(a.data()), O::load(b.data())));
+    for (int i = 0; i < O::lanes; ++i) {
+      const W s = static_cast<W>(a[static_cast<std::size_t>(i)]) -
+                  static_cast<W>(b[static_cast<std::size_t>(i)]);
+      const W lo = static_cast<W>(std::numeric_limits<TypeParam>::min());
+      const W hi = static_cast<W>(std::numeric_limits<TypeParam>::max());
+      EXPECT_EQ(static_cast<W>(got[static_cast<std::size_t>(i)]),
+                std::clamp(s, lo, hi));
+    }
+  }
+}
+
+TYPED_TEST(NeonLawsTest, MinMaxLattice) {
+  using O = Ops<TypeParam>;
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto a = this->randomLanes();
+    const auto b = this->randomLanes();
+    std::array<TypeParam, O::lanes> lo{}, hi{};
+    O::store(lo.data(), O::vmin(O::load(a.data()), O::load(b.data())));
+    O::store(hi.data(), O::vmax(O::load(a.data()), O::load(b.data())));
+    for (int i = 0; i < O::lanes; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      EXPECT_EQ(lo[ii], std::min(a[ii], b[ii]));
+      EXPECT_EQ(hi[ii], std::max(a[ii], b[ii]));
+      // min + max partitions the pair.
+      EXPECT_TRUE((lo[ii] == a[ii] && hi[ii] == b[ii]) ||
+                  (lo[ii] == b[ii] && hi[ii] == a[ii]));
+    }
+  }
+}
+
+TYPED_TEST(NeonLawsTest, AbsoluteDifferenceSymmetric) {
+  using O = Ops<TypeParam>;
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto a = this->randomLanes();
+    const auto b = this->randomLanes();
+    std::array<TypeParam, O::lanes> ab{}, ba{}, self{};
+    O::store(ab.data(), O::vabd(O::load(a.data()), O::load(b.data())));
+    O::store(ba.data(), O::vabd(O::load(b.data()), O::load(a.data())));
+    O::store(self.data(), O::vabd(O::load(a.data()), O::load(a.data())));
+    EXPECT_EQ(ab, ba);
+    for (int i = 0; i < O::lanes; ++i)
+      EXPECT_EQ(self[static_cast<std::size_t>(i)], TypeParam{0});
+  }
+}
+
+TYPED_TEST(NeonLawsTest, CompareMasksAreAllOrNothingAndCorrect) {
+  using O = Ops<TypeParam>;
+  using U = std::make_unsigned_t<TypeParam>;
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto a = this->randomLanes();
+    const auto b = this->randomLanes();
+    const auto gt = O::cgt(O::load(a.data()), O::load(b.data()));
+    const auto eq = O::ceq(O::load(a.data()), O::load(b.data()));
+    std::array<U, O::lanes> gtl{}, eql{};
+    std::memcpy(gtl.data(), &gt, sizeof(gt));
+    std::memcpy(eql.data(), &eq, sizeof(eq));
+    for (int i = 0; i < O::lanes; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      EXPECT_EQ(gtl[ii], a[ii] > b[ii] ? static_cast<U>(~U{0}) : U{0});
+      EXPECT_EQ(eql[ii], a[ii] == b[ii] ? static_cast<U>(~U{0}) : U{0});
+      EXPECT_FALSE(gtl[ii] && eql[ii]);  // trichotomy: not both
+    }
+  }
+}
+
+TYPED_TEST(NeonLawsTest, ExtComposesLikeConcatenationWindow) {
+  using O = Ops<TypeParam>;
+  const auto a = this->randomLanes();
+  const auto b = this->randomLanes();
+  for (int n = 0; n < O::lanes; ++n) {
+    std::array<TypeParam, O::lanes> got{};
+    O::store(got.data(), O::ext(O::load(a.data()), O::load(b.data()), n));
+    for (int i = 0; i < O::lanes; ++i) {
+      const TypeParam want = (i + n < O::lanes)
+                                 ? a[static_cast<std::size_t>(i + n)]
+                                 : b[static_cast<std::size_t>(i + n - O::lanes)];
+      EXPECT_EQ(got[static_cast<std::size_t>(i)], want) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TYPED_TEST(NeonLawsTest, DupMatchesBroadcast) {
+  using O = Ops<TypeParam>;
+  const auto a = this->randomLanes();
+  std::array<TypeParam, O::lanes> got{};
+  O::store(got.data(), O::dup(a[0]));
+  for (int i = 0; i < O::lanes; ++i)
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], a[0]);
+}
+
+}  // namespace
