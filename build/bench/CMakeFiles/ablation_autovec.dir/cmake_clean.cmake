@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_autovec.dir/ablation_autovec.cpp.o"
+  "CMakeFiles/ablation_autovec.dir/ablation_autovec.cpp.o.d"
+  "ablation_autovec"
+  "ablation_autovec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autovec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_avx.dir/ablation_avx.cpp.o"
+  "CMakeFiles/ablation_avx.dir/ablation_avx.cpp.o.d"
+  "ablation_avx"
+  "ablation_avx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_avx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_instruction_count.dir/ablation_instruction_count.cpp.o"
+  "CMakeFiles/ablation_instruction_count.dir/ablation_instruction_count.cpp.o.d"
+  "ablation_instruction_count"
+  "ablation_instruction_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_instruction_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

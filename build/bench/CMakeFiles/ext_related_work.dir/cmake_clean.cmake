@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_related_work.dir/ext_related_work.cpp.o"
+  "CMakeFiles/ext_related_work.dir/ext_related_work.cpp.o.d"
+  "ext_related_work"
+  "ext_related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_scalar_vs_simd.dir/fig1_scalar_vs_simd.cpp.o"
+  "CMakeFiles/fig1_scalar_vs_simd.dir/fig1_scalar_vs_simd.cpp.o.d"
+  "fig1_scalar_vs_simd"
+  "fig1_scalar_vs_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_scalar_vs_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

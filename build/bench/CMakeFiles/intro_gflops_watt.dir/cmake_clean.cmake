@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intro_gflops_watt.dir/intro_gflops_watt.cpp.o"
+  "CMakeFiles/intro_gflops_watt.dir/intro_gflops_watt.cpp.o.d"
+  "intro_gflops_watt"
+  "intro_gflops_watt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intro_gflops_watt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

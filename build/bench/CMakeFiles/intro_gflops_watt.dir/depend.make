@@ -1,0 +1,2 @@
+# Empty dependencies file for intro_gflops_watt.
+# This may be replaced when dependencies are built.

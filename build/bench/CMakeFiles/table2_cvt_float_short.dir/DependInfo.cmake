@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_cvt_float_short.cpp" "bench/CMakeFiles/table2_cvt_float_short.dir/table2_cvt_float_short.cpp.o" "gcc" "bench/CMakeFiles/table2_cvt_float_short.dir/table2_cvt_float_short.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/imgproc/CMakeFiles/simdcv_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/simdcv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench/CMakeFiles/simdcv_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/simdcv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/simdcv_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/simdcv_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

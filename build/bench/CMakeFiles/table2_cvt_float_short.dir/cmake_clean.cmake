@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cvt_float_short.dir/table2_cvt_float_short.cpp.o"
+  "CMakeFiles/table2_cvt_float_short.dir/table2_cvt_float_short.cpp.o.d"
+  "table2_cvt_float_short"
+  "table2_cvt_float_short.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cvt_float_short.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_kernels_8mpx.dir/table3_kernels_8mpx.cpp.o"
+  "CMakeFiles/table3_kernels_8mpx.dir/table3_kernels_8mpx.cpp.o.d"
+  "table3_kernels_8mpx"
+  "table3_kernels_8mpx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_kernels_8mpx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_kernels_8mpx.
+# This may be replaced when dependencies are built.

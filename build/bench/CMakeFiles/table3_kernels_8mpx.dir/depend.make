@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_kernels_8mpx.
+# This may be replaced when dependencies are built.

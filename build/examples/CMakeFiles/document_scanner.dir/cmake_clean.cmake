@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_scanner.dir/document_scanner.cpp.o"
+  "CMakeFiles/document_scanner.dir/document_scanner.cpp.o.d"
+  "document_scanner"
+  "document_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

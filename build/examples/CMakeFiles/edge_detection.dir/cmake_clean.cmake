@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_detection.dir/edge_detection.cpp.o"
+  "CMakeFiles/edge_detection.dir/edge_detection.cpp.o.d"
+  "edge_detection"
+  "edge_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

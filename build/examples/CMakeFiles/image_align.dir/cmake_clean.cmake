@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_align.dir/image_align.cpp.o"
+  "CMakeFiles/image_align.dir/image_align.cpp.o.d"
+  "image_align"
+  "image_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

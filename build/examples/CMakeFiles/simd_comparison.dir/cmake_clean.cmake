@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_comparison.dir/simd_comparison.cpp.o"
+  "CMakeFiles/simd_comparison.dir/simd_comparison.cpp.o.d"
+  "simd_comparison"
+  "simd_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "simdcv::simdcv_core" for configuration "Release"
+set_property(TARGET simdcv::simdcv_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(simdcv::simdcv_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libsimdcv_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets simdcv::simdcv_core )
+list(APPEND _cmake_import_check_files_for_simdcv::simdcv_core "${_IMPORT_PREFIX}/lib/libsimdcv_core.a" )
+
+# Import target "simdcv::simdcv_simd" for configuration "Release"
+set_property(TARGET simdcv::simdcv_simd APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(simdcv::simdcv_simd PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libsimdcv_simd.a"
+  )
+
+list(APPEND _cmake_import_check_targets simdcv::simdcv_simd )
+list(APPEND _cmake_import_check_files_for_simdcv::simdcv_simd "${_IMPORT_PREFIX}/lib/libsimdcv_simd.a" )
+
+# Import target "simdcv::simdcv_imgproc" for configuration "Release"
+set_property(TARGET simdcv::simdcv_imgproc APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(simdcv::simdcv_imgproc PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libsimdcv_imgproc.a"
+  )
+
+list(APPEND _cmake_import_check_targets simdcv::simdcv_imgproc )
+list(APPEND _cmake_import_check_files_for_simdcv::simdcv_imgproc "${_IMPORT_PREFIX}/lib/libsimdcv_imgproc.a" )
+
+# Import target "simdcv::simdcv_io" for configuration "Release"
+set_property(TARGET simdcv::simdcv_io APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(simdcv::simdcv_io PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libsimdcv_io.a"
+  )
+
+list(APPEND _cmake_import_check_targets simdcv::simdcv_io )
+list(APPEND _cmake_import_check_files_for_simdcv::simdcv_io "${_IMPORT_PREFIX}/lib/libsimdcv_io.a" )
+
+# Import target "simdcv::simdcv_platform" for configuration "Release"
+set_property(TARGET simdcv::simdcv_platform APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(simdcv::simdcv_platform PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libsimdcv_platform.a"
+  )
+
+list(APPEND _cmake_import_check_targets simdcv::simdcv_platform )
+list(APPEND _cmake_import_check_files_for_simdcv::simdcv_platform "${_IMPORT_PREFIX}/lib/libsimdcv_platform.a" )
+
+# Import target "simdcv::simdcv_bench" for configuration "Release"
+set_property(TARGET simdcv::simdcv_bench APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(simdcv::simdcv_bench PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libsimdcv_bench.a"
+  )
+
+list(APPEND _cmake_import_check_targets simdcv::simdcv_bench )
+list(APPEND _cmake_import_check_files_for_simdcv::simdcv_bench "${_IMPORT_PREFIX}/lib/libsimdcv_bench.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

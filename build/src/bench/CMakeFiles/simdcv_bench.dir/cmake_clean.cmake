@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdcv_bench.dir/harness.cpp.o"
+  "CMakeFiles/simdcv_bench.dir/harness.cpp.o.d"
+  "CMakeFiles/simdcv_bench.dir/images.cpp.o"
+  "CMakeFiles/simdcv_bench.dir/images.cpp.o.d"
+  "libsimdcv_bench.a"
+  "libsimdcv_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdcv_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

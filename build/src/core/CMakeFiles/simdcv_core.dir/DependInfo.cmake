@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/array_ops.cpp" "src/core/CMakeFiles/simdcv_core.dir/array_ops.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/array_ops.cpp.o.d"
+  "/root/repo/src/core/array_ops_neon.cpp" "src/core/CMakeFiles/simdcv_core.dir/array_ops_neon.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/array_ops_neon.cpp.o.d"
+  "/root/repo/src/core/array_ops_scalar_autovec.cpp" "src/core/CMakeFiles/simdcv_core.dir/array_ops_scalar_autovec.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/array_ops_scalar_autovec.cpp.o.d"
+  "/root/repo/src/core/array_ops_scalar_novec.cpp" "src/core/CMakeFiles/simdcv_core.dir/array_ops_scalar_novec.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/array_ops_scalar_novec.cpp.o.d"
+  "/root/repo/src/core/array_ops_sse2.cpp" "src/core/CMakeFiles/simdcv_core.dir/array_ops_sse2.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/array_ops_sse2.cpp.o.d"
+  "/root/repo/src/core/convert.cpp" "src/core/CMakeFiles/simdcv_core.dir/convert.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/convert.cpp.o.d"
+  "/root/repo/src/core/convert_avx2.cpp" "src/core/CMakeFiles/simdcv_core.dir/convert_avx2.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/convert_avx2.cpp.o.d"
+  "/root/repo/src/core/convert_neon.cpp" "src/core/CMakeFiles/simdcv_core.dir/convert_neon.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/convert_neon.cpp.o.d"
+  "/root/repo/src/core/convert_scalar_autovec.cpp" "src/core/CMakeFiles/simdcv_core.dir/convert_scalar_autovec.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/convert_scalar_autovec.cpp.o.d"
+  "/root/repo/src/core/convert_scalar_novec.cpp" "src/core/CMakeFiles/simdcv_core.dir/convert_scalar_novec.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/convert_scalar_novec.cpp.o.d"
+  "/root/repo/src/core/convert_sse2.cpp" "src/core/CMakeFiles/simdcv_core.dir/convert_sse2.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/convert_sse2.cpp.o.d"
+  "/root/repo/src/core/mat.cpp" "src/core/CMakeFiles/simdcv_core.dir/mat.cpp.o" "gcc" "src/core/CMakeFiles/simdcv_core.dir/mat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simd/CMakeFiles/simdcv_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdcv_core.dir/array_ops.cpp.o"
+  "CMakeFiles/simdcv_core.dir/array_ops.cpp.o.d"
+  "CMakeFiles/simdcv_core.dir/array_ops_neon.cpp.o"
+  "CMakeFiles/simdcv_core.dir/array_ops_neon.cpp.o.d"
+  "CMakeFiles/simdcv_core.dir/array_ops_scalar_autovec.cpp.o"
+  "CMakeFiles/simdcv_core.dir/array_ops_scalar_autovec.cpp.o.d"
+  "CMakeFiles/simdcv_core.dir/array_ops_scalar_novec.cpp.o"
+  "CMakeFiles/simdcv_core.dir/array_ops_scalar_novec.cpp.o.d"
+  "CMakeFiles/simdcv_core.dir/array_ops_sse2.cpp.o"
+  "CMakeFiles/simdcv_core.dir/array_ops_sse2.cpp.o.d"
+  "CMakeFiles/simdcv_core.dir/convert.cpp.o"
+  "CMakeFiles/simdcv_core.dir/convert.cpp.o.d"
+  "CMakeFiles/simdcv_core.dir/convert_avx2.cpp.o"
+  "CMakeFiles/simdcv_core.dir/convert_avx2.cpp.o.d"
+  "CMakeFiles/simdcv_core.dir/convert_neon.cpp.o"
+  "CMakeFiles/simdcv_core.dir/convert_neon.cpp.o.d"
+  "CMakeFiles/simdcv_core.dir/convert_scalar_autovec.cpp.o"
+  "CMakeFiles/simdcv_core.dir/convert_scalar_autovec.cpp.o.d"
+  "CMakeFiles/simdcv_core.dir/convert_scalar_novec.cpp.o"
+  "CMakeFiles/simdcv_core.dir/convert_scalar_novec.cpp.o.d"
+  "CMakeFiles/simdcv_core.dir/convert_sse2.cpp.o"
+  "CMakeFiles/simdcv_core.dir/convert_sse2.cpp.o.d"
+  "CMakeFiles/simdcv_core.dir/mat.cpp.o"
+  "CMakeFiles/simdcv_core.dir/mat.cpp.o.d"
+  "libsimdcv_core.a"
+  "libsimdcv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdcv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imgproc/adaptive.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/adaptive.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/adaptive.cpp.o.d"
+  "/root/repo/src/imgproc/canny.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/canny.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/canny.cpp.o.d"
+  "/root/repo/src/imgproc/color.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/color.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/color.cpp.o.d"
+  "/root/repo/src/imgproc/color_neon.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/color_neon.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/color_neon.cpp.o.d"
+  "/root/repo/src/imgproc/color_scalar_autovec.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/color_scalar_autovec.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/color_scalar_autovec.cpp.o.d"
+  "/root/repo/src/imgproc/color_scalar_novec.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/color_scalar_novec.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/color_scalar_novec.cpp.o.d"
+  "/root/repo/src/imgproc/color_sse2.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/color_sse2.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/color_sse2.cpp.o.d"
+  "/root/repo/src/imgproc/connected.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/connected.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/connected.cpp.o.d"
+  "/root/repo/src/imgproc/distance.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/distance.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/distance.cpp.o.d"
+  "/root/repo/src/imgproc/edge.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/edge.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/edge.cpp.o.d"
+  "/root/repo/src/imgproc/edge_scalar_autovec.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/edge_scalar_autovec.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/edge_scalar_autovec.cpp.o.d"
+  "/root/repo/src/imgproc/edge_scalar_novec.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/edge_scalar_novec.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/edge_scalar_novec.cpp.o.d"
+  "/root/repo/src/imgproc/fast.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/fast.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/fast.cpp.o.d"
+  "/root/repo/src/imgproc/filter.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter.cpp.o.d"
+  "/root/repo/src/imgproc/filter_avx2.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter_avx2.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter_avx2.cpp.o.d"
+  "/root/repo/src/imgproc/filter_neon.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter_neon.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter_neon.cpp.o.d"
+  "/root/repo/src/imgproc/filter_scalar_autovec.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter_scalar_autovec.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter_scalar_autovec.cpp.o.d"
+  "/root/repo/src/imgproc/filter_scalar_novec.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter_scalar_novec.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter_scalar_novec.cpp.o.d"
+  "/root/repo/src/imgproc/filter_sse2.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter_sse2.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/filter_sse2.cpp.o.d"
+  "/root/repo/src/imgproc/geometry.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/geometry.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/geometry.cpp.o.d"
+  "/root/repo/src/imgproc/harris.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/harris.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/harris.cpp.o.d"
+  "/root/repo/src/imgproc/histogram.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/histogram.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/histogram.cpp.o.d"
+  "/root/repo/src/imgproc/iir.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/iir.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/iir.cpp.o.d"
+  "/root/repo/src/imgproc/kernels.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/kernels.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/kernels.cpp.o.d"
+  "/root/repo/src/imgproc/match.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/match.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/match.cpp.o.d"
+  "/root/repo/src/imgproc/match_scalar_autovec.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/match_scalar_autovec.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/match_scalar_autovec.cpp.o.d"
+  "/root/repo/src/imgproc/match_scalar_novec.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/match_scalar_novec.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/match_scalar_novec.cpp.o.d"
+  "/root/repo/src/imgproc/median.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/median.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/median.cpp.o.d"
+  "/root/repo/src/imgproc/moments.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/moments.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/moments.cpp.o.d"
+  "/root/repo/src/imgproc/morphology.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/morphology.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/morphology.cpp.o.d"
+  "/root/repo/src/imgproc/pyramid.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/pyramid.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/pyramid.cpp.o.d"
+  "/root/repo/src/imgproc/resize.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/resize.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/resize.cpp.o.d"
+  "/root/repo/src/imgproc/threshold.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold.cpp.o.d"
+  "/root/repo/src/imgproc/threshold_avx2.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold_avx2.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold_avx2.cpp.o.d"
+  "/root/repo/src/imgproc/threshold_neon.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold_neon.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold_neon.cpp.o.d"
+  "/root/repo/src/imgproc/threshold_scalar_autovec.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold_scalar_autovec.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold_scalar_autovec.cpp.o.d"
+  "/root/repo/src/imgproc/threshold_scalar_novec.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold_scalar_novec.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold_scalar_novec.cpp.o.d"
+  "/root/repo/src/imgproc/threshold_sse2.cpp" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold_sse2.cpp.o" "gcc" "src/imgproc/CMakeFiles/simdcv_imgproc.dir/threshold_sse2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simdcv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/simdcv_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

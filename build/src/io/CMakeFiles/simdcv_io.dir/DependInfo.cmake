@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bmp.cpp" "src/io/CMakeFiles/simdcv_io.dir/bmp.cpp.o" "gcc" "src/io/CMakeFiles/simdcv_io.dir/bmp.cpp.o.d"
+  "/root/repo/src/io/pnm.cpp" "src/io/CMakeFiles/simdcv_io.dir/pnm.cpp.o" "gcc" "src/io/CMakeFiles/simdcv_io.dir/pnm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simdcv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/simdcv_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdcv_io.dir/bmp.cpp.o"
+  "CMakeFiles/simdcv_io.dir/bmp.cpp.o.d"
+  "CMakeFiles/simdcv_io.dir/pnm.cpp.o"
+  "CMakeFiles/simdcv_io.dir/pnm.cpp.o.d"
+  "libsimdcv_io.a"
+  "libsimdcv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdcv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

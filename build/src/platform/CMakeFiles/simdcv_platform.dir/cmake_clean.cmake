@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdcv_platform.dir/catalog.cpp.o"
+  "CMakeFiles/simdcv_platform.dir/catalog.cpp.o.d"
+  "CMakeFiles/simdcv_platform.dir/costmodel.cpp.o"
+  "CMakeFiles/simdcv_platform.dir/costmodel.cpp.o.d"
+  "CMakeFiles/simdcv_platform.dir/hostinfo.cpp.o"
+  "CMakeFiles/simdcv_platform.dir/hostinfo.cpp.o.d"
+  "libsimdcv_platform.a"
+  "libsimdcv_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdcv_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdcv_simd.dir/features.cpp.o"
+  "CMakeFiles/simdcv_simd.dir/features.cpp.o.d"
+  "libsimdcv_simd.a"
+  "libsimdcv_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdcv_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimdcv_simd.a"
+)

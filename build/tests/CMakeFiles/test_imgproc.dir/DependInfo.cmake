@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/imgproc/adaptive_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/adaptive_test.cpp.o.d"
+  "/root/repo/tests/imgproc/canny_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/canny_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/canny_test.cpp.o.d"
+  "/root/repo/tests/imgproc/color_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/color_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/color_test.cpp.o.d"
+  "/root/repo/tests/imgproc/connected_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/connected_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/connected_test.cpp.o.d"
+  "/root/repo/tests/imgproc/distance_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/distance_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/distance_test.cpp.o.d"
+  "/root/repo/tests/imgproc/edge_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/edge_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/edge_test.cpp.o.d"
+  "/root/repo/tests/imgproc/fast_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/fast_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/fast_test.cpp.o.d"
+  "/root/repo/tests/imgproc/filter_properties_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/filter_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/filter_properties_test.cpp.o.d"
+  "/root/repo/tests/imgproc/filter_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/filter_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/filter_test.cpp.o.d"
+  "/root/repo/tests/imgproc/geometry_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/geometry_test.cpp.o.d"
+  "/root/repo/tests/imgproc/harris_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/harris_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/harris_test.cpp.o.d"
+  "/root/repo/tests/imgproc/histogram_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/histogram_test.cpp.o.d"
+  "/root/repo/tests/imgproc/iir_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/iir_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/iir_test.cpp.o.d"
+  "/root/repo/tests/imgproc/kernels_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/kernels_test.cpp.o.d"
+  "/root/repo/tests/imgproc/match_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/match_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/match_test.cpp.o.d"
+  "/root/repo/tests/imgproc/median_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/median_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/median_test.cpp.o.d"
+  "/root/repo/tests/imgproc/moments_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/moments_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/moments_test.cpp.o.d"
+  "/root/repo/tests/imgproc/morphology_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/morphology_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/morphology_test.cpp.o.d"
+  "/root/repo/tests/imgproc/pyramid_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/pyramid_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/pyramid_test.cpp.o.d"
+  "/root/repo/tests/imgproc/resize_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/resize_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/resize_test.cpp.o.d"
+  "/root/repo/tests/imgproc/sobel_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/sobel_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/sobel_test.cpp.o.d"
+  "/root/repo/tests/imgproc/threshold_test.cpp" "tests/CMakeFiles/test_imgproc.dir/imgproc/threshold_test.cpp.o" "gcc" "tests/CMakeFiles/test_imgproc.dir/imgproc/threshold_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imgproc/CMakeFiles/simdcv_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/simdcv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench/CMakeFiles/simdcv_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/simdcv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/simdcv_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/simdcv_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

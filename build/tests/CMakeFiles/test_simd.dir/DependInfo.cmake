@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simd/features_test.cpp" "tests/CMakeFiles/test_simd.dir/simd/features_test.cpp.o" "gcc" "tests/CMakeFiles/test_simd.dir/simd/features_test.cpp.o.d"
+  "/root/repo/tests/simd/neon_emu_arith_test.cpp" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_arith_test.cpp.o" "gcc" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_arith_test.cpp.o.d"
+  "/root/repo/tests/simd/neon_emu_basic_test.cpp" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_basic_test.cpp.o" "gcc" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_basic_test.cpp.o.d"
+  "/root/repo/tests/simd/neon_emu_cmp_test.cpp" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_cmp_test.cpp.o" "gcc" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_cmp_test.cpp.o.d"
+  "/root/repo/tests/simd/neon_emu_extra_test.cpp" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_extra_test.cpp.o" "gcc" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_extra_test.cpp.o.d"
+  "/root/repo/tests/simd/neon_emu_perm_test.cpp" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_perm_test.cpp.o" "gcc" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_perm_test.cpp.o.d"
+  "/root/repo/tests/simd/neon_emu_semantics_test.cpp" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_semantics_test.cpp.o.d"
+  "/root/repo/tests/simd/neon_emu_shift_cvt_test.cpp" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_shift_cvt_test.cpp.o" "gcc" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_shift_cvt_test.cpp.o.d"
+  "/root/repo/tests/simd/neon_emu_typed_test.cpp" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_typed_test.cpp.o" "gcc" "tests/CMakeFiles/test_simd.dir/simd/neon_emu_typed_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imgproc/CMakeFiles/simdcv_imgproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/simdcv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench/CMakeFiles/simdcv_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/simdcv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/simdcv_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/simdcv_simd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd.dir/simd/features_test.cpp.o"
+  "CMakeFiles/test_simd.dir/simd/features_test.cpp.o.d"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_arith_test.cpp.o"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_arith_test.cpp.o.d"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_basic_test.cpp.o"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_basic_test.cpp.o.d"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_cmp_test.cpp.o"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_cmp_test.cpp.o.d"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_extra_test.cpp.o"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_extra_test.cpp.o.d"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_perm_test.cpp.o"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_perm_test.cpp.o.d"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_semantics_test.cpp.o"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_semantics_test.cpp.o.d"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_shift_cvt_test.cpp.o"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_shift_cvt_test.cpp.o.d"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_typed_test.cpp.o"
+  "CMakeFiles/test_simd.dir/simd/neon_emu_typed_test.cpp.o.d"
+  "test_simd"
+  "test_simd.pdb"
+  "test_simd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_simd[1]_include.cmake")
+include("/root/repo/build/tests/test_imgproc[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_bench[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test(example.quickstart "/root/repo/build/examples/quickstart" "/root/repo/build/tests/example_scratch")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example.edge_detection "/root/repo/build/examples/edge_detection" "" "120" "/root/repo/build/tests/example_scratch")
+set_tests_properties(example.edge_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;74;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example.document_scanner "/root/repo/build/examples/document_scanner" "" "/root/repo/build/tests/example_scratch")
+set_tests_properties(example.document_scanner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;76;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example.image_align "/root/repo/build/examples/image_align" "/root/repo/build/tests/example_scratch")
+set_tests_properties(example.image_align PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;78;add_test;/root/repo/tests/CMakeLists.txt;0;")
