@@ -1,11 +1,15 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/convert.hpp"
 #include "imgproc/edge.hpp"
 #include "imgproc/filter.hpp"
 #include "imgproc/threshold.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace simdcv::bench {
 
@@ -65,14 +69,38 @@ Measurement measureKernel(platform::BenchKernel kernel, KernelPath path,
   std::vector<Mat> dsts(images.size());
   std::vector<Mat> dsts2(images.size());
   auto fn = makeRunner(kernel, path, images, dsts, dsts2);
-  // One untimed warm-up pass per image (page faults, allocation).
+  // Guard the timed window against one-time costs. When the runtime is
+  // configured for >1 thread the first parallel call spins up the pool
+  // (thread creation + stack first-touch); force that here, then run one
+  // untimed warm-up pass per image (page faults, allocation) so the
+  // protocol's mean only measures steady-state kernel time.
+  runtime::warmupPool();
   for (std::size_t i = 0; i < images.size(); ++i) fn(static_cast<int>(i));
+  const runtime::PoolStats before = runtime::poolStats();
   Measurement m;
   m.stats = summarize(runProtocol(proto, fn));
   m.path = path;
   m.kernel = kernel;
   m.size = size;
+  if (benchVerbose()) {
+    const runtime::PoolStats after = runtime::poolStats();
+    std::printf(
+        "  [runtime] threads=%d tasks=%llu steals=%llu parks=%llu "
+        "unparks=%llu (%s %dx%d %s)\n",
+        runtime::getNumThreads(),
+        static_cast<unsigned long long>(after.tasks_executed - before.tasks_executed),
+        static_cast<unsigned long long>(after.steals - before.steals),
+        static_cast<unsigned long long>(after.parks - before.parks),
+        static_cast<unsigned long long>(after.unparks - before.unparks),
+        platform::toString(kernel), size.width, size.height,
+        pathLabel(path).c_str());
+  }
   return m;
+}
+
+bool benchVerbose() {
+  const char* v = std::getenv("SIMDCV_BENCH_VERBOSE");
+  return v != nullptr && std::strcmp(v, "1") == 0;
 }
 
 std::vector<KernelPath> benchPaths() {

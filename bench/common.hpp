@@ -25,6 +25,11 @@ struct Measurement {
 Measurement measureKernel(platform::BenchKernel kernel, KernelPath path,
                           Size size, const Protocol& proto);
 
+/// True when SIMDCV_BENCH_VERBOSE=1: measureKernel then prints the runtime
+/// thread count and pool activity (tasks/steals/parks/unparks) per
+/// measurement — the first observability hook for threaded runs.
+bool benchVerbose();
+
 /// The KernelPaths benchmarked on the host, in print order. NEON runs
 /// through the emulation layer on x86 and is labelled accordingly.
 std::vector<KernelPath> benchPaths();

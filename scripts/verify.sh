@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + full test suite, then the runtime
+# subsystem re-run under ThreadSanitizer (the `runtime` ctest label covers
+# the thread pool and the 1-vs-N bit-equivalence tests).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build + full ctest =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo
+echo "== runtime tests under ThreadSanitizer =="
+cmake -B build-tsan -S . \
+  -DSIMDCV_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSIMDCV_BUILD_BENCH=OFF \
+  -DSIMDCV_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j --target test_runtime
+ctest --test-dir build-tsan -L runtime --output-on-failure -j"$(nproc)"
+
+echo
+echo "verify: OK"

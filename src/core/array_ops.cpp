@@ -6,12 +6,23 @@
 
 #include "core/array_ops_detail.hpp"
 #include "core/saturate.hpp"
+#include "runtime/parallel.hpp"
 
 namespace simdcv::core {
 
 namespace {
 
 using detail::BinOp;
+
+// Band-parallel row walk for the element-wise ops below. Bands partition
+// output rows, so results are bit-identical to the serial walk; reductions
+// (sum/norm/minMax) deliberately stay serial to keep their accumulation
+// order — and thus their float results — unchanged.
+template <typename Fn>
+void forEachBand(int rows, std::size_t bytesPerRow, const Fn& fn) {
+  runtime::parallel_for({0, rows}, fn,
+                        runtime::parallelThreshold(bytesPerRow, rows));
+}
 
 void checkPair(const Mat& a, const Mat& b, const char* what) {
   SIMDCV_REQUIRE(!a.empty() && !b.empty(), std::string(what) + ": empty input");
@@ -46,13 +57,19 @@ void binaryOp(BinOp op, const Mat& a, const Mat& b, Mat& dst, KernelPath path,
                 : std::move(dst);
   out.create(a.rows(), a.cols(), a.type());
   const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
-  if (a.isContinuous() && b.isContinuous() && out.isContinuous()) {
-    binDispatch(op, a.depth(), a.data(), b.data(), out.data(), n * a.rows(), p);
-  } else {
-    for (int r = 0; r < a.rows(); ++r)
-      binDispatch(op, a.depth(), a.ptr<std::uint8_t>(r), b.ptr<std::uint8_t>(r),
-                  out.ptr<std::uint8_t>(r), n, p);
-  }
+  const bool flat = a.isContinuous() && b.isContinuous() && out.isContinuous();
+  forEachBand(a.rows(), 2 * n * depthSize(a.depth()), [&](runtime::Range band) {
+    if (flat) {
+      binDispatch(op, a.depth(), a.ptr<std::uint8_t>(band.begin),
+                  b.ptr<std::uint8_t>(band.begin),
+                  out.ptr<std::uint8_t>(band.begin),
+                  n * static_cast<std::size_t>(band.size()), p);
+    } else {
+      for (int r = band.begin; r < band.end; ++r)
+        binDispatch(op, a.depth(), a.ptr<std::uint8_t>(r),
+                    b.ptr<std::uint8_t>(r), out.ptr<std::uint8_t>(r), n, p);
+    }
+  });
   dst = std::move(out);
 }
 
@@ -95,12 +112,17 @@ void bitwiseNot(const Mat& a, Mat& dst, KernelPath path) {
   const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
   auto run = p == KernelPath::ScalarNoVec ? &detail::aops_novec::notRange
                                           : &detail::aops_autovec::notRange;
-  if (a.isContinuous() && out.isContinuous()) {
-    run(a.depth(), a.data(), out.data(), n * a.rows());
-  } else {
-    for (int r = 0; r < a.rows(); ++r)
-      run(a.depth(), a.ptr<std::uint8_t>(r), out.ptr<std::uint8_t>(r), n);
-  }
+  const bool flat = a.isContinuous() && out.isContinuous();
+  forEachBand(a.rows(), n * depthSize(a.depth()), [&](runtime::Range band) {
+    if (flat) {
+      run(a.depth(), a.ptr<std::uint8_t>(band.begin),
+          out.ptr<std::uint8_t>(band.begin),
+          n * static_cast<std::size_t>(band.size()));
+    } else {
+      for (int r = band.begin; r < band.end; ++r)
+        run(a.depth(), a.ptr<std::uint8_t>(r), out.ptr<std::uint8_t>(r), n);
+    }
+  });
   dst = std::move(out);
 }
 
@@ -113,13 +135,18 @@ void scaleAdd(const Mat& a, double alpha, double beta, Mat& dst,
   const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
   auto run = p == KernelPath::ScalarNoVec ? &detail::aops_novec::scaleRange
                                           : &detail::aops_autovec::scaleRange;
-  if (a.isContinuous() && out.isContinuous()) {
-    run(a.depth(), a.data(), out.data(), n * a.rows(), alpha, beta);
-  } else {
-    for (int r = 0; r < a.rows(); ++r)
-      run(a.depth(), a.ptr<std::uint8_t>(r), out.ptr<std::uint8_t>(r), n, alpha,
-          beta);
-  }
+  const bool flat = a.isContinuous() && out.isContinuous();
+  forEachBand(a.rows(), n * depthSize(a.depth()), [&](runtime::Range band) {
+    if (flat) {
+      run(a.depth(), a.ptr<std::uint8_t>(band.begin),
+          out.ptr<std::uint8_t>(band.begin),
+          n * static_cast<std::size_t>(band.size()), alpha, beta);
+    } else {
+      for (int r = band.begin; r < band.end; ++r)
+        run(a.depth(), a.ptr<std::uint8_t>(r), out.ptr<std::uint8_t>(r), n,
+            alpha, beta);
+    }
+  });
   dst = std::move(out);
 }
 
@@ -134,14 +161,18 @@ void addWeighted(const Mat& a, double alpha, const Mat& b, double beta,
   const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
   auto run = p == KernelPath::ScalarNoVec ? &detail::aops_novec::weightedRange
                                           : &detail::aops_autovec::weightedRange;
-  if (a.isContinuous() && b.isContinuous() && out.isContinuous()) {
-    run(a.depth(), a.data(), b.data(), out.data(), n * a.rows(), alpha, beta,
-        gamma);
-  } else {
-    for (int r = 0; r < a.rows(); ++r)
-      run(a.depth(), a.ptr<std::uint8_t>(r), b.ptr<std::uint8_t>(r),
-          out.ptr<std::uint8_t>(r), n, alpha, beta, gamma);
-  }
+  const bool flat = a.isContinuous() && b.isContinuous() && out.isContinuous();
+  forEachBand(a.rows(), 2 * n * depthSize(a.depth()), [&](runtime::Range band) {
+    if (flat) {
+      run(a.depth(), a.ptr<std::uint8_t>(band.begin),
+          b.ptr<std::uint8_t>(band.begin), out.ptr<std::uint8_t>(band.begin),
+          n * static_cast<std::size_t>(band.size()), alpha, beta, gamma);
+    } else {
+      for (int r = band.begin; r < band.end; ++r)
+        run(a.depth(), a.ptr<std::uint8_t>(r), b.ptr<std::uint8_t>(r),
+            out.ptr<std::uint8_t>(r), n, alpha, beta, gamma);
+    }
+  });
   dst = std::move(out);
 }
 

@@ -4,6 +4,7 @@
 #include "core/convert.hpp"
 
 #include "core/saturate.hpp"
+#include "runtime/parallel.hpp"
 
 namespace simdcv::core {
 
@@ -133,15 +134,25 @@ void convertTo(const Mat& src, Mat& dst, Depth ddepth, double alpha,
     out.create(src.rows(), src.cols(), PixelType(ddepth, src.channels()));
   }
   const std::size_t n = static_cast<std::size_t>(src.cols()) * src.channels();
-  if (src.isContinuous() && out.isContinuous()) {
-    cvtRow(src.depth(), ddepth, src.data(), out.data(), n * src.rows(), alpha,
-           beta, p);
-  } else {
-    for (int r = 0; r < src.rows(); ++r) {
-      cvtRow(src.depth(), ddepth, src.ptr<std::uint8_t>(r),
-             out.ptr<std::uint8_t>(r), n, alpha, beta, p);
-    }
-  }
+  // Per-element conversion: bands are pure row partitions, so banded output
+  // is bit-identical to the single-threaded walk.
+  const bool flat = src.isContinuous() && out.isContinuous();
+  const int grain = runtime::parallelThreshold(
+      n * std::max(depthSize(src.depth()), depthSize(ddepth)), src.rows());
+  runtime::parallel_for(
+      {0, src.rows()},
+      [&](runtime::Range band) {
+        if (flat) {
+          cvtRow(src.depth(), ddepth, src.ptr<std::uint8_t>(band.begin),
+                 out.ptr<std::uint8_t>(band.begin),
+                 n * static_cast<std::size_t>(band.size()), alpha, beta, p);
+        } else {
+          for (int r = band.begin; r < band.end; ++r)
+            cvtRow(src.depth(), ddepth, src.ptr<std::uint8_t>(r),
+                   out.ptr<std::uint8_t>(r), n, alpha, beta, p);
+        }
+      },
+      grain);
   dst = std::move(out);
 }
 

@@ -7,6 +7,7 @@
 
 #include "imgproc/filter.hpp"
 #include "imgproc/threshold.hpp"
+#include "runtime/parallel.hpp"
 #include "simd/neon_compat.hpp"
 
 #if defined(__SSE2__)
@@ -73,19 +74,29 @@ void gradientMagnitude(const Mat& gx, const Mat& gy, Mat& dst,
                 ? Mat()
                 : std::move(dst);
   out.create(gx.rows(), gx.cols(), U8C1);
-  for (int r = 0; r < gx.rows(); ++r) {
-    const std::int16_t* px = gx.ptr<std::int16_t>(r);
-    const std::int16_t* py = gy.ptr<std::int16_t>(r);
-    std::uint8_t* d = out.ptr<std::uint8_t>(r);
-    const std::size_t n = static_cast<std::size_t>(gx.cols());
-    switch (p) {
-      case KernelPath::Avx2:  // no 256-bit magnitude kernel: SSE2 HAND arm
-      case KernelPath::Sse2: sse2::magnitudeS16(px, py, d, n); break;
-      case KernelPath::Neon: neon::magnitudeS16(px, py, d, n); break;
-      case KernelPath::ScalarNoVec: novec::magnitudeS16(px, py, d, n); break;
-      default: autovec::magnitudeS16(px, py, d, n); break;
-    }
-  }
+  const std::size_t n = static_cast<std::size_t>(gx.cols());
+  // Element-wise over (gx, gy): banding rows cannot change the result.
+  const int grain = runtime::parallelThreshold(2 * n * sizeof(std::int16_t),
+                                               gx.rows());
+  runtime::parallel_for(
+      {0, gx.rows()},
+      [&](runtime::Range band) {
+        for (int r = band.begin; r < band.end; ++r) {
+          const std::int16_t* px = gx.ptr<std::int16_t>(r);
+          const std::int16_t* py = gy.ptr<std::int16_t>(r);
+          std::uint8_t* d = out.ptr<std::uint8_t>(r);
+          switch (p) {
+            case KernelPath::Avx2:  // no 256-bit magnitude kernel: SSE2 HAND
+            case KernelPath::Sse2: sse2::magnitudeS16(px, py, d, n); break;
+            case KernelPath::Neon: neon::magnitudeS16(px, py, d, n); break;
+            case KernelPath::ScalarNoVec:
+              novec::magnitudeS16(px, py, d, n);
+              break;
+            default: autovec::magnitudeS16(px, py, d, n); break;
+          }
+        }
+      },
+      grain);
   dst = std::move(out);
 }
 

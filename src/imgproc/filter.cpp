@@ -17,6 +17,7 @@
 #include "core/convert.hpp"
 #include "core/saturate.hpp"
 #include "imgproc/kernels.hpp"
+#include "runtime/parallel.hpp"
 
 namespace simdcv::imgproc {
 
@@ -148,48 +149,69 @@ void sepFilter2D(const Mat& src, Mat& dst, Depth ddepth,
   out.create(rows, width, PixelType(ddepth, 1));
 
   const float bv = static_cast<float>(borderValue);
-  std::vector<float> padded(static_cast<std::size_t>(width + kw - 1));
-  std::vector<float> ring(static_cast<std::size_t>(kh) *
-                          static_cast<std::size_t>(width));
-  std::vector<float> outRow(static_cast<std::size_t>(width));
-  std::vector<const float*> taps(static_cast<std::size_t>(kh));
 
   // Intermediate for a fully-constant (out-of-image) row under Constant
-  // border: row-convolve a border-valued padded row once.
+  // border: row-convolve a border-valued padded row once; shared read-only
+  // by every band.
   std::vector<float> constRow;
   if (border == BorderType::Constant) {
-    std::fill(padded.begin(), padded.end(), bv);
+    std::vector<float> borderPad(static_cast<std::size_t>(width + kw - 1), bv);
     constRow.resize(static_cast<std::size_t>(width));
-    rowFn(padded.data(), constRow.data(), width, kx.data(), kw);
+    rowFn(borderPad.data(), constRow.data(), width, kx.data(), kw);
   }
 
-  auto slot = [&](int v) {
-    // Virtual row v occupies ring slot (v + ry) mod kh (always >= 0).
-    return ring.data() +
-           static_cast<std::size_t>((v + ry) % kh) * static_cast<std::size_t>(width);
-  };
+  // One ring-buffer engine instance per band. Every virtual source row is
+  // recomputed through the identical load/pad/rowFn sequence regardless of
+  // which band needs it, and each output row is produced by the same colFn
+  // tap order — so a banded run is bit-identical to the serial one; bands
+  // merely recompute the ry overlap rows at their seams.
+  auto processBand = [&](runtime::Range bandRows) {
+    std::vector<float> padded(static_cast<std::size_t>(width + kw - 1));
+    std::vector<float> ring(static_cast<std::size_t>(kh) *
+                            static_cast<std::size_t>(width));
+    std::vector<float> outRow(static_cast<std::size_t>(width));
+    std::vector<const float*> taps(static_cast<std::size_t>(kh));
 
-  auto computeVirtualRow = [&](int v) {
-    const int m = borderInterpolate(v, rows, border);
-    if (m < 0) {
-      std::memcpy(slot(v), constRow.data(),
-                  static_cast<std::size_t>(width) * sizeof(float));
-      return;
+    auto slot = [&](int v) {
+      // Virtual row v occupies ring slot (v + ry) mod kh (always >= 0 once
+      // biased by ry; v >= -ry always holds here).
+      return ring.data() +
+             static_cast<std::size_t>((v + ry) % kh) * static_cast<std::size_t>(width);
+    };
+
+    auto computeVirtualRow = [&](int v) {
+      const int m = borderInterpolate(v, rows, border);
+      if (m < 0) {
+        std::memcpy(slot(v), constRow.data(),
+                    static_cast<std::size_t>(width) * sizeof(float));
+        return;
+      }
+      loadRowAsFloat(src, m, padded.data() + rx, p);
+      padRow(padded.data(), width, rx, border, bv);
+      rowFn(padded.data(), slot(v), width, kx.data(), kw);
+    };
+
+    // Prime the ring with the rows needed for the band's first output row.
+    for (int v = bandRows.begin - ry; v < bandRows.begin + ry; ++v)
+      computeVirtualRow(v);
+    for (int y = bandRows.begin; y < bandRows.end; ++y) {
+      computeVirtualRow(y + ry);
+      for (int r = 0; r < kh; ++r)
+        taps[static_cast<std::size_t>(r)] = slot(y - ry + r);
+      colFn(taps.data(), outRow.data(), width, ky.data(), kh);
+      storeRow(outRow.data(), out, y, p);
     }
-    loadRowAsFloat(src, m, padded.data() + rx, p);
-    padRow(padded.data(), width, rx, border, bv);
-    rowFn(padded.data(), slot(v), width, kx.data(), kw);
   };
 
-  // Prime the ring with the rows needed for output row 0.
-  for (int v = -ry; v < ry; ++v) computeVirtualRow(v);
-  for (int y = 0; y < rows; ++y) {
-    computeVirtualRow(y + ry);
-    for (int r = 0; r < kh; ++r)
-      taps[static_cast<std::size_t>(r)] = slot(y - ry + r);
-    colFn(taps.data(), outRow.data(), width, ky.data(), kh);
-    storeRow(outRow.data(), out, y, p);
-  }
+  // Each output row costs ~kw multiplies horizontally plus kh taps
+  // vertically over float32 rows; keep bands tall enough to amortize both
+  // the fork and the ry-row seam recomputation.
+  const int grain =
+      std::max(runtime::parallelThreshold(
+                   static_cast<std::size_t>(width) * sizeof(float), rows,
+                   static_cast<double>(kw + kh)),
+               kh);
+  runtime::parallel_for({0, rows}, processBand, grain);
   dst = std::move(out);
 }
 

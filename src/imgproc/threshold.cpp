@@ -3,6 +3,7 @@
 #include "imgproc/threshold.hpp"
 
 #include "core/saturate.hpp"
+#include "runtime/parallel.hpp"
 
 namespace simdcv::imgproc {
 
@@ -19,14 +20,25 @@ const char* toString(ThresholdType t) noexcept {
 
 namespace {
 
+// Element-wise, so any row partition yields bit-identical output; bands just
+// split the flat range (continuous case) or the row loop (ROI case).
 template <typename T, typename Fn>
 void forEachRow(const Mat& src, Mat& dst, Fn fn) {
   const std::size_t n = static_cast<std::size_t>(src.cols()) * src.channels();
-  if (src.isContinuous() && dst.isContinuous()) {
-    fn(src.ptr<T>(0), dst.ptr<T>(0), n * src.rows());
-  } else {
-    for (int r = 0; r < src.rows(); ++r) fn(src.ptr<T>(r), dst.ptr<T>(r), n);
-  }
+  const bool flat = src.isContinuous() && dst.isContinuous();
+  const int grain = runtime::parallelThreshold(n * sizeof(T), src.rows());
+  runtime::parallel_for(
+      {0, src.rows()},
+      [&](runtime::Range band) {
+        if (flat) {
+          fn(src.ptr<T>(band.begin), dst.ptr<T>(band.begin),
+             n * static_cast<std::size_t>(band.size()));
+        } else {
+          for (int r = band.begin; r < band.end; ++r)
+            fn(src.ptr<T>(r), dst.ptr<T>(r), n);
+        }
+      },
+      grain);
 }
 
 }  // namespace

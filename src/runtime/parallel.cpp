@@ -1,0 +1,79 @@
+#include "runtime/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <latch>
+#include <mutex>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace simdcv::runtime {
+
+namespace {
+
+// Work (in byte-equivalents) a band should amortize against one fork/join.
+// ~256 KiB of element-wise traffic is a few tens of microseconds on the
+// platforms the paper studies — comfortably above pool wake/park cost.
+constexpr double kMinBandWork = 256.0 * 1024.0;
+
+}  // namespace
+
+int parallelThreshold(std::size_t bytesPerRow, int rows, double opCost) {
+  if (rows <= 0) return 1;
+  const double perRow = std::max(1.0, static_cast<double>(bytesPerRow) *
+                                          std::max(opCost, 1.0 / 16.0));
+  const double grain = kMinBandWork / perRow;
+  if (grain >= static_cast<double>(rows)) return rows;  // never fork
+  return std::max(1, static_cast<int>(grain));
+}
+
+void parallel_for(Range range, const std::function<void(Range)>& body,
+                  int grain) {
+  const int len = range.size();
+  if (len <= 0) return;
+  grain = std::max(grain, 1);
+  const int threads = getNumThreads();
+  const int bands = static_cast<int>(
+      std::min<long long>(threads, (static_cast<long long>(len) + grain - 1) / grain));
+  if (bands <= 1 || inWorkerThread()) {
+    body(range);
+    return;
+  }
+
+  // First-exception capture; every band still runs to its own completion so
+  // the latch always drains and locals stay alive.
+  std::exception_ptr first_error;
+  std::once_flag error_once;
+  auto runBand = [&](Range band) noexcept {
+    try {
+      body(band);
+    } catch (...) {
+      std::call_once(error_once, [&] { first_error = std::current_exception(); });
+    }
+  };
+
+  auto bandAt = [&](int i) {
+    // Even split with the remainder spread over the leading bands.
+    const long long b = range.begin + static_cast<long long>(len) * i / bands;
+    const long long e = range.begin + static_cast<long long>(len) * (i + 1) / bands;
+    return Range{static_cast<int>(b), static_cast<int>(e)};
+  };
+
+  std::latch done(bands - 1);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(bands - 1));
+  for (int i = 1; i < bands; ++i) {
+    tasks.emplace_back([&, i] {
+      runBand(bandAt(i));
+      done.count_down();
+    });
+  }
+  detail::submitBatch(tasks.data(), tasks.size());
+  runBand(bandAt(0));  // the caller is one of the N threads
+  done.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace simdcv::runtime

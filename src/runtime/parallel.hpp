@@ -1,0 +1,41 @@
+// Band-parallel execution of row-range kernels on the work-stealing pool.
+//
+// parallel_for splits a row Range into at most getNumThreads() contiguous
+// bands and runs the body once per band. Because every caller in this
+// library partitions *output rows* (pure data parallelism, no reductions and
+// no shared writes), the result is bit-identical to running the body once
+// over the whole range — the determinism guarantee the equivalence tests
+// enforce. Degenerate cases (1 thread, a range smaller than the grain, or a
+// call from inside a pool worker) execute inline with zero overhead.
+#pragma once
+
+#include <functional>
+
+namespace simdcv::runtime {
+
+/// Half-open index range [begin, end), usually image rows.
+struct Range {
+  int begin = 0;
+  int end = 0;
+  int size() const noexcept { return end > begin ? end - begin : 0; }
+  bool empty() const noexcept { return size() == 0; }
+};
+
+/// Minimum rows a band must contain for forking to be worth it, derived from
+/// the work per row: `bytesPerRow` is the traffic one row generates and
+/// `opCost` a rough compute multiplier (1 for element-wise ops; pass e.g.
+/// kernel-tap count for convolutions). Tiny images yield a grain >= rows, so
+/// parallel_for degenerates to the plain inline loop and never pays
+/// fork/join overhead.
+int parallelThreshold(std::size_t bytesPerRow, int rows, double opCost = 1.0);
+
+/// Execute `body` over `range`, split into at most getNumThreads() bands of
+/// at least `grain` indices each. The calling thread executes the first band
+/// itself and then waits. The first exception thrown by any band is
+/// rethrown on the calling thread after all bands finish. Nested calls (from
+/// inside a band) run inline, so kernels composed of parallel kernels are
+/// safe by construction.
+void parallel_for(Range range, const std::function<void(Range)>& body,
+                  int grain = 1);
+
+}  // namespace simdcv::runtime
