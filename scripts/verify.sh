@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + full test suite, then the runtime
+# Repo verification: tier-1 build + full test suite (which includes the
+# `check` label — the differential kernel-path oracle), then the runtime
 # subsystem re-run under ThreadSanitizer (the `runtime` ctest label covers
-# the thread pool and the 1-vs-N bit-equivalence tests).
+# the thread pool and the 1-vs-N bit-equivalence tests), then the
+# differential checker re-run under AddressSanitizer with fixed seeds, so
+# every kernel path is exercised on adversarial inputs (saturation
+# boundaries, NaN/Inf, ROI strides) with out-of-bounds detection armed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +23,20 @@ cmake -B build-tsan -S . \
   -DSIMDCV_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j --target test_runtime
 ctest --test-dir build-tsan -L runtime --output-on-failure -j"$(nproc)"
+
+echo
+echo "== differential checker under AddressSanitizer =="
+cmake -B build-asan -S . \
+  -DSIMDCV_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSIMDCV_BUILD_BENCH=OFF \
+  -DSIMDCV_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j --target check_all test_check test_io
+# Fixed seeds: the run must be reproducible in CI; a failure prints a
+# one-line reproducer (see DESIGN.md, "simdcv::check").
+./build-asan/src/check/check_all --seed=0x51dc5eed --iters=200
+./build-asan/src/check/check_all --seed=0xa5a11ced --iters=100
+ctest --test-dir build-asan -L check --output-on-failure -j"$(nproc)"
 
 echo
 echo "verify: OK"

@@ -1,0 +1,153 @@
+// simdcv::check — differential kernel-path testing.
+//
+// The paper's claim (and this library's contract) is that every KernelPath
+// computes the same function: scalar-novec, autovec, SSE2, AVX2 and NEON-emu
+// must agree bit-exactly (or within a small documented tolerance for 32F
+// accumulation) on every input — including saturation boundaries, NaN/Inf,
+// denormals, odd widths and non-contiguous ROI views. This subsystem turns
+// that contract into an executable oracle:
+//
+//   - a seeded generator produces adversarial Mats (prime/odd widths,
+//     1-row/1-col shapes, ROI views with padded strides, float values at the
+//     exact 16S/8U saturation boundaries),
+//   - a registry names every checked kernel family (convertTo, threshold,
+//     array ops, GaussianBlur, Sobel, edgeDetect, ...),
+//   - the oracle runs each case on every available path x {1, N} threads and
+//     compares against the scalar-novec single-thread reference,
+//   - failing cases are shrunk (halving rows/cols/ROI offsets while the
+//     mismatch reproduces) and printed as one-line reproducers.
+//
+// Everything is deterministic from a single 64-bit seed: a reproducer line
+// from a CI log regenerates the exact failing input.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/mat.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::check {
+
+/// Deterministic 64-bit PRNG (splitmix64): tiny state, full-period, and
+/// identical on every platform — reproducer lines must replay anywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::uint32_t next32() noexcept { return static_cast<std::uint32_t>(next() >> 32); }
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  int uniform(int lo, int hi) noexcept {
+    return lo + static_cast<int>(next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+  /// Uniform double in [lo, hi).
+  double real(double lo, double hi) noexcept {
+    const double u = static_cast<double>(next() >> 11) * 0x1.0p-53;  // [0,1)
+    return lo + u * (hi - lo);
+  }
+  bool chance(int percent) noexcept { return uniform(0, 99) < percent; }
+  template <typename T>
+  const T& pick(const std::vector<T>& v) noexcept {
+    return v[static_cast<std::size_t>(next() % v.size())];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Value domain the generator draws Mat elements from.
+enum class Domain : std::uint8_t {
+  Uniform,   ///< full-range values for the depth
+  Boundary,  ///< saturation boundaries: +/-32768.5, +/-32767.49, 255.5, -0.5, ...
+  Special,   ///< NaN, +/-Inf, denormals, huge magnitudes (float depths)
+};
+
+const char* toString(Domain d) noexcept;
+
+/// One generated case: geometry plus the seed its inputs regenerate from.
+/// roiX/roiY > 0 embed the logical Mat as a view inside a larger parent, so
+/// rows are non-contiguous and start at unaligned offsets.
+struct CaseSpec {
+  std::uint64_t seed = 0;
+  int rows = 1;
+  int cols = 1;
+  int roiX = 0;
+  int roiY = 0;
+  Domain domain = Domain::Uniform;
+  int variant = 0;  ///< kernel-private knob (depth pick, threshold type, ...)
+};
+
+/// Human/CI-parsable description, e.g.
+///   seed=0x1234 rows=17 cols=31 roi=2,1 domain=boundary variant=3
+std::string describe(const CaseSpec& c);
+
+/// Generate the case's Mat of `type`. `salt` decouples multiple inputs of
+/// one case (e.g. the two operands of add) — same seed, different streams.
+/// The returned Mat is a ROI view (non-contiguous) when roiX/roiY are set.
+Mat genMat(const CaseSpec& c, std::uint64_t salt, PixelType type);
+
+/// A checked kernel family. `run` executes the kernel for the generated case
+/// on the given path and returns the output Mat; it must be a pure function
+/// of (spec, path) up to the per-kernel tolerance.
+struct KernelCheck {
+  std::string name;
+  std::function<Mat(const CaseSpec&, KernelPath)> run;
+  /// Max absolute output difference vs. the reference (0 = bit-exact, the
+  /// default; NaN placement must match exactly either way). Non-zero only
+  /// where a kernel's contract documents a 32F accumulation tolerance.
+  double tolerance = 0.0;
+};
+
+/// All registered kernel families (built once, in registration order).
+const std::vector<KernelCheck>& kernelRegistry();
+
+/// Concrete paths the oracle exercises on this host (ScalarNoVec, Auto and
+/// whatever HAND paths pathAvailable() reports).
+std::vector<KernelPath> availablePaths();
+
+struct Failure {
+  std::string kernel;
+  CaseSpec shrunk;  ///< smallest case that still reproduces
+  KernelPath path = KernelPath::Auto;
+  int threads = 1;
+  std::size_t mismatches = 0;
+  double max_abs_diff = 0.0;
+  std::string repro;  ///< one-line reproducer (also printed to stderr)
+};
+
+struct Options {
+  std::uint64_t seed = 0x51dc5eedull;
+  int iters = 500;      ///< cases per registered kernel
+  int threads_high = 0; ///< the "N" in {1, N}; 0 = min(4, hardware)
+  std::string only;     ///< substring filter on kernel names (empty = all)
+  bool shrink = true;
+  bool verbose = false; ///< per-kernel progress on stderr
+  int max_failures_per_kernel = 3;  ///< stop checking a kernel after this many
+};
+
+struct Report {
+  std::uint64_t cases_run = 0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t kernels_checked = 0;
+  std::vector<Failure> failures;
+  bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Run the full differential check. Deterministic for a given Options.
+Report runAll(const Options& opts);
+
+/// Re-run one kernel on one case across all paths x {1, N} threads; returns
+/// the failures found (empty = agrees). Used by reproducer replay and the
+/// shrinker, and handy for pinning regression tests.
+std::vector<Failure> checkCase(const KernelCheck& kernel, const CaseSpec& spec,
+                               int threads_high, double tolerance);
+
+}  // namespace simdcv::check

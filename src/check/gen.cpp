@@ -1,0 +1,143 @@
+// Seeded adversarial Mat generation for the differential checker.
+//
+// The generator's job is to hit the inputs the kernels disagree on when they
+// are wrong: exact 16S/8U saturation boundaries (the half-integers where
+// round-to-nearest-even decides), NaN/Inf/denormals, and geometry that
+// exposes stride bugs (ROI views, 1-row/1-col shapes, widths straddling the
+// SIMD main-loop/tail seam).
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "check/check.hpp"
+
+namespace simdcv::check {
+
+const char* toString(Domain d) noexcept {
+  switch (d) {
+    case Domain::Uniform: return "uniform";
+    case Domain::Boundary: return "boundary";
+    case Domain::Special: return "special";
+  }
+  return "?";
+}
+
+std::string describe(const CaseSpec& c) {
+  std::ostringstream os;
+  os << "seed=0x" << std::hex << c.seed << std::dec << " rows=" << c.rows
+     << " cols=" << c.cols << " roi=" << c.roiX << "," << c.roiY
+     << " domain=" << toString(c.domain) << " variant=" << c.variant;
+  return os.str();
+}
+
+namespace {
+
+// The float values benchmark B1's saturation behaviour pivots on. Half-odd
+// values decide round-half-to-even; values just inside/outside the rails
+// decide the clamp.
+const float kBoundaryF32[] = {
+    32768.5f,  -32768.5f,  32767.5f,  -32767.5f,  32767.49f, -32767.49f,
+    32766.5f,  -32766.5f,  32767.0f,  -32768.0f,  32768.0f,  -32769.0f,
+    255.5f,    -255.5f,    254.5f,    255.0f,     256.0f,    255.49f,
+    -0.5f,     0.5f,       -0.49f,    0.49f,      -1.5f,     1.5f,
+    0.0f,      -0.0f,      65535.5f,  -65536.5f,  127.5f,    -128.5f};
+
+const float kSpecialF32[] = {
+    std::numeric_limits<float>::quiet_NaN(),
+    std::numeric_limits<float>::infinity(),
+    -std::numeric_limits<float>::infinity(),
+    std::numeric_limits<float>::denorm_min(),
+    -std::numeric_limits<float>::denorm_min(),
+    1e-42f,  // subnormal
+    -1e-42f,
+    std::numeric_limits<float>::min(),
+    -std::numeric_limits<float>::min(),
+    std::numeric_limits<float>::max(),
+    -std::numeric_limits<float>::max(),
+    3e9f,   // overflows int32 on conversion
+    -3e9f,
+    2147483648.0f,  // exactly 2^31
+    -2147483648.0f,
+    2147483520.0f,  // largest float below 2^31
+    1e38f,
+    -1e38f};
+
+float genF32(Rng& r, Domain d) {
+  switch (d) {
+    case Domain::Boundary:
+      // Mostly exact boundary values, some uniform filler so runs of
+      // identical lanes don't mask per-lane bugs.
+      if (r.chance(75))
+        return kBoundaryF32[r.next() % (sizeof(kBoundaryF32) / sizeof(float))];
+      return static_cast<float>(r.real(-40000.0, 40000.0));
+    case Domain::Special:
+      if (r.chance(40))
+        return kSpecialF32[r.next() % (sizeof(kSpecialF32) / sizeof(float))];
+      return static_cast<float>(r.real(-1e6, 1e6));
+    case Domain::Uniform:
+    default: {
+      // Mix magnitudes: pixel-ish, boundary-ish, large.
+      switch (r.uniform(0, 3)) {
+        case 0: return static_cast<float>(r.real(-256.0, 512.0));
+        case 1: return static_cast<float>(r.real(-40000.0, 40000.0));
+        case 2: return static_cast<float>(r.real(-1.0, 1.0));
+        default: return static_cast<float>(r.real(-1e7, 1e7));
+      }
+    }
+  }
+}
+
+template <typename T>
+T genInt(Rng& r, Domain d) {
+  constexpr long long lo = std::numeric_limits<T>::min();
+  constexpr long long hi = std::numeric_limits<T>::max();
+  if (d == Domain::Boundary && r.chance(60)) {
+    const long long picks[] = {lo, lo + 1, -1, 0, 1, hi - 1, hi, hi / 2, lo / 2};
+    return static_cast<T>(picks[r.next() % (sizeof(picks) / sizeof(long long))]);
+  }
+  return static_cast<T>(lo + static_cast<long long>(
+                                 r.next() % static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+template <typename T>
+void fill(Mat& m, Rng& r, Domain d) {
+  const int n = m.cols() * m.channels();
+  for (int y = 0; y < m.rows(); ++y) {
+    T* p = m.ptr<T>(y);
+    for (int x = 0; x < n; ++x) {
+      if constexpr (std::is_same_v<T, float>) {
+        p[x] = genF32(r, d);
+      } else if constexpr (std::is_same_v<T, double>) {
+        p[x] = static_cast<double>(genF32(r, d));
+      } else {
+        p[x] = genInt<T>(r, d);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Mat genMat(const CaseSpec& c, std::uint64_t salt, PixelType type) {
+  Rng r(c.seed ^ (salt * 0x2545f4914f6cdd1dull + 0x9e3779b97f4a7c15ull));
+  // The parent is larger than the view on both sides so the view is
+  // guaranteed non-contiguous (right margin) and offset (left/top margins).
+  const int padRight = (c.roiX > 0 || c.roiY > 0) ? 1 + static_cast<int>(r.next() % 5) : 0;
+  const int padBottom = padRight > 0 ? static_cast<int>(r.next() % 3) : 0;
+  Mat parent(c.rows + c.roiY + padBottom, c.cols + c.roiX + padRight, type);
+  Rng rv(r.next());
+  switch (type.depth) {
+    case Depth::U8: fill<std::uint8_t>(parent, rv, c.domain); break;
+    case Depth::S8: fill<std::int8_t>(parent, rv, c.domain); break;
+    case Depth::U16: fill<std::uint16_t>(parent, rv, c.domain); break;
+    case Depth::S16: fill<std::int16_t>(parent, rv, c.domain); break;
+    case Depth::S32: fill<std::int32_t>(parent, rv, c.domain); break;
+    case Depth::F32: fill<float>(parent, rv, c.domain); break;
+    case Depth::F64: fill<double>(parent, rv, c.domain); break;
+  }
+  if (c.roiX == 0 && c.roiY == 0) return parent;
+  return parent.roi({c.roiX, c.roiY, c.cols, c.rows});
+}
+
+}  // namespace simdcv::check

@@ -1,0 +1,217 @@
+// Cross-path differential oracle: every (kernel, case) runs on every
+// available KernelPath x {1, N} threads and is compared against the
+// scalar-novec single-thread reference. Failures are shrunk by halving
+// geometry while the mismatch reproduces, then emitted as one-line
+// reproducers that `check_all --replay` style invocations (or a pinned
+// gtest) can regenerate exactly.
+#include <chrono>
+#include <thread>
+#include <cstdio>
+#include <sstream>
+
+#include "check/check.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace simdcv::check {
+
+namespace {
+
+/// Run the kernel with a pinned thread count, restoring the previous count
+/// even if the kernel throws.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) : prev_(runtime::getNumThreads()) {
+    runtime::setNumThreads(n);
+  }
+  ~ThreadGuard() { runtime::setNumThreads(prev_); }
+  ThreadGuard(const ThreadGuard&) = delete;
+  ThreadGuard& operator=(const ThreadGuard&) = delete;
+
+ private:
+  int prev_;
+};
+
+Mat runAt(const KernelCheck& kernel, const CaseSpec& spec, KernelPath path,
+          int threads) {
+  ThreadGuard guard(threads);
+  return kernel.run(spec, path);
+}
+
+std::string reproLine(const std::string& kernel, const CaseSpec& spec,
+                      KernelPath path, int threads) {
+  std::ostringstream os;
+  os << "check_all --only=" << kernel << " " << describe(spec)
+     << " path=" << simdcv::toString(path) << " threads=" << threads;
+  return os.str();
+}
+
+int defaultThreadsHigh() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int n = hw == 0 ? 2 : static_cast<int>(hw);
+  // Even on a 1-core host, run the N-thread leg with >1 workers: band
+  // splitting (and its seam handling) is what we are checking, not speed.
+  return n < 2 ? 2 : (n > 4 ? 4 : n);
+}
+
+}  // namespace
+
+std::vector<KernelPath> availablePaths() {
+  std::vector<KernelPath> paths;
+  for (KernelPath p : {KernelPath::ScalarNoVec, KernelPath::Auto,
+                       KernelPath::Sse2, KernelPath::Avx2, KernelPath::Neon}) {
+    if (pathAvailable(p)) paths.push_back(p);
+  }
+  return paths;
+}
+
+std::vector<Failure> checkCase(const KernelCheck& kernel, const CaseSpec& spec,
+                               int threads_high, double tolerance) {
+  std::vector<Failure> failures;
+  if (threads_high <= 0) threads_high = defaultThreadsHigh();
+  const Mat ref = runAt(kernel, spec, KernelPath::ScalarNoVec, 1);
+  for (KernelPath path : availablePaths()) {
+    for (int threads : {1, threads_high}) {
+      if (path == KernelPath::ScalarNoVec && threads == 1) continue;  // is ref
+      const Mat out = runAt(kernel, spec, path, threads);
+      const std::size_t mism = countMismatches(ref, out, tolerance);
+      if (mism == 0) continue;
+      Failure f;
+      f.kernel = kernel.name;
+      f.shrunk = spec;
+      f.path = path;
+      f.threads = threads;
+      f.mismatches = mism;
+      f.max_abs_diff = maxAbsDiff(ref, out);
+      f.repro = reproLine(kernel.name, spec, path, threads);
+      failures.push_back(std::move(f));
+    }
+  }
+  return failures;
+}
+
+namespace {
+
+bool stillFails(const KernelCheck& kernel, const CaseSpec& spec,
+                int threads_high, double tolerance) {
+  return !checkCase(kernel, spec, threads_high, tolerance).empty();
+}
+
+/// Greedy geometry shrink: repeatedly halve rows/cols/roiX/roiY (trying the
+/// most aggressive reduction first) while the case still fails. The inputs
+/// regenerate from the same seed at each size, so smaller geometry means a
+/// genuinely smaller failing input, not a truncation of the original.
+CaseSpec shrinkCase(const KernelCheck& kernel, CaseSpec spec, int threads_high,
+                    double tolerance) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (int* dim : {&spec.rows, &spec.cols}) {
+      while (*dim > 1) {
+        CaseSpec cand = spec;
+        int* cdim = dim == &spec.rows ? &cand.rows : &cand.cols;
+        *cdim = *dim / 2;
+        if (!stillFails(kernel, cand, threads_high, tolerance)) break;
+        *dim = *cdim;
+        progressed = true;
+      }
+    }
+    for (int* off : {&spec.roiX, &spec.roiY}) {
+      while (*off > 0) {
+        CaseSpec cand = spec;
+        int* coff = off == &spec.roiX ? &cand.roiX : &cand.roiY;
+        *coff = *off / 2;
+        if (!stillFails(kernel, cand, threads_high, tolerance)) break;
+        *off = *coff;
+        progressed = true;
+      }
+    }
+  }
+  return spec;
+}
+
+/// Shapes the generator draws from: powers of two (flat fast paths when the
+/// row happens to be contiguous), odd/prime widths (vector tails), and the
+/// degenerate 1-row/1-col extremes.
+constexpr int kDims[] = {1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17,
+                         23, 31, 32, 33, 48, 61, 64, 97, 128};
+
+/// Deterministic string hash (FNV-1a): std::hash makes no cross-platform
+/// guarantee, and the per-kernel seed stream must replay identically on
+/// every host a reproducer line travels to.
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char ch : s) h = (h ^ ch) * 0x100000001b3ull;
+  return h;
+}
+
+CaseSpec makeSpec(Rng& r) {
+  CaseSpec c;
+  c.seed = r.next();
+  c.rows = kDims[r.next() % (sizeof(kDims) / sizeof(int))];
+  c.cols = kDims[r.next() % (sizeof(kDims) / sizeof(int))];
+  if (r.chance(45)) {  // ROI view with non-contiguous rows
+    c.roiX = r.uniform(1, 9);
+    c.roiY = r.uniform(1, 5);
+  }
+  const int d = r.uniform(0, 99);
+  c.domain = d < 40 ? Domain::Uniform : d < 75 ? Domain::Boundary : Domain::Special;
+  c.variant = static_cast<int>(r.next() % 64);
+  return c;
+}
+
+}  // namespace
+
+Report runAll(const Options& opts) {
+  Report report;
+  const int threads_high =
+      opts.threads_high > 0 ? opts.threads_high : defaultThreadsHigh();
+  const std::size_t n_paths = availablePaths().size();
+  for (const KernelCheck& kernel : kernelRegistry()) {
+    if (!opts.only.empty() &&
+        kernel.name.find(opts.only) == std::string::npos) {
+      continue;
+    }
+    ++report.kernels_checked;
+    const auto t0 = std::chrono::steady_clock::now();
+    int kernel_failures = 0;
+    // Per-kernel seed stream: independent of registry order so adding a
+    // kernel does not reshuffle every other kernel's cases.
+    Rng caseRng(opts.seed ^ fnv1a(kernel.name));
+    for (int i = 0; i < opts.iters; ++i) {
+      const CaseSpec spec = makeSpec(caseRng);
+      ++report.cases_run;
+      report.comparisons += n_paths * 2 - 1;
+      auto failures = checkCase(kernel, spec, threads_high, kernel.tolerance);
+      if (failures.empty()) continue;
+      // Shrink once per failing case (all paths share the shrunk geometry),
+      // then re-collect so each failing path reports the minimal case.
+      CaseSpec shrunk = spec;
+      if (opts.shrink) {
+        shrunk = shrinkCase(kernel, spec, threads_high, kernel.tolerance);
+        failures = checkCase(kernel, shrunk, threads_high, kernel.tolerance);
+      }
+      for (Failure& f : failures) {
+        std::fprintf(stderr, "FAIL %s: %zu mismatches (max |d|=%g)\n  repro: %s\n",
+                     f.kernel.c_str(), f.mismatches, f.max_abs_diff,
+                     f.repro.c_str());
+        report.failures.push_back(std::move(f));
+      }
+      if (++kernel_failures >= opts.max_failures_per_kernel) {
+        std::fprintf(stderr, "%s: stopping after %d failing cases\n",
+                     kernel.name.c_str(), kernel_failures);
+        break;
+      }
+    }
+    if (opts.verbose) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      std::fprintf(stderr, "%-28s %5d cases  %4lld ms  %s\n", kernel.name.c_str(),
+                   opts.iters, static_cast<long long>(ms),
+                   kernel_failures == 0 ? "ok" : "FAIL");
+    }
+  }
+  return report;
+}
+
+}  // namespace simdcv::check

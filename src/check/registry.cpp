@@ -1,0 +1,248 @@
+// Kernel registry for the differential checker: every family maps a
+// generated CaseSpec + KernelPath to an output Mat. Parameters beyond the
+// Mat contents (thresholds, scale factors, kernel sizes...) are drawn from
+// the case seed so a reproducer line regenerates them exactly.
+#include <cmath>
+
+#include "check/check.hpp"
+#include "core/array_ops.hpp"
+#include "core/convert.hpp"
+#include "imgproc/edge.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/threshold.hpp"
+
+namespace simdcv::check {
+
+namespace {
+
+// Distinct salts per input stream so multi-input kernels get independent data.
+constexpr std::uint64_t kSrcA = 1, kSrcB = 2;
+
+int channelsFor(const CaseSpec& c) { return (c.variant & 4) ? 3 : 1; }
+
+// ---- convertTo -------------------------------------------------------------
+
+Mat runConvert(const CaseSpec& c, KernelPath p, Depth sd, Depth dd, bool scaled) {
+  Mat src = genMat(c, kSrcA, PixelType(sd, channelsFor(c)));
+  double alpha = 1.0, beta = 0.0;
+  if (scaled) {
+    Rng r(c.seed ^ 0xa1fa6e7a11ull);
+    alpha = r.real(-4.0, 4.0);
+    beta = r.real(-300.0, 300.0);
+  }
+  Mat dst;
+  core::convertTo(src, dst, dd, alpha, beta, p);
+  return dst;
+}
+
+void addConvert(std::vector<KernelCheck>& reg, const char* name, Depth sd,
+                Depth dd, bool scaled) {
+  reg.push_back({name,
+                 [sd, dd, scaled](const CaseSpec& c, KernelPath p) {
+                   return runConvert(c, p, sd, dd, scaled);
+                 },
+                 0.0});
+}
+
+// ---- threshold -------------------------------------------------------------
+
+Mat runThreshold(const CaseSpec& c, KernelPath p, imgproc::ThresholdType t) {
+  static const Depth depths[] = {Depth::U8, Depth::S16, Depth::F32};
+  const Depth d = depths[c.variant % 3];
+  Mat src = genMat(c, kSrcA, PixelType(d, channelsFor(c)));
+  Rng r(c.seed ^ 0x7445e5401dull);
+  double thresh = 0, maxval = 0;
+  switch (d) {
+    case Depth::U8:
+      // Deliberately overshoot [0,255] to exercise the degenerate
+      // fill/copy collapse in the dispatcher.
+      thresh = r.real(-40.0, 300.0);
+      maxval = r.real(-40.0, 300.0);
+      break;
+    case Depth::S16:
+      thresh = r.real(-40000.0, 40000.0);
+      maxval = r.real(-40000.0, 40000.0);
+      break;
+    default: {
+      static const std::vector<double> pivots = {0.0, 0.5, -0.5, 255.5,
+                                                 32767.5, -32768.5, 1e30};
+      thresh = r.chance(30) ? r.pick(pivots) : r.real(-1e4, 1e4);
+      maxval = r.real(-1e4, 1e4);
+      break;
+    }
+  }
+  Mat dst;
+  imgproc::threshold(src, dst, thresh, maxval, t, p);
+  return dst;
+}
+
+void addThreshold(std::vector<KernelCheck>& reg, const char* name,
+                  imgproc::ThresholdType t) {
+  reg.push_back({name,
+                 [t](const CaseSpec& c, KernelPath p) {
+                   return runThreshold(c, p, t);
+                 },
+                 0.0});
+}
+
+// ---- element-wise array ops ------------------------------------------------
+
+using BinFn = void (*)(const Mat&, const Mat&, Mat&, KernelPath);
+
+Mat runBinOp(const CaseSpec& c, KernelPath p, BinFn fn, bool intOnly) {
+  static const Depth allDepths[] = {Depth::U8, Depth::S16, Depth::F32};
+  static const Depth intDepths[] = {Depth::U8, Depth::S16};
+  const Depth d = intOnly ? intDepths[c.variant % 2] : allDepths[c.variant % 3];
+  const PixelType type(d, channelsFor(c));
+  Mat a = genMat(c, kSrcA, type);
+  Mat b = genMat(c, kSrcB, type);
+  Mat dst;
+  fn(a, b, dst, p);
+  return dst;
+}
+
+void addBinOp(std::vector<KernelCheck>& reg, const char* name, BinFn fn,
+              bool intOnly) {
+  reg.push_back({name,
+                 [fn, intOnly](const CaseSpec& c, KernelPath p) {
+                   return runBinOp(c, p, fn, intOnly);
+                 },
+                 0.0});
+}
+
+Mat runScaleAdd(const CaseSpec& c, KernelPath p) {
+  static const Depth depths[] = {Depth::U8, Depth::S16, Depth::F32};
+  Mat a = genMat(c, kSrcA, PixelType(depths[c.variant % 3], channelsFor(c)));
+  Rng r(c.seed ^ 0x5ca1eaddull);
+  Mat dst;
+  core::scaleAdd(a, r.real(-4.0, 4.0), r.real(-300.0, 300.0), dst, p);
+  return dst;
+}
+
+Mat runAddWeighted(const CaseSpec& c, KernelPath p) {
+  static const Depth depths[] = {Depth::U8, Depth::S16, Depth::F32};
+  const PixelType type(depths[c.variant % 3], channelsFor(c));
+  Mat a = genMat(c, kSrcA, type);
+  Mat b = genMat(c, kSrcB, type);
+  Rng r(c.seed ^ 0xaddbeefedull);
+  Mat dst;
+  core::addWeighted(a, r.real(-2.0, 2.0), b, r.real(-2.0, 2.0),
+                    r.real(-100.0, 100.0), dst, p);
+  return dst;
+}
+
+Mat runBitwiseNot(const CaseSpec& c, KernelPath p) {
+  static const Depth depths[] = {Depth::U8, Depth::S16};
+  Mat a = genMat(c, kSrcA, PixelType(depths[c.variant % 2], channelsFor(c)));
+  Mat dst;
+  core::bitwiseNot(a, dst, p);
+  return dst;
+}
+
+// ---- separable filters -----------------------------------------------------
+
+imgproc::BorderType borderFor(Rng& r) {
+  static const std::vector<imgproc::BorderType> borders = {
+      imgproc::BorderType::Reflect101, imgproc::BorderType::Replicate,
+      imgproc::BorderType::Reflect, imgproc::BorderType::Constant,
+      imgproc::BorderType::Wrap};
+  return r.pick(borders);
+}
+
+Mat runGaussian(const CaseSpec& c, KernelPath p) {
+  // Special-domain floats (Inf/NaN) are excluded: Inf - Inf inside the
+  // convolution is NaN on every path but where it lands depends on tap
+  // order, which is exactly what the tolerance policy does not cover.
+  const Domain dom = c.domain == Domain::Special ? Domain::Uniform : c.domain;
+  CaseSpec cc = c;
+  cc.domain = dom;
+  const Depth sd = (c.variant & 1) ? Depth::F32 : Depth::U8;
+  Mat src = genMat(cc, kSrcA, PixelType(sd, 1));
+  Rng r(c.seed ^ 0x6a0551a2ull);
+  const int kw = 3 + 2 * r.uniform(0, 2);  // 3, 5, 7
+  const int kh = 3 + 2 * r.uniform(0, 2);
+  const double sigmaX = r.real(0.6, 2.5);
+  const double sigmaY = r.chance(50) ? 0.0 : r.real(0.6, 2.5);
+  Mat dst;
+  imgproc::GaussianBlur(src, dst, {kw, kh}, sigmaX, sigmaY, borderFor(r), p);
+  return dst;
+}
+
+Mat runSobel(const CaseSpec& c, KernelPath p) {
+  const Domain dom = c.domain == Domain::Special ? Domain::Uniform : c.domain;
+  CaseSpec cc = c;
+  cc.domain = dom;
+  const Depth sd = (c.variant & 1) ? Depth::F32 : Depth::U8;
+  const Depth dd = (c.variant & 2) ? Depth::F32 : Depth::S16;
+  Mat src = genMat(cc, kSrcA, PixelType(sd, 1));
+  Rng r(c.seed ^ 0x50be1ull);
+  static const std::vector<std::pair<int, int>> orders = {
+      {1, 0}, {0, 1}, {1, 1}, {2, 0}, {0, 2}};
+  const auto [dx, dy] = r.pick(orders);
+  const int ksize = r.chance(70) ? 3 : 5;
+  Mat dst;
+  imgproc::Sobel(src, dst, dd, dx, dy, ksize, 1.0, borderFor(r), p);
+  return dst;
+}
+
+Mat runEdgeDetect(const CaseSpec& c, KernelPath p) {
+  Mat src = genMat(c, kSrcA, U8C1);
+  Rng r(c.seed ^ 0xed6ede7ull);
+  Mat dst;
+  imgproc::edgeDetect(src, dst, r.real(0.0, 400.0), 3, borderFor(r), p);
+  return dst;
+}
+
+Mat runMagnitude(const CaseSpec& c, KernelPath p) {
+  Mat gx = genMat(c, kSrcA, S16C1);
+  Mat gy = genMat(c, kSrcB, S16C1);
+  Mat dst;
+  imgproc::gradientMagnitude(gx, gy, dst, p);
+  return dst;
+}
+
+}  // namespace
+
+const std::vector<KernelCheck>& kernelRegistry() {
+  static const std::vector<KernelCheck> registry = [] {
+    std::vector<KernelCheck> reg;
+    // convertTo: every HAND pair, both directions, plus scaled (scalar-only
+    // dispatch) and a no-HAND pair so autovec-vs-novec gets coverage too.
+    addConvert(reg, "convertTo.32f16s", Depth::F32, Depth::S16, false);
+    addConvert(reg, "convertTo.32f8u", Depth::F32, Depth::U8, false);
+    addConvert(reg, "convertTo.8u32f", Depth::U8, Depth::F32, false);
+    addConvert(reg, "convertTo.16s32f", Depth::S16, Depth::F32, false);
+    addConvert(reg, "convertTo.8u16s", Depth::U8, Depth::S16, false);
+    addConvert(reg, "convertTo.16s8u", Depth::S16, Depth::U8, false);
+    addConvert(reg, "convertTo.32f32s", Depth::F32, Depth::S32, false);
+    addConvert(reg, "convertTo.64f16u", Depth::F64, Depth::U16, false);
+    addConvert(reg, "convertTo.scaled.32f8u", Depth::F32, Depth::U8, true);
+    addConvert(reg, "convertTo.scaled.8u16s", Depth::U8, Depth::S16, true);
+    // threshold: all five types; depth (u8/s16/f32) rides on the variant.
+    addThreshold(reg, "threshold.binary", imgproc::ThresholdType::Binary);
+    addThreshold(reg, "threshold.binary-inv", imgproc::ThresholdType::BinaryInv);
+    addThreshold(reg, "threshold.trunc", imgproc::ThresholdType::Trunc);
+    addThreshold(reg, "threshold.tozero", imgproc::ThresholdType::ToZero);
+    addThreshold(reg, "threshold.tozero-inv", imgproc::ThresholdType::ToZeroInv);
+    // element-wise array ops.
+    addBinOp(reg, "arrayops.add", &core::add, false);
+    addBinOp(reg, "arrayops.subtract", &core::subtract, false);
+    addBinOp(reg, "arrayops.absdiff", &core::absdiff, false);
+    addBinOp(reg, "arrayops.min", &core::min, false);
+    addBinOp(reg, "arrayops.max", &core::max, false);
+    addBinOp(reg, "arrayops.bitwise-and", &core::bitwiseAnd, true);
+    addBinOp(reg, "arrayops.bitwise-xor", &core::bitwiseXor, true);
+    reg.push_back({"arrayops.bitwise-not", &runBitwiseNot, 0.0});
+    reg.push_back({"arrayops.scale-add", &runScaleAdd, 0.0});
+    reg.push_back({"arrayops.add-weighted", &runAddWeighted, 0.0});
+    // separable-filter pipelines (the paper's benchmarks 3-5).
+    reg.push_back({"filter.gaussian", &runGaussian, 0.0});
+    reg.push_back({"filter.sobel", &runSobel, 0.0});
+    reg.push_back({"edge.magnitude", &runMagnitude, 0.0});
+    reg.push_back({"edge.detect", &runEdgeDetect, 0.0});
+    return reg;
+  }();
+  return registry;
+}
+
+}  // namespace simdcv::check

@@ -16,11 +16,27 @@
 
 namespace simdcv::core::avx2 {
 
+namespace {
+
+// Same saturation fix-ups as the SSE2 arm: vcvtps2dq yields INT_MIN for NaN
+// and both overflow directions; flip positive-overflow lanes to INT_MAX and
+// zero NaN lanes so the pack saturates to the scalar/NEON contract.
+inline __m256i cvtps2dqSat(__m256 v) {
+  __m256i t = _mm256_cvtps_epi32(v);
+  const __m256 too_big = _mm256_cmp_ps(v, _mm256_set1_ps(2147483648.0f), _CMP_GE_OQ);
+  t = _mm256_xor_si256(t, _mm256_and_si256(_mm256_castps_si256(too_big),
+                                           _mm256_set1_epi32(-1)));
+  const __m256 is_nan = _mm256_cmp_ps(v, v, _CMP_UNORD_Q);
+  return _mm256_andnot_si256(_mm256_castps_si256(is_nan), t);
+}
+
+}  // namespace
+
 void cvt32f16s(const float* src, std::int16_t* dst, std::size_t n) {
   std::size_t x = 0;
   for (; x + 16 <= n; x += 16) {
-    const __m256i i0 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x));
-    const __m256i i1 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x + 8));
+    const __m256i i0 = cvtps2dqSat(_mm256_loadu_ps(src + x));
+    const __m256i i1 = cvtps2dqSat(_mm256_loadu_ps(src + x + 8));
     // packs works per 128-bit lane: reorder 64-bit quarters afterwards.
     const __m256i packed = _mm256_packs_epi32(i0, i1);
     const __m256i fixed = _mm256_permute4x64_epi64(packed, _MM_SHUFFLE(3, 1, 2, 0));
@@ -32,10 +48,10 @@ void cvt32f16s(const float* src, std::int16_t* dst, std::size_t n) {
 void cvt32f8u(const float* src, std::uint8_t* dst, std::size_t n) {
   std::size_t x = 0;
   for (; x + 32 <= n; x += 32) {
-    const __m256i i0 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x));
-    const __m256i i1 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x + 8));
-    const __m256i i2 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x + 16));
-    const __m256i i3 = _mm256_cvtps_epi32(_mm256_loadu_ps(src + x + 24));
+    const __m256i i0 = cvtps2dqSat(_mm256_loadu_ps(src + x));
+    const __m256i i1 = cvtps2dqSat(_mm256_loadu_ps(src + x + 8));
+    const __m256i i2 = cvtps2dqSat(_mm256_loadu_ps(src + x + 16));
+    const __m256i i3 = cvtps2dqSat(_mm256_loadu_ps(src + x + 24));
     const __m256i s01 = _mm256_packs_epi32(i0, i1);   // lanes interleaved
     const __m256i s23 = _mm256_packs_epi32(i2, i3);
     const __m256i u = _mm256_packus_epi16(s01, s23);  // still lane-local

@@ -12,14 +12,32 @@
 
 namespace simdcv::core::sse2 {
 
+namespace {
+
+// Round-to-nearest-even float -> int32 with the library's saturation
+// contract. cvtps2dq alone returns INT_MIN ("integer indefinite") for NaN
+// and for BOTH overflow directions, so a +2^31-or-larger lane would pack to
+// -32768 instead of +32767 and a NaN lane to -32768 instead of 0. Two
+// fix-ups restore the scalar/NEON semantics: xor flips INT_MIN -> INT_MAX on
+// positive-overflow lanes, andnot zeroes NaN lanes.
+inline __m128i cvtps2dqSat(__m128 v) {
+  __m128i t = _mm_cvtps_epi32(v);
+  const __m128 too_big = _mm_cmpge_ps(v, _mm_set1_ps(2147483648.0f));
+  t = _mm_xor_si128(t, _mm_and_si128(_mm_castps_si128(too_big), _mm_set1_epi32(-1)));
+  const __m128 is_nan = _mm_cmpunord_ps(v, v);
+  return _mm_andnot_si128(_mm_castps_si128(is_nan), t);
+}
+
+}  // namespace
+
 void cvt32f16s(const float* src, std::int16_t* dst, std::size_t n) {
   std::size_t x = 0;
   for (; x + 8 <= n; x += 8) {
     __m128 src128 = _mm_loadu_ps(src + x);
-    __m128i src_int128 = _mm_cvtps_epi32(src128);  // round to nearest even
+    __m128i src_int128 = cvtps2dqSat(src128);  // round to nearest even
 
     src128 = _mm_loadu_ps(src + x + 4);
-    __m128i src1_int128 = _mm_cvtps_epi32(src128);
+    __m128i src1_int128 = cvtps2dqSat(src128);
 
     src1_int128 = _mm_packs_epi32(src_int128, src1_int128);  // saturating pack
     _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + x), src1_int128);
@@ -30,10 +48,10 @@ void cvt32f16s(const float* src, std::int16_t* dst, std::size_t n) {
 void cvt32f8u(const float* src, std::uint8_t* dst, std::size_t n) {
   std::size_t x = 0;
   for (; x + 16 <= n; x += 16) {
-    const __m128i i0 = _mm_cvtps_epi32(_mm_loadu_ps(src + x));
-    const __m128i i1 = _mm_cvtps_epi32(_mm_loadu_ps(src + x + 4));
-    const __m128i i2 = _mm_cvtps_epi32(_mm_loadu_ps(src + x + 8));
-    const __m128i i3 = _mm_cvtps_epi32(_mm_loadu_ps(src + x + 12));
+    const __m128i i0 = cvtps2dqSat(_mm_loadu_ps(src + x));
+    const __m128i i1 = cvtps2dqSat(_mm_loadu_ps(src + x + 4));
+    const __m128i i2 = cvtps2dqSat(_mm_loadu_ps(src + x + 8));
+    const __m128i i3 = cvtps2dqSat(_mm_loadu_ps(src + x + 12));
     const __m128i s01 = _mm_packs_epi32(i0, i1);
     const __m128i s23 = _mm_packs_epi32(i2, i3);
     _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + x),

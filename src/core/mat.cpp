@@ -160,6 +160,7 @@ void diffStats(const Mat& a, const Mat& b, double tol, std::size_t& mism,
     for (int c = 0; c < n; ++c) {
       const double da = static_cast<double>(pa[c]);
       const double db = static_cast<double>(pb[c]);
+      if (da == db) continue;  // exact match; covers +/-Inf, where da-db is NaN
       const double d = std::abs(da - db);
       if (std::isnan(da) != std::isnan(db)) {
         ++mism;

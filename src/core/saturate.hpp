@@ -35,6 +35,18 @@ inline Dst saturate_cast(Src v) noexcept {
   return static_cast<Dst>(v);
 }
 
+// Forward declarations so the narrow float specializations below can route
+// through the range-checked int32 conversion (defined at the end of this
+// header). Calling cvRound on an unclamped float is undefined behaviour for
+// values outside the int range (C11 F.10.6.5), and lrintf's out-of-range
+// result differs across ISAs — every float -> integer specialization
+// therefore converts via saturate_cast<int32_t>, which pins the contract to
+// NaN -> 0 and clamp-at-the-rails. This is exactly what NEON's vcvtnq +
+// saturating narrow computes, and what the SSE2/AVX2 HAND kernels produce
+// after their overflow/NaN fix-ups.
+template <> inline std::int32_t saturate_cast<std::int32_t, float>(float v) noexcept;
+template <> inline std::int32_t saturate_cast<std::int32_t, double>(double v) noexcept;
+
 // ---- to uint8_t ------------------------------------------------------------
 template <> inline std::uint8_t saturate_cast<std::uint8_t, std::int8_t>(std::int8_t v) noexcept {
   return static_cast<std::uint8_t>(v < 0 ? 0 : v);
@@ -52,10 +64,10 @@ template <> inline std::uint8_t saturate_cast<std::uint8_t, std::uint32_t>(std::
   return static_cast<std::uint8_t>(v > 255u ? 255u : v);
 }
 template <> inline std::uint8_t saturate_cast<std::uint8_t, float>(float v) noexcept {
-  return saturate_cast<std::uint8_t>(cvRound(v));
+  return saturate_cast<std::uint8_t>(saturate_cast<std::int32_t>(v));
 }
 template <> inline std::uint8_t saturate_cast<std::uint8_t, double>(double v) noexcept {
-  return saturate_cast<std::uint8_t>(cvRound(v));
+  return saturate_cast<std::uint8_t>(saturate_cast<std::int32_t>(v));
 }
 
 // ---- to int8_t -------------------------------------------------------------
@@ -76,10 +88,10 @@ template <> inline std::int8_t saturate_cast<std::int8_t, std::uint32_t>(std::ui
   return static_cast<std::int8_t>(v > 127u ? 127 : v);
 }
 template <> inline std::int8_t saturate_cast<std::int8_t, float>(float v) noexcept {
-  return saturate_cast<std::int8_t>(cvRound(v));
+  return saturate_cast<std::int8_t>(saturate_cast<std::int32_t>(v));
 }
 template <> inline std::int8_t saturate_cast<std::int8_t, double>(double v) noexcept {
-  return saturate_cast<std::int8_t>(cvRound(v));
+  return saturate_cast<std::int8_t>(saturate_cast<std::int32_t>(v));
 }
 
 // ---- to uint16_t -----------------------------------------------------------
@@ -97,10 +109,10 @@ template <> inline std::uint16_t saturate_cast<std::uint16_t, std::uint32_t>(std
   return static_cast<std::uint16_t>(v > 65535u ? 65535u : v);
 }
 template <> inline std::uint16_t saturate_cast<std::uint16_t, float>(float v) noexcept {
-  return saturate_cast<std::uint16_t>(cvRound(v));
+  return saturate_cast<std::uint16_t>(saturate_cast<std::int32_t>(v));
 }
 template <> inline std::uint16_t saturate_cast<std::uint16_t, double>(double v) noexcept {
-  return saturate_cast<std::uint16_t>(cvRound(v));
+  return saturate_cast<std::uint16_t>(saturate_cast<std::int32_t>(v));
 }
 
 // ---- to int16_t ------------------------------------------------------------
@@ -117,11 +129,12 @@ template <> inline std::int16_t saturate_cast<std::int16_t, std::uint32_t>(std::
   return static_cast<std::int16_t>(v > 32767u ? 32767 : v);
 }
 template <> inline std::int16_t saturate_cast<std::int16_t, float>(float v) noexcept {
-  // Benchmark 1's scalar reference: cvRound then integer clamp.
-  return saturate_cast<std::int16_t>(cvRound(v));
+  // Benchmark 1's scalar reference: range-checked round then integer clamp
+  // (NaN -> 0, out-of-range clamps — bit-exact with the HAND kernels).
+  return saturate_cast<std::int16_t>(saturate_cast<std::int32_t>(v));
 }
 template <> inline std::int16_t saturate_cast<std::int16_t, double>(double v) noexcept {
-  return saturate_cast<std::int16_t>(cvRound(v));
+  return saturate_cast<std::int16_t>(saturate_cast<std::int32_t>(v));
 }
 
 // ---- to int32_t ------------------------------------------------------------

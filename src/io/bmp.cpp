@@ -5,6 +5,7 @@
 // bottom-up with 4-byte padding, per the format.
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <vector>
 
 #include "io/image_io.hpp"
@@ -100,11 +101,18 @@ Mat readBmp(const std::string& path) {
   SIMDCV_REQUIRE(buf[0] == 'B' && buf[1] == 'M', "readBmp: not a BMP: " + path);
   const std::uint32_t dataOffset = getU32(&buf[10]);
   const std::uint32_t infoSize = getU32(&buf[14]);
-  SIMDCV_REQUIRE(infoSize >= kInfoHeaderSize, "readBmp: unsupported header");
+  // infoSize is attacker-controlled; cap it before it feeds the palette
+  // offset. Real headers are 40 (BITMAPINFOHEADER) to 124 (V5).
+  SIMDCV_REQUIRE(infoSize >= kInfoHeaderSize && infoSize <= 1024,
+                 "readBmp: unsupported header");
+  // Width/height are signed; height may legitimately be negative (top-down),
+  // but INT32_MIN has no positive counterpart — negating it is UB.
   const std::int32_t w = static_cast<std::int32_t>(getU32(&buf[18]));
-  std::int32_t h = static_cast<std::int32_t>(getU32(&buf[22]));
-  const bool topDown = h < 0;
-  if (topDown) h = -h;
+  const std::int32_t hRaw = static_cast<std::int32_t>(getU32(&buf[22]));
+  SIMDCV_REQUIRE(hRaw != std::numeric_limits<std::int32_t>::min(),
+                 "readBmp: bad dimensions");
+  const bool topDown = hRaw < 0;
+  const std::int32_t h = topDown ? -hRaw : hRaw;
   const std::uint16_t bits = getU16(&buf[28]);
   const std::uint32_t compression = getU32(&buf[30]);
   SIMDCV_REQUIRE(compression == 0, "readBmp: compressed BMP unsupported");
@@ -112,17 +120,27 @@ Mat readBmp(const std::string& path) {
                  "readBmp: unsupported bit depth");
   SIMDCV_REQUIRE(w > 0 && h > 0, "readBmp: bad dimensions");
 
+  // All size arithmetic below is overflow-checked against the actual file
+  // size: a crafted header must not be able to pass the truncation test by
+  // wrapping dataOffset + rowBytes * h, nor trigger a multi-GB allocation
+  // for a file of a few hundred bytes.
   const std::size_t bpp = bits / 8;
   const std::size_t rowBytes = (static_cast<std::size_t>(w) * bpp + 3) / 4 * 4;
-  SIMDCV_REQUIRE(buf.size() >= dataOffset + rowBytes * static_cast<std::size_t>(h),
+  SIMDCV_REQUIRE(dataOffset <= buf.size(), "readBmp: pixel data offset beyond EOF");
+  SIMDCV_REQUIRE(static_cast<std::size_t>(h) <= (buf.size() - dataOffset) / rowBytes,
                  "readBmp: truncated pixel data");
 
   // Palette (for 8-bit): detect a pure grayscale ramp -> U8C1; otherwise
-  // expand through the palette to U8C3.
+  // expand through the palette to U8C3. The pixel loop indexes all 256
+  // entries, so the full 1024-byte table must be present in the file.
   const std::uint8_t* palette = nullptr;
   bool grayPalette = false;
   if (bits == 8) {
-    palette = &buf[kFileHeaderSize + infoSize];
+    const std::size_t paletteOff = kFileHeaderSize + infoSize;
+    SIMDCV_REQUIRE(paletteOff + 256 * 4 <= buf.size() &&
+                       paletteOff + 256 * 4 <= dataOffset,
+                   "readBmp: truncated palette");
+    palette = &buf[paletteOff];
     grayPalette = true;
     for (int i = 0; i < 256 && grayPalette; ++i) {
       const std::uint8_t* e = palette + 4 * i;

@@ -1,0 +1,186 @@
+// Exhaustive saturation-boundary tables for float -> 8U/16S conversion,
+// checked against every compiled kernel path. These values are exactly where
+// the paper's benchmark-1 kernel family historically disagreed:
+//
+//   - half-integers at the rails (+/-32768.5, 255.5) decide both the
+//     round-half-to-even tie AND the clamp,
+//   - values just inside the rails (+/-32767.49) must NOT clamp,
+//   - NaN maps to 0 and +/-Inf clamps (the ARM vcvtnq + saturating-narrow
+//     semantics the scalar and x86 paths are required to reproduce),
+//   - denormals are ordinary tiny numbers and round to 0.
+//
+// The expectations are the library contract (see saturate.hpp): out-of-range
+// inputs saturate, NaN -> 0, ties round to even. Before the pre-clamp fix
+// the scalar specializations hit cvRound UB (C11 F.10.6.5) for anything
+// outside int range, so e.g. saturate_cast<int16_t>(3e9f) "worked" only by
+// accident of the host's lrintf overflow behaviour.
+#include "core/saturate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/convert.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kDenorm = std::numeric_limits<float>::denorm_min();
+
+struct Case16s {
+  float in;
+  std::int16_t want;
+};
+struct Case8u {
+  float in;
+  std::uint8_t want;
+};
+
+// clang-format off
+const std::vector<Case16s> kTable16s = {
+    // Ties at and near the positive rail: 32767.5 rounds to even 32768,
+    // which saturates; 32766.5 rounds to 32766 (even), staying in range.
+    {32768.5f, 32767}, {32768.0f, 32767}, {32767.5f, 32767},
+    {32767.49f, 32767}, {32767.0f, 32767}, {32766.5f, 32766},
+    {32766.51f, 32767}, {32765.5f, 32766},
+    // Negative rail: -32768.5 ties to even -32768 (in range!); -32769 clamps.
+    {-32768.5f, -32768}, {-32768.0f, -32768}, {-32767.5f, -32768},
+    {-32767.49f, -32767}, {-32767.0f, -32767}, {-32766.5f, -32766},
+    {-32769.0f, -32768}, {-40000.0f, -32768}, {40000.0f, 32767},
+    // Ties around zero: round half to even.
+    {0.5f, 0}, {-0.5f, 0}, {1.5f, 2}, {-1.5f, -2}, {2.5f, 2}, {-2.5f, -2},
+    {0.49f, 0}, {-0.49f, 0}, {0.51f, 1}, {-0.51f, -1},
+    // Special values: NaN -> 0, infinities clamp, denormals round to 0.
+    {kNaN, 0}, {kInf, 32767}, {-kInf, -32768},
+    {kDenorm, 0}, {-kDenorm, 0}, {1e-42f, 0}, {-1e-42f, 0},
+    // Far out of int32 range: UB territory for a bare cvRound.
+    {3e9f, 32767}, {-3e9f, -32768}, {2147483648.0f, 32767},
+    {-2147483648.0f, -32768}, {2147483520.0f, 32767},
+    {std::numeric_limits<float>::max(), 32767},
+    {-std::numeric_limits<float>::max(), -32768},
+    {1e38f, 32767}, {-1e38f, -32768},
+    {0.0f, 0}, {-0.0f, 0},
+};
+
+const std::vector<Case8u> kTable8u = {
+    // Positive rail: 255.5 ties to even 256 -> clamps; 254.5 ties to 254.
+    {255.5f, 255}, {255.49f, 255}, {255.0f, 255}, {254.5f, 254},
+    {254.51f, 255}, {253.5f, 254}, {256.0f, 255}, {1000.0f, 255},
+    // Negative side: everything below -0.5-tie clamps to 0.
+    {-0.5f, 0}, {-0.49f, 0}, {-0.51f, 0}, {-1.0f, 0}, {-255.5f, 0},
+    {-1000.0f, 0},
+    // Ties inside the range.
+    {0.5f, 0}, {1.5f, 2}, {2.5f, 2}, {127.5f, 128}, {128.5f, 128},
+    // Specials.
+    {kNaN, 0}, {kInf, 255}, {-kInf, 0}, {kDenorm, 0}, {-kDenorm, 0},
+    // Outside int32 range.
+    {3e9f, 255}, {-3e9f, 0}, {2147483648.0f, 255},
+    {std::numeric_limits<float>::max(), 255},
+    {-std::numeric_limits<float>::max(), 0},
+    {0.0f, 0}, {-0.0f, 0},
+};
+// clang-format on
+
+// ---- scalar saturate_cast --------------------------------------------------
+
+TEST(SaturateBoundary, ScalarFloatTo16s) {
+  for (const auto& c : kTable16s) {
+    EXPECT_EQ(saturate_cast<std::int16_t>(c.in), c.want) << "in=" << c.in;
+  }
+}
+
+TEST(SaturateBoundary, ScalarFloatTo8u) {
+  for (const auto& c : kTable8u) {
+    EXPECT_EQ(saturate_cast<std::uint8_t>(c.in), c.want) << "in=" << c.in;
+  }
+}
+
+TEST(SaturateBoundary, ScalarDoubleMatchesFloatTables) {
+  for (const auto& c : kTable16s) {
+    EXPECT_EQ(saturate_cast<std::int16_t>(static_cast<double>(c.in)), c.want)
+        << "in=" << c.in;
+  }
+  for (const auto& c : kTable8u) {
+    EXPECT_EQ(saturate_cast<std::uint8_t>(static_cast<double>(c.in)), c.want)
+        << "in=" << c.in;
+  }
+}
+
+TEST(SaturateBoundary, ScalarFloatToUnsigned16) {
+  EXPECT_EQ(saturate_cast<std::uint16_t>(65535.5f), 65535);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(65534.5f), 65534);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(-0.5f), 0);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(-1.0f), 0);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(kNaN), 0);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(kInf), 65535);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(-kInf), 0);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(3e9f), 65535);
+  EXPECT_EQ(saturate_cast<std::uint16_t>(-3e9f), 0);
+}
+
+// ---- every compiled kernel path --------------------------------------------
+//
+// The flat-array kernels are fed the whole table at once, repeated past the
+// vector width so both the SIMD main loop and the scalar tail see boundary
+// values (a 33-element buffer covers a 32-lane AVX2 step plus its tail).
+
+template <typename Fn>
+void check16sKernel(const char* name, Fn fn) {
+  std::vector<float> in;
+  std::vector<std::int16_t> want;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const auto& c : kTable16s) {
+      in.push_back(c.in);
+      want.push_back(c.want);
+    }
+  }
+  std::vector<std::int16_t> got(in.size(), 12345);
+  fn(in.data(), got.data(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << name << " lane " << i << " in=" << in[i];
+  }
+}
+
+template <typename Fn>
+void check8uKernel(const char* name, Fn fn) {
+  std::vector<float> in;
+  std::vector<std::uint8_t> want;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const auto& c : kTable8u) {
+      in.push_back(c.in);
+      want.push_back(c.want);
+    }
+  }
+  std::vector<std::uint8_t> got(in.size(), 77);
+  fn(in.data(), got.data(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << name << " lane " << i << " in=" << in[i];
+  }
+}
+
+TEST(SaturateBoundary, Cvt32f16sAllPaths) {
+  check16sKernel("novec", &core::novec::cvt32f16s);
+  check16sKernel("autovec", &core::autovec::cvt32f16s);
+  check16sKernel("sse2", &core::sse2::cvt32f16s);
+  check16sKernel("neon-emu", &core::neon::cvt32f16s);
+  if (pathAvailable(KernelPath::Avx2)) {
+    check16sKernel("avx2", &core::avx2::cvt32f16s);
+  }
+}
+
+TEST(SaturateBoundary, Cvt32f8uAllPaths) {
+  check8uKernel("sse2", &core::sse2::cvt32f8u);
+  check8uKernel("neon-emu", &core::neon::cvt32f8u);
+  if (pathAvailable(KernelPath::Avx2)) {
+    check8uKernel("avx2", &core::avx2::cvt32f8u);
+  }
+}
+
+}  // namespace
+}  // namespace simdcv

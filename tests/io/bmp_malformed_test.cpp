@@ -1,0 +1,162 @@
+// Crafted malformed-BMP corpus: every file here is a mutation of a valid
+// header that historically could drive readBmp out of bounds (palette reads
+// past EOF, size arithmetic wrapping, INT32_MIN height negation). The
+// contract under test: readBmp either returns a valid Mat or throws a clean
+// simdcv::Error — never crashes, never reads outside the file buffer.
+#include "io/image_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace simdcv::io {
+namespace {
+
+class BadBmpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "simdcv_bad_bmp_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write(const std::vector<std::uint8_t>& bytes) {
+    const std::string p = (dir_ / "case.bmp").string();
+    std::ofstream f(p, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    return p;
+  }
+
+  std::filesystem::path dir_;
+};
+
+void putU32At(std::vector<std::uint8_t>& b, std::size_t off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b[off + static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// A well-formed baseline file produced by the library's own writer: 8-bit
+/// grayscale (so it has the 1024-byte palette) or 24-bit color.
+std::vector<std::uint8_t> goodBmp(int channels) {
+  Mat img(6, 5, PixelType(Depth::U8, channels));
+  for (int y = 0; y < img.rows(); ++y)
+    for (int x = 0; x < img.cols() * channels; ++x)
+      img.at<std::uint8_t>(y, x) = static_cast<std::uint8_t>(16 * y + x);
+  const std::string p =
+      (std::filesystem::temp_directory_path() / "simdcv_bad_bmp_seed.bmp")
+          .string();
+  writeBmp(p, img);
+  std::ifstream f(p, std::ios::binary);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  std::filesystem::remove(p);
+  return bytes;
+}
+
+// Header offsets (BITMAPFILEHEADER + BITMAPINFOHEADER).
+constexpr std::size_t kOffDataOffset = 10;
+constexpr std::size_t kOffInfoSize = 14;
+constexpr std::size_t kOffWidth = 18;
+constexpr std::size_t kOffHeight = 22;
+
+TEST_F(BadBmpTest, BaselinesParse) {
+  EXPECT_EQ(readBmp(write(goodBmp(1))).type(), U8C1);
+  EXPECT_EQ(readBmp(write(goodBmp(3))).type(), U8C3);
+}
+
+TEST_F(BadBmpTest, DataOffsetBeyondEof) {
+  auto b = goodBmp(3);
+  putU32At(b, kOffDataOffset, static_cast<std::uint32_t>(b.size()) + 1000);
+  EXPECT_THROW(readBmp(write(b)), Error);
+}
+
+TEST_F(BadBmpTest, DataOffsetNearUint32MaxWrapsNothing) {
+  auto b = goodBmp(3);
+  putU32At(b, kOffDataOffset, 0xfffffff0u);
+  EXPECT_THROW(readBmp(write(b)), Error);
+}
+
+TEST_F(BadBmpTest, HugeDimensionsOverflowRowMath) {
+  // rowBytes * h ~= 2^64: the old `dataOffset + rowBytes*h <= size` test
+  // wrapped to a small number and passed, then the row loop read wild.
+  auto b = goodBmp(3);
+  putU32At(b, kOffWidth, 0x7fffffffu);
+  putU32At(b, kOffHeight, 0x7fffffffu);
+  EXPECT_THROW(readBmp(write(b)), Error);
+}
+
+TEST_F(BadBmpTest, HeightInt32MinCannotBeNegated) {
+  auto b = goodBmp(3);
+  putU32At(b, kOffHeight, 0x80000000u);  // INT32_MIN: -h is UB
+  EXPECT_THROW(readBmp(write(b)), Error);
+}
+
+TEST_F(BadBmpTest, WidthZeroOrNegative) {
+  for (std::uint32_t w : {0u, 0xffffffffu /* -1 */}) {
+    auto b = goodBmp(3);
+    putU32At(b, kOffWidth, w);
+    EXPECT_THROW(readBmp(write(b)), Error) << w;
+  }
+}
+
+TEST_F(BadBmpTest, BogusInfoHeaderSizePushesPaletteOutOfFile) {
+  // infoSize positions the palette; a huge value pointed the palette scan
+  // gigabytes past the buffer.
+  for (std::uint32_t infoSize : {0x10000u, 0xffffffffu}) {
+    auto b = goodBmp(1);
+    putU32At(b, kOffInfoSize, infoSize);
+    EXPECT_THROW(readBmp(write(b)), Error) << infoSize;
+  }
+}
+
+TEST_F(BadBmpTest, PaletteTruncatedAtEof) {
+  auto b = goodBmp(1);
+  b.resize(14 + 40 + 100);  // file ends 100 bytes into the 1024-byte palette
+  // Keep the header's dataOffset/height: the pixel-data truncation check
+  // must not be the only thing standing between the palette scan and EOF.
+  EXPECT_THROW(readBmp(write(b)), Error);
+}
+
+TEST_F(BadBmpTest, PixelDataTruncated) {
+  auto b = goodBmp(3);
+  b.resize(b.size() - 20);
+  EXPECT_THROW(readBmp(write(b)), Error);
+}
+
+TEST_F(BadBmpTest, HeaderOnlyFile) {
+  auto b = goodBmp(3);
+  b.resize(14 + 40);
+  EXPECT_THROW(readBmp(write(b)), Error);
+}
+
+TEST_F(BadBmpTest, EightBitDataOffsetInsidePalette) {
+  // dataOffset pointing before the end of the palette would alias pixel
+  // reads with palette bytes; the reader rejects the layout outright.
+  auto b = goodBmp(1);
+  putU32At(b, kOffDataOffset, 14 + 40 + 10);
+  EXPECT_THROW(readBmp(write(b)), Error);
+}
+
+TEST_F(BadBmpTest, TopDownHeightStillParses) {
+  // Negative height = top-down row order, a valid (if unusual) layout; the
+  // hardening must not reject it. Row 0 of a top-down file is row 0 of the
+  // image, so flipping the sign on a bottom-up file mirrors it vertically.
+  auto b = goodBmp(1);
+  const Mat up = readBmp(write(b));
+  putU32At(b, kOffHeight, static_cast<std::uint32_t>(-up.rows()));
+  const Mat down = readBmp(write(b));
+  ASSERT_EQ(down.size(), up.size());
+  for (int y = 0; y < up.rows(); ++y) {
+    EXPECT_EQ(0, std::memcmp(up.ptr<std::uint8_t>(y),
+                             down.ptr<std::uint8_t>(up.rows() - 1 - y),
+                             static_cast<std::size_t>(up.cols())));
+  }
+}
+
+}  // namespace
+}  // namespace simdcv::io
