@@ -25,6 +25,13 @@ struct Measurement {
 Measurement measureKernel(platform::BenchKernel kernel, KernelPath path,
                           Size size, const Protocol& proto);
 
+/// Host measurement of the edge pipeline in a specific form: the fused
+/// single-pass engine or the unfused 4-pass reference. The fusion-ablation
+/// hook (ablation_fusion, fig6's fused-vs-unfused series); both forms are
+/// bit-exact, so this isolates the cache-blocking effect alone.
+Measurement measureEdgeVariant(bool fused, KernelPath path, Size size,
+                               const Protocol& proto);
+
 /// True when SIMDCV_BENCH_VERBOSE=1: measureKernel then prints the runtime
 /// thread count and pool activity (tasks/steals/parks/unparks) per
 /// measurement — the first observability hook for threaded runs.

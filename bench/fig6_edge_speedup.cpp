@@ -1,8 +1,36 @@
-// Figure 6 reproduction: Edge Detection relative speed-up factor.
+// Figure 6 reproduction: Edge Detection relative speed-up factor, plus the
+// fusion-ablation series (fused single-pass engine vs the unfused 4-pass
+// reference, bit-exact by construction) on the autovectorized path and the
+// best available HAND path.
 #include "fig_speedup_common.hpp"
 
+namespace {
+
+using namespace simdcv::bench;
+using simdcv::KernelPath;
+
+ExtraSeriesFn fusedVsUnfusedSeries(KernelPath path) {
+  return [path](const Protocol& proto,
+                const std::vector<Resolution>& resolutions) {
+    std::vector<std::string> row{std::string("host fused/unfused ") +
+                                 pathLabel(path)};
+    for (const auto& r : resolutions) {
+      const auto unfused = measureEdgeVariant(false, path, r.size, proto);
+      const auto fused = measureEdgeVariant(true, path, r.size, proto);
+      row.push_back(fmtSpeedup(unfused.stats.mean / fused.stats.mean));
+    }
+    return row;
+  };
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  return simdcv::bench::runSpeedupFigure(
+  const KernelPath hand = simdcv::pathAvailable(KernelPath::Sse2)
+                              ? KernelPath::Sse2
+                              : KernelPath::Neon;
+  return runSpeedupFigure(
       "Figure 6: Edge Detection relative speed-up", "fig6_edge_speedup",
-      simdcv::platform::BenchKernel::EdgeDetect, argc, argv);
+      simdcv::platform::BenchKernel::EdgeDetect, argc, argv,
+      {fusedVsUnfusedSeries(KernelPath::Auto), fusedVsUnfusedSeries(hand)});
 }

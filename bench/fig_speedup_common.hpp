@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -11,9 +12,17 @@
 
 namespace simdcv::bench {
 
+/// Hook for figure-specific host-measured rows (e.g. fig6's fused-vs-unfused
+/// ablation series): called once per series with the protocol and the four
+/// paper resolutions; returns the row label followed by one cell per
+/// resolution.
+using ExtraSeriesFn = std::function<std::vector<std::string>(
+    const Protocol&, const std::vector<Resolution>&)>;
+
 inline int runSpeedupFigure(const char* figureName, const char* csvSlug,
                             platform::BenchKernel kernel, int argc,
-                            char** argv) {
+                            char** argv,
+                            const std::vector<ExtraSeriesFn>& extraSeries = {}) {
   printHostBanner(figureName);
   const auto proto = Protocol::fromArgs(argc, argv);
   const auto& resolutions = paperResolutions();
@@ -46,6 +55,11 @@ inline int runSpeedupFigure(const char* figureName, const char* csvSlug,
       const auto h = measureKernel(kernel, hand, r.size, proto);
       row.push_back(fmtSpeedup(speedupOf(a, h)));
     }
+    csv.push_back(row);
+    t.addRow(std::move(row));
+  }
+  for (const auto& series : extraSeries) {
+    std::vector<std::string> row = series(proto, resolutions);
     csv.push_back(row);
     t.addRow(std::move(row));
   }

@@ -36,7 +36,18 @@ cmake --build build-asan -j --target check_all test_check test_io
 # one-line reproducer (see DESIGN.md, "simdcv::check").
 ./build-asan/src/check/check_all --seed=0x51dc5eed --iters=200
 ./build-asan/src/check/check_all --seed=0xa5a11ced --iters=100
+# The edge family again, deeper: the fused/unfused differential pair is the
+# bit-exactness contract of the fused pipeline (see DESIGN.md, "Fusion").
+./build-asan/src/check/check_all --only=edge --seed=0xed6ef05e --iters=400
 ctest --test-dir build-asan -L check --output-on-failure -j"$(nproc)"
+
+echo
+echo "== bench smoke (SIMDCV_BENCH_SMOKE=1: 2 images x 1 cycle) =="
+# Run from inside build/ so the smoke CSV/JSON artifacts do not clobber the
+# committed full-protocol results at the repo root.
+cmake --build build -j --target fig6_edge_speedup ablation_fusion
+(cd build && SIMDCV_BENCH_SMOKE=1 ./bench/fig6_edge_speedup)
+(cd build && SIMDCV_BENCH_SMOKE=1 ./bench/ablation_fusion)
 
 echo
 echo "verify: OK"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <numeric>
@@ -47,6 +48,15 @@ Protocol Protocol::fromArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--paper") == 0) p.cycles = 25;
     if (std::strcmp(argv[i], "--quick") == 0) p.cycles = 1;
+  }
+  // CI smoke mode: SIMDCV_BENCH_SMOKE=1 shrinks every protocol to 2 images x
+  // 1 cycle so the figure/ablation binaries exercise their full code path
+  // without meaningful timing cost. Overrides the flags: CI sets the
+  // environment precisely to make whatever is invoked cheap.
+  const char* smoke = std::getenv("SIMDCV_BENCH_SMOKE");
+  if (smoke != nullptr && std::strcmp(smoke, "1") == 0) {
+    p.images = 2;
+    p.cycles = 1;
   }
   return p;
 }

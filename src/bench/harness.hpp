@@ -53,7 +53,10 @@ const std::vector<Resolution>& paperResolutions();
 struct Protocol {
   int images = 5;
   int cycles = 25;
-  /// Scale factor applied from the command line (--quick shrinks cycles).
+  /// Scale factor applied from the command line: --paper restores the full
+  /// 5x25 protocol, --quick shrinks to 1 cycle. The environment variable
+  /// SIMDCV_BENCH_SMOKE=1 overrides both to 2 images x 1 cycle, letting CI
+  /// run every bench binary end to end without paying for real timing.
   static Protocol fromArgs(int argc, char** argv);
 };
 

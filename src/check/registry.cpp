@@ -193,6 +193,39 @@ Mat runEdgeDetect(const CaseSpec& c, KernelPath p) {
   return dst;
 }
 
+// Cross-path check of the fused engine itself (all paths must agree on the
+// fused pipeline, banded by parallel_for). Rng draws go through named locals:
+// argument evaluation order is unspecified, and a reproducer line must
+// regenerate the same parameters.
+Mat runEdgeFused(const CaseSpec& c, KernelPath p) {
+  Mat src = genMat(c, kSrcA, U8C1);
+  Rng r(c.seed ^ 0xf05edull);
+  const double thresh = r.real(-10.0, 300.0);  // overshoot: degenerate fills
+  const int ksize = r.chance(70) ? 3 : 5;
+  const imgproc::BorderType border = borderFor(r);
+  Mat dst;
+  imgproc::edgeDetectFused(src, dst, thresh, ksize, border, p);
+  return dst;
+}
+
+// The fused-vs-unfused differential pair: the oracle's reference leg is
+// always (ScalarNoVec, 1 thread), so routing ScalarNoVec to the unfused
+// 4-pass pipeline makes every fused path on every thread count get compared
+// bit-exactly against the unfused scalar reference.
+Mat runEdgeFusedVsUnfused(const CaseSpec& c, KernelPath p) {
+  Mat src = genMat(c, kSrcA, U8C1);
+  Rng r(c.seed ^ 0xf05edull);  // same salt as runEdgeFused: same parameters
+  const double thresh = r.real(-10.0, 300.0);
+  const int ksize = r.chance(70) ? 3 : 5;
+  const imgproc::BorderType border = borderFor(r);
+  Mat dst;
+  if (p == KernelPath::ScalarNoVec)
+    imgproc::edgeDetectUnfused(src, dst, thresh, ksize, border, p);
+  else
+    imgproc::edgeDetectFused(src, dst, thresh, ksize, border, p);
+  return dst;
+}
+
 Mat runMagnitude(const CaseSpec& c, KernelPath p) {
   Mat gx = genMat(c, kSrcA, S16C1);
   Mat gy = genMat(c, kSrcB, S16C1);
@@ -240,6 +273,8 @@ const std::vector<KernelCheck>& kernelRegistry() {
     reg.push_back({"filter.sobel", &runSobel, 0.0});
     reg.push_back({"edge.magnitude", &runMagnitude, 0.0});
     reg.push_back({"edge.detect", &runEdgeDetect, 0.0});
+    reg.push_back({"edge.fused", &runEdgeFused, 0.0});
+    reg.push_back({"edge.fused-vs-unfused", &runEdgeFusedVsUnfused, 0.0});
     return reg;
   }();
   return registry;

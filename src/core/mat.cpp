@@ -1,6 +1,7 @@
 #include "core/mat.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "core/saturate.hpp"
@@ -18,7 +19,13 @@ std::size_t alignedStep(int cols, PixelType type) {
   return (raw + kRowAlign - 1) / kRowAlign * kRowAlign;
 }
 
+std::atomic<std::uint64_t> g_matAllocs{0};
+
 }  // namespace
+
+std::uint64_t matAllocationCount() noexcept {
+  return g_matAllocs.load(std::memory_order_relaxed);
+}
 
 const char* toString(Depth d) noexcept {
   switch (d) {
@@ -64,6 +71,7 @@ void Mat::create(int rows, int cols, PixelType type) {
   const std::size_t bytes = step_ * static_cast<std::size_t>(rows) + kRowAlign;
   if (bytes > 0) {
     // Over-allocate and align the base pointer to kRowAlign.
+    g_matAllocs.fetch_add(1, std::memory_order_relaxed);
     buf_ = std::shared_ptr<std::uint8_t[]>(new std::uint8_t[bytes]());
     auto addr = reinterpret_cast<std::uintptr_t>(buf_.get());
     const std::uintptr_t aligned = (addr + kRowAlign - 1) / kRowAlign * kRowAlign;

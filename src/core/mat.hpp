@@ -105,6 +105,11 @@ class Mat {
   std::uint8_t* data_ = nullptr;         // start of row 0 (may point into ROI)
 };
 
+/// Process-wide count of Mat buffer allocations (create() reallocation
+/// events). Steady-state pipelines that reuse scratch correctly keep this
+/// flat across repeated calls — the invariant the edge-scratch tests assert.
+std::uint64_t matAllocationCount() noexcept;
+
 /// Factory helpers.
 Mat zeros(int rows, int cols, PixelType type);
 Mat full(int rows, int cols, PixelType type, double value);

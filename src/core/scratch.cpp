@@ -1,0 +1,73 @@
+#include "core/scratch.hpp"
+
+#include <algorithm>
+
+#include "core/types.hpp"
+
+namespace simdcv::core {
+
+namespace {
+constexpr std::size_t kAlign = 64;
+constexpr std::size_t kMinBlock = 16 * 1024;
+}  // namespace
+
+ScratchArena& ScratchArena::forThread() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+ScratchArena::~ScratchArena() {
+  for (std::uint8_t* p : raw_) delete[] p;
+}
+
+void ScratchArena::release() noexcept {
+  if (depth_ != 0) return;  // a live frame still points into the block
+  for (std::uint8_t* p : raw_) delete[] p;
+  raw_.clear();
+  block_ = nullptr;
+  cap_ = 0;
+  top_ = 0;
+}
+
+void ScratchArena::grow(std::size_t need) {
+  const std::size_t size = std::max({need, cap_ * 2, kMinBlock});
+  auto* raw = new std::uint8_t[size + kAlign];
+  raw_.push_back(raw);
+  const auto addr = reinterpret_cast<std::uintptr_t>(raw);
+  block_ = raw + ((addr + kAlign - 1) / kAlign * kAlign - addr);
+  cap_ = size;
+  top_ = 0;
+  ++refills_;
+}
+
+void* ScratchArena::alloc(std::size_t bytes, std::size_t align) {
+  SIMDCV_REQUIRE(depth_ > 0, "scratch: alloc outside a ScratchFrame");
+  align = std::max<std::size_t>(align, 1);
+  std::size_t at = (top_ + align - 1) / align * align;
+  if (at + bytes > cap_) {
+    // Outgrown mid-frame: previous block stays in raw_ (existing pointers
+    // remain valid); allocations continue from a fresh, larger block. The
+    // frame's saved offset refers to the old block, but unwinding to depth 0
+    // resets top_ anyway.
+    grow(std::max(top_ + bytes + align, cap_ + bytes + align));
+    at = (top_ + align - 1) / align * align;
+  }
+  top_ = at + bytes;
+  return block_ + at;
+}
+
+ScratchFrame::~ScratchFrame() {
+  --arena_.depth_;
+  if (arena_.depth_ > 0) {
+    arena_.top_ = saved_;
+    return;
+  }
+  // Outermost frame gone: trim retired blocks, keep only the newest.
+  arena_.top_ = 0;
+  while (arena_.raw_.size() > 1) {
+    delete[] arena_.raw_.front();
+    arena_.raw_.erase(arena_.raw_.begin());
+  }
+}
+
+}  // namespace simdcv::core

@@ -1,0 +1,83 @@
+// Per-thread scratch arena: a growable bump allocator for kernel-internal
+// row buffers, so hot pipelines (the fused edge detector, notably) perform
+// zero heap allocations in steady state. Usage:
+//
+//   core::ScratchFrame frame;                    // scopes the allocations
+//   float* row = frame.allocN<float>(width);     // 64-byte aligned
+//
+// Frames nest with stack discipline (a nested kernel restores the bump
+// pointer on exit); the backing block is retained across calls, so after the
+// first call at a given size the arena never touches the heap again —
+// `refills()` exposes that invariant to tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace simdcv::core {
+
+class ScratchArena {
+ public:
+  /// The calling thread's arena (one per thread, created on first use).
+  static ScratchArena& forThread();
+
+  std::size_t capacity() const noexcept { return cap_; }
+  std::size_t used() const noexcept { return top_; }
+  /// Number of times the backing block was (re)allocated. Stable across
+  /// repeated same-shaped workloads once warm — the no-allocation-growth
+  /// invariant the tests assert.
+  std::uint64_t refills() const noexcept { return refills_; }
+
+  /// Drop the backing block (memory returned to the heap; next use refills).
+  /// Must not be called while a ScratchFrame is live on this thread.
+  void release() noexcept;
+
+  ~ScratchArena();
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+ private:
+  friend class ScratchFrame;
+
+  void* alloc(std::size_t bytes, std::size_t align);
+  void grow(std::size_t need);
+
+  std::uint8_t* block_ = nullptr;  // aligned base of the current block
+  std::size_t cap_ = 0;
+  std::size_t top_ = 0;
+  std::uint64_t refills_ = 0;
+  int depth_ = 0;
+  // Raw (unaligned) allocations. Back = the current block; blocks outgrown
+  // mid-frame stay alive (pointers into them remain valid) until every frame
+  // has unwound, then frame exit at depth 0 trims to the newest block.
+  std::vector<std::uint8_t*> raw_;
+};
+
+/// RAII scope over the thread's arena: allocations made through the frame are
+/// reclaimed (bump pointer restored) when it goes out of scope.
+class ScratchFrame {
+ public:
+  ScratchFrame() : arena_(ScratchArena::forThread()), saved_(arena_.top_) {
+    ++arena_.depth_;
+  }
+  ~ScratchFrame();
+  ScratchFrame(const ScratchFrame&) = delete;
+  ScratchFrame& operator=(const ScratchFrame&) = delete;
+
+  /// 64-byte-aligned raw bytes, valid until this frame is destroyed.
+  void* alloc(std::size_t bytes, std::size_t align = 64) {
+    return arena_.alloc(bytes, align);
+  }
+  template <typename T>
+  T* allocN(std::size_t n) {
+    return static_cast<T*>(alloc(n * sizeof(T)));
+  }
+
+ private:
+  ScratchArena& arena_;
+  std::size_t saved_;
+};
+
+}  // namespace simdcv::core

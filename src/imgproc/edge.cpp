@@ -62,6 +62,20 @@ void magnitudeS16(const std::int16_t* gx, const std::int16_t* gy,
 
 }  // namespace neon
 
+namespace detail {
+
+MagnitudeFn magnitudeFnFor(KernelPath path) {
+  switch (resolvePath(path)) {
+    case KernelPath::Avx2:  // no 256-bit magnitude kernel: SSE2 HAND
+    case KernelPath::Sse2: return &sse2::magnitudeS16;
+    case KernelPath::Neon: return &neon::magnitudeS16;
+    case KernelPath::ScalarNoVec: return &novec::magnitudeS16;
+    default: return &autovec::magnitudeS16;
+  }
+}
+
+}  // namespace detail
+
 void gradientMagnitude(const Mat& gx, const Mat& gy, Mat& dst,
                        KernelPath path) {
   SIMDCV_REQUIRE(gx.size() == gy.size(), "magnitude: gx/gy size mismatch");
@@ -69,7 +83,7 @@ void gradientMagnitude(const Mat& gx, const Mat& gy, Mat& dst,
                  "magnitude: gradients must be s16");
   SIMDCV_REQUIRE(gx.channels() == 1 && gy.channels() == 1,
                  "magnitude: single channel only");
-  const KernelPath p = resolvePath(path);
+  const detail::MagnitudeFn fn = detail::magnitudeFnFor(path);
   Mat out = (dst.sharesStorageWith(gx) || dst.sharesStorageWith(gy))
                 ? Mat()
                 : std::move(dst);
@@ -81,32 +95,49 @@ void gradientMagnitude(const Mat& gx, const Mat& gy, Mat& dst,
   runtime::parallel_for(
       {0, gx.rows()},
       [&](runtime::Range band) {
-        for (int r = band.begin; r < band.end; ++r) {
-          const std::int16_t* px = gx.ptr<std::int16_t>(r);
-          const std::int16_t* py = gy.ptr<std::int16_t>(r);
-          std::uint8_t* d = out.ptr<std::uint8_t>(r);
-          switch (p) {
-            case KernelPath::Avx2:  // no 256-bit magnitude kernel: SSE2 HAND
-            case KernelPath::Sse2: sse2::magnitudeS16(px, py, d, n); break;
-            case KernelPath::Neon: neon::magnitudeS16(px, py, d, n); break;
-            case KernelPath::ScalarNoVec:
-              novec::magnitudeS16(px, py, d, n);
-              break;
-            default: autovec::magnitudeS16(px, py, d, n); break;
-          }
-        }
+        for (int r = band.begin; r < band.end; ++r)
+          fn(gx.ptr<std::int16_t>(r), gy.ptr<std::int16_t>(r),
+             out.ptr<std::uint8_t>(r), n);
       },
       grain);
   dst = std::move(out);
 }
 
+namespace {
+
+// Per-thread whole-image intermediates of the unfused reference pipeline.
+// Mat::create keeps storage when the geometry is unchanged, so repeated
+// calls at one size never touch the allocator (asserted by the tests via
+// matAllocationCount).
+struct EdgeScratch {
+  Mat gx, gy, mag;
+};
+
+EdgeScratch& edgeScratchForThread() {
+  thread_local EdgeScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+namespace detail {
+
+void releaseEdgeScratch() { edgeScratchForThread() = EdgeScratch{}; }
+
+}  // namespace detail
+
+void edgeDetectUnfused(const Mat& src, Mat& dst, double thresh, int ksize,
+                       BorderType border, KernelPath path) {
+  EdgeScratch& s = edgeScratchForThread();
+  Sobel(src, s.gx, Depth::S16, 1, 0, ksize, 1.0, border, path);
+  Sobel(src, s.gy, Depth::S16, 0, 1, ksize, 1.0, border, path);
+  gradientMagnitude(s.gx, s.gy, s.mag, path);
+  threshold(s.mag, dst, thresh, 255.0, ThresholdType::Binary, path);
+}
+
 void edgeDetect(const Mat& src, Mat& dst, double thresh, int ksize,
                 BorderType border, KernelPath path) {
-  Mat gx, gy, mag;
-  Sobel(src, gx, Depth::S16, 1, 0, ksize, 1.0, border, path);
-  Sobel(src, gy, Depth::S16, 0, 1, ksize, 1.0, border, path);
-  gradientMagnitude(gx, gy, mag, path);
-  threshold(mag, dst, thresh, 255.0, ThresholdType::Binary, path);
+  edgeDetectFused(src, dst, thresh, ksize, border, path);
 }
 
 }  // namespace simdcv::imgproc

@@ -17,10 +17,58 @@ void gradientMagnitude(const Mat& gx, const Mat& gy, Mat& dst,
                        KernelPath path = KernelPath::Default);
 
 /// Full pipeline: Sobel(dx=1), Sobel(dy=1), |gx|+|gy|, threshold > thresh
-/// to 255/0. Output is a U8 binary edge map.
+/// to 255/0. Output is a U8 binary edge map. Dispatches to the fused
+/// cache-blocked implementation (edgeDetectFused); bit-exact with the
+/// unfused reference on every KernelPath and thread count.
 void edgeDetect(const Mat& src, Mat& dst, double thresh, int ksize = 3,
                 BorderType border = BorderType::Reflect101,
                 KernelPath path = KernelPath::Default);
+
+/// Fused single-pass pipeline (the tentpole of the paper's benchmark 5):
+/// processes the image in row bands, keeping Sobel gx/gy in ring-buffered
+/// per-band row scratch and applying magnitude + threshold in the same pass —
+/// whole-image 16S gradients are never materialized. Bit-exact with
+/// edgeDetectUnfused for the same arguments on every path.
+void edgeDetectFused(const Mat& src, Mat& dst, double thresh, int ksize = 3,
+                     BorderType border = BorderType::Reflect101,
+                     KernelPath path = KernelPath::Default);
+
+/// Reference 4-pass pipeline (two Sobel passes, magnitude, threshold through
+/// whole-image intermediates). Kept as the differential oracle the fused
+/// path is checked against; its gx/gy/mag scratch lives in a per-thread
+/// arena so repeated calls at one size perform no allocations.
+void edgeDetectUnfused(const Mat& src, Mat& dst, double thresh, int ksize = 3,
+                       BorderType border = BorderType::Reflect101,
+                       KernelPath path = KernelPath::Default);
+
+// ---- internal hooks (shared dispatch + test instrumentation) ---------------
+namespace detail {
+
+/// Per-path flat-range magnitude kernel selector, shared by
+/// gradientMagnitude and the fused pipeline so both resolve a path to the
+/// identical kernel (Avx2 deliberately maps to the SSE2 HAND kernel).
+using MagnitudeFn = void (*)(const std::int16_t* gx, const std::int16_t* gy,
+                             std::uint8_t* dst, std::size_t n);
+MagnitudeFn magnitudeFnFor(KernelPath path);
+
+/// Run the fused engine serially over fixed-height row bands (testing hook
+/// for band-seam correctness: every band re-primes its own ring, exactly as
+/// a parallel band does). bandRows >= 1.
+void edgeDetectFusedBanded(const Mat& src, Mat& dst, double thresh, int ksize,
+                           BorderType border, KernelPath path, int bandRows);
+
+/// Cache-informed minimum band height for the fused engine at this width
+/// (see DESIGN.md: seam amortization + the runtime's fork threshold).
+int fusedBandGrain(int width, int ksize, int rows);
+
+/// Per-band scratch footprint of the fused engine in bytes (two kh-row float
+/// rings, the padded row, conv/s16/mag rows and tap tables).
+std::size_t fusedScratchBytes(int width, int ksize);
+
+/// Drop this thread's cached unfused-pipeline scratch Mats (gx/gy/mag).
+void releaseEdgeScratch();
+
+}  // namespace detail
 
 // Flat-range magnitude kernels per path (for benchmarks/tests).
 namespace autovec {

@@ -1,0 +1,219 @@
+// Fused cache-blocked edge-detection pipeline (the paper's benchmark 5).
+//
+// The unfused pipeline round-trips two whole-image 16S gradient Mats plus a
+// U8 magnitude Mat through memory between stages; at 8 mpx those
+// intermediates are ~40 MB — far beyond any cache on the paper's platforms,
+// so the stages become memory-bound round trips. The fused engine walks the
+// image once in row bands: every needed source row is converted to float and
+// horizontally convolved with BOTH derivative kernels (one load + pad, two
+// rowConvs) into two kh-row ring buffers, and each output row is finished in
+// one pass — two vertical convolutions, saturating-s16 store, |gx|+|gy|
+// magnitude, binary threshold — while the rows are still cache-hot. The
+// resident working set is O(kh) rows of scratch (see fusedScratchBytes), not
+// O(rows * cols) of intermediates.
+//
+// Bit-exactness: every stage calls the exact same per-path kernel, on the
+// same values, in the same per-element order as the unfused pipeline
+// (filter_detail.hpp / threshold detail / edge detail selectors), so the
+// fused output is bit-identical to edgeDetectUnfused for every KernelPath.
+// Band partitions cannot change the result either: a band recomputes its
+// seam rows through the identical load/pad/rowConv sequence, and the
+// saturating-s16 + re-saturating-magnitude tail is element-wise — the
+// guarantee `check_all --only edge` enforces on adversarial inputs.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/saturate.hpp"
+#include "core/scratch.hpp"
+#include "imgproc/edge.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/filter_detail.hpp"
+#include "imgproc/kernels.hpp"
+#include "imgproc/threshold.hpp"
+#include "platform/platform.hpp"
+#include "runtime/parallel.hpp"
+
+namespace simdcv::imgproc {
+
+namespace detail {
+
+std::size_t fusedScratchBytes(int width, int ksize) {
+  const std::size_t w = static_cast<std::size_t>(width);
+  const std::size_t k = static_cast<std::size_t>(ksize);
+  return sizeof(float) * (w + k - 1)      // padded source row
+         + 2 * sizeof(float) * k * w      // gx/gy intermediate rings
+         + 2 * sizeof(float) * w          // vertical-conv output rows
+         + 2 * sizeof(std::int16_t) * w   // saturated s16 gradient rows
+         + w                              // magnitude row
+         + 2 * sizeof(void*) * k          // column-tap tables
+         + 10 * 64;                       // per-allocation alignment slop
+}
+
+int fusedBandGrain(int width, int ksize, int rows) {
+  // (a) Fork amortization: the separable engine's rule with the fused
+  //     pipeline's per-row op cost (two horizontal + two vertical
+  //     convolutions plus the s16/magnitude/threshold tail).
+  int grain = std::max(runtime::parallelThreshold(
+                           static_cast<std::size_t>(width) * sizeof(float),
+                           rows, 4.0 * ksize + 3.0),
+                       ksize);
+  // (b) Seam amortization: each band re-primes 2*(ksize/2) boundary rows;
+  //     16x that bounds the recompute overhead at ~6%.
+  grain = std::max(grain, 16 * ksize);
+  // (c) Cache fit: the engine streams, so its resident set is the row
+  //     scratch — a function of width alone. Once the scratch overflows half
+  //     of this core's L2, seam re-priming gets costlier (the ring no longer
+  //     survives in cache across the seam), so raise the floor again to buy
+  //     fewer, taller bands.
+  static const platform::HostInfo host = platform::queryHost();
+  const std::size_t l2 = host.l2_kb > 0
+                             ? static_cast<std::size_t>(host.l2_kb) * 1024
+                             : 512u * 1024u;
+  if (fusedScratchBytes(width, ksize) > l2 / 2) grain = std::max(grain, 32 * ksize);
+  return std::min(grain, std::max(rows, 1));
+}
+
+}  // namespace detail
+
+namespace {
+
+void edgeDetectFusedImpl(const Mat& src, Mat& dst, double thresh, int ksize,
+                         BorderType border, KernelPath path,
+                         int forcedBandRows) {
+  SIMDCV_REQUIRE(!src.empty(), "edgeDetectFused: empty source");
+  SIMDCV_REQUIRE(src.channels() == 1, "edgeDetectFused: single channel only");
+  SIMDCV_REQUIRE(src.depth() == Depth::U8 || src.depth() == Depth::F32,
+                 "edgeDetectFused: source depth must be u8 or f32");
+  SIMDCV_REQUIRE(ksize >= 3 && (ksize & 1) == 1,
+                 "edgeDetectFused: ksize must be odd and >= 3");
+
+  const KernelPath p = resolvePath(path);
+  const int rows = src.rows();
+  const int width = src.cols();
+
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(rows, width, U8C1);
+
+  // Threshold quantization, identical to threshold(): floor thresh, maxval
+  // 255. Degenerate levels collapse to a fill exactly as the unfused
+  // pipeline's threshold stage does (its Sobel/magnitude results are
+  // discarded by the same fill).
+  const int it = cvFloor(thresh);
+  if (it < 0 || it >= 255) {
+    out.setTo(it >= 255 ? 0 : 255);
+    dst = std::move(out);
+    return;
+  }
+  const std::uint8_t t8 = static_cast<std::uint8_t>(it);
+  const std::uint8_t imax = 255;
+
+  // gx = deriv(x) ⊗ smooth(y), gy = smooth(x) ⊗ deriv(y) — the same kernels
+  // the two unfused Sobel passes use.
+  std::vector<float> kxx, kyx, kxy, kyy;
+  getDerivKernels(kxx, kyx, 1, 0, ksize, /*normalize=*/false);
+  getDerivKernels(kxy, kyy, 0, 1, ksize, /*normalize=*/false);
+  const int kw = ksize;
+  const int kh = ksize;
+  const int rx = kw / 2;
+  const int ry = kh / 2;
+
+  const auto rowFn = detail::rowConvFor(p);
+  const auto colFn = detail::colConvFor(p);
+  const auto cvtFn = detail::cvt32f16sFor(p);
+  const auto magFn = detail::magnitudeFnFor(p);
+  const auto thrFn = detail::threshU8For(p);
+
+  // Fully-constant virtual rows under Constant border (borderValue 0, as
+  // Sobel passes to sepFilter2D): row-convolved once, shared by every band.
+  std::vector<float> constRowX, constRowY;
+  if (border == BorderType::Constant) {
+    std::vector<float> borderPad(static_cast<std::size_t>(width + kw - 1), 0.0f);
+    constRowX.resize(static_cast<std::size_t>(width));
+    constRowY.resize(static_cast<std::size_t>(width));
+    rowFn(borderPad.data(), constRowX.data(), width, kxx.data(), kw);
+    rowFn(borderPad.data(), constRowY.data(), width, kxy.data(), kw);
+  }
+
+  // One fused ring-buffer engine per band. Every virtual source row is
+  // recomputed through the identical load/pad/rowConv sequence regardless of
+  // which band needs it, so any band partition (1 band, N parallel bands, or
+  // the forced test partition) produces bit-identical output.
+  auto processBand = [&](runtime::Range band) {
+    core::ScratchFrame frame;
+    const std::size_t w = static_cast<std::size_t>(width);
+    float* padded = frame.allocN<float>(w + static_cast<std::size_t>(kw) - 1);
+    float* ringX = frame.allocN<float>(static_cast<std::size_t>(kh) * w);
+    float* ringY = frame.allocN<float>(static_cast<std::size_t>(kh) * w);
+    float* gxf = frame.allocN<float>(w);
+    float* gyf = frame.allocN<float>(w);
+    std::int16_t* gxs = frame.allocN<std::int16_t>(w);
+    std::int16_t* gys = frame.allocN<std::int16_t>(w);
+    std::uint8_t* mag = frame.allocN<std::uint8_t>(w);
+    const float** tapsX = frame.allocN<const float*>(static_cast<std::size_t>(kh));
+    const float** tapsY = frame.allocN<const float*>(static_cast<std::size_t>(kh));
+
+    auto slotX = [&](int v) {
+      return ringX + static_cast<std::size_t>((v + ry) % kh) * w;
+    };
+    auto slotY = [&](int v) {
+      return ringY + static_cast<std::size_t>((v + ry) % kh) * w;
+    };
+
+    auto computeVirtualRow = [&](int v) {
+      const int m = borderInterpolate(v, rows, border);
+      if (m < 0) {
+        std::memcpy(slotX(v), constRowX.data(), w * sizeof(float));
+        std::memcpy(slotY(v), constRowY.data(), w * sizeof(float));
+        return;
+      }
+      detail::loadRowAsFloat(src, m, padded + rx, p);
+      detail::padRow(padded, width, rx, border, 0.0f);
+      rowFn(padded, slotX(v), width, kxx.data(), kw);
+      rowFn(padded, slotY(v), width, kxy.data(), kw);
+    };
+
+    for (int v = band.begin - ry; v < band.begin + ry; ++v) computeVirtualRow(v);
+    for (int y = band.begin; y < band.end; ++y) {
+      computeVirtualRow(y + ry);
+      for (int r = 0; r < kh; ++r) {
+        tapsX[static_cast<std::size_t>(r)] = slotX(y - ry + r);
+        tapsY[static_cast<std::size_t>(r)] = slotY(y - ry + r);
+      }
+      colFn(tapsX, gxf, width, kyx.data(), kh);
+      colFn(tapsY, gyf, width, kyy.data(), kh);
+      cvtFn(gxf, gxs, w);
+      cvtFn(gyf, gys, w);
+      magFn(gxs, gys, mag, w);
+      thrFn(mag, out.ptr<std::uint8_t>(y), w, t8, imax, ThresholdType::Binary);
+    }
+  };
+
+  if (forcedBandRows > 0) {
+    for (int b = 0; b < rows; b += forcedBandRows)
+      processBand({b, std::min(rows, b + forcedBandRows)});
+  } else {
+    runtime::parallel_for({0, rows}, processBand,
+                          detail::fusedBandGrain(width, ksize, rows));
+  }
+  dst = std::move(out);
+}
+
+}  // namespace
+
+void edgeDetectFused(const Mat& src, Mat& dst, double thresh, int ksize,
+                     BorderType border, KernelPath path) {
+  edgeDetectFusedImpl(src, dst, thresh, ksize, border, path, 0);
+}
+
+namespace detail {
+
+void edgeDetectFusedBanded(const Mat& src, Mat& dst, double thresh, int ksize,
+                           BorderType border, KernelPath path, int bandRows) {
+  SIMDCV_REQUIRE(bandRows >= 1, "edgeDetectFusedBanded: bandRows must be >= 1");
+  edgeDetectFusedImpl(src, dst, thresh, ksize, border, path, bandRows);
+}
+
+}  // namespace detail
+
+}  // namespace simdcv::imgproc

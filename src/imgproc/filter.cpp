@@ -16,6 +16,7 @@
 
 #include "core/convert.hpp"
 #include "core/saturate.hpp"
+#include "imgproc/filter_detail.hpp"
 #include "imgproc/kernels.hpp"
 #include "runtime/parallel.hpp"
 
@@ -42,10 +43,6 @@ ColConvFn colConvFor(KernelPath path) {
     default: return &autovec::colConv;
   }
 }
-
-}  // namespace detail
-
-namespace {
 
 // Convert one source row to float using the path-matched kernel so the HAND
 // arms measure their own data movement, as in OpenCV.
@@ -80,23 +77,32 @@ void padRow(float* padded, int width, int rx, BorderType border,
   }
 }
 
+CvtS16Fn cvt32f16sFor(KernelPath path) {
+  switch (resolvePath(path)) {
+    case KernelPath::Avx2: return &core::avx2::cvt32f16s;
+    case KernelPath::Sse2: return &core::sse2::cvt32f16s;
+    case KernelPath::Neon: return &core::neon::cvt32f16s;
+    case KernelPath::ScalarNoVec: return &core::novec::cvt32f16s;
+    default: return &core::autovec::cvt32f16s;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::loadRowAsFloat;
+using detail::padRow;
+
 void storeRow(const float* row, Mat& dst, int y, KernelPath p) {
   const std::size_t n = static_cast<std::size_t>(dst.cols());
   switch (dst.depth()) {
     case Depth::F32:
       std::memcpy(dst.ptr<float>(y), row, n * sizeof(float));
       break;
-    case Depth::S16: {
-      std::int16_t* d = dst.ptr<std::int16_t>(y);
-      switch (p) {
-        case KernelPath::Avx2: core::avx2::cvt32f16s(row, d, n); break;
-        case KernelPath::Sse2: core::sse2::cvt32f16s(row, d, n); break;
-        case KernelPath::Neon: core::neon::cvt32f16s(row, d, n); break;
-        case KernelPath::ScalarNoVec: core::novec::cvt32f16s(row, d, n); break;
-        default: core::autovec::cvt32f16s(row, d, n); break;
-      }
+    case Depth::S16:
+      detail::cvt32f16sFor(p)(row, dst.ptr<std::int16_t>(y), n);
       break;
-    }
     case Depth::U8:
     default: {
       std::uint8_t* d = dst.ptr<std::uint8_t>(y);

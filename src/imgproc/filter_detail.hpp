@@ -1,0 +1,32 @@
+// Internal building blocks of the separable-filter engine, shared between
+// sepFilter2D (filter.cpp) and the fused edge pipeline (edge_fused.cpp).
+// Everything here preserves the engine's bit-exactness contract: for a given
+// KernelPath the load/pad/convert steps are the exact same code no matter
+// which pipeline invokes them, so a fused pipeline reproduces the unfused
+// one bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/mat.hpp"
+#include "imgproc/border.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::imgproc::detail {
+
+/// Convert one source row (U8 or F32) to float with the path-matched
+/// conversion kernel, writing src.cols() floats at `out`.
+void loadRowAsFloat(const Mat& src, int row, float* out, KernelPath p);
+
+/// Fill the horizontal pads of `padded` (rx floats each side around `width`
+/// central elements already in place) according to the border rule.
+void padRow(float* padded, int width, int rx, BorderType border,
+            float borderValue);
+
+/// Path-matched float -> saturating s16 row store (the S16 leg of the
+/// engine's storeRow step).
+using CvtS16Fn = void (*)(const float* src, std::int16_t* dst, std::size_t n);
+CvtS16Fn cvt32f16sFor(KernelPath path);
+
+}  // namespace simdcv::imgproc::detail

@@ -18,6 +18,20 @@ const char* toString(ThresholdType t) noexcept {
   return "?";
 }
 
+namespace detail {
+
+ThreshU8Fn threshU8For(KernelPath path) {
+  switch (resolvePath(path)) {
+    case KernelPath::Avx2: return &avx2::threshU8;
+    case KernelPath::Sse2: return &sse2::threshU8;
+    case KernelPath::Neon: return &neon::threshU8;
+    case KernelPath::ScalarNoVec: return &novec::threshU8;
+    default: return &autovec::threshU8;
+  }
+}
+
+}  // namespace detail
+
 namespace {
 
 // Element-wise, so any row partition yields bit-identical output; bands just
@@ -85,17 +99,10 @@ double threshold(const Mat& src, Mat& dst, double thresh, double maxval,
         return it;
       }
       const std::uint8_t t8 = saturate_cast<std::uint8_t>(it);
+      const detail::ThreshU8Fn fn8 = detail::threshU8For(p);
       forEachRow<std::uint8_t>(src, out, [&](const std::uint8_t* s,
                                              std::uint8_t* d, std::size_t n) {
-        switch (p) {
-          case KernelPath::Avx2: avx2::threshU8(s, d, n, t8, imax, type); break;
-          case KernelPath::Sse2: sse2::threshU8(s, d, n, t8, imax, type); break;
-          case KernelPath::Neon: neon::threshU8(s, d, n, t8, imax, type); break;
-          case KernelPath::ScalarNoVec:
-            novec::threshU8(s, d, n, t8, imax, type);
-            break;
-          default: autovec::threshU8(s, d, n, t8, imax, type); break;
-        }
+        fn8(s, d, n, t8, imax, type);
       });
       dst = std::move(out);
       return it;

@@ -1,0 +1,104 @@
+// Per-thread bump-allocator scratch arena used by the fused pipelines.
+#include "core/scratch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+namespace simdcv::core {
+namespace {
+
+TEST(ScratchArena, AllocationsAreAlignedAndDisjoint) {
+  ScratchFrame frame;
+  float* a = frame.allocN<float>(100);
+  std::int16_t* b = frame.allocN<std::int16_t>(33);
+  std::uint8_t* c = frame.allocN<std::uint8_t>(7);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  // Write every byte: ASan catches overlap/overflow.
+  for (int i = 0; i < 100; ++i) a[i] = static_cast<float>(i);
+  for (int i = 0; i < 33; ++i) b[i] = static_cast<std::int16_t>(i);
+  for (int i = 0; i < 7; ++i) c[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(a[99], 99.0f);
+  EXPECT_EQ(b[32], 32);
+}
+
+TEST(ScratchArena, FramesNestAndUnwind) {
+  ScratchArena& arena = ScratchArena::forThread();
+  ScratchFrame outer;
+  (void)outer.allocN<std::uint8_t>(1000);
+  const std::size_t usedOuter = arena.used();
+  {
+    ScratchFrame inner;
+    (void)inner.allocN<std::uint8_t>(5000);
+    EXPECT_GT(arena.used(), usedOuter);
+  }
+  EXPECT_EQ(arena.used(), usedOuter);
+}
+
+TEST(ScratchArena, SteadyStateDoesNotRefill) {
+  ScratchArena& arena = ScratchArena::forThread();
+  {
+    ScratchFrame warm;
+    (void)warm.allocN<std::uint8_t>(100000);
+  }
+  const std::uint64_t refills = arena.refills();
+  for (int i = 0; i < 20; ++i) {
+    ScratchFrame frame;
+    std::uint8_t* p = frame.allocN<std::uint8_t>(100000);
+    p[0] = 1;
+    p[99999] = 2;
+  }
+  EXPECT_EQ(arena.refills(), refills);
+  EXPECT_GE(arena.capacity(), 100000u);
+}
+
+TEST(ScratchArena, GrowthMidFrameKeepsOldBlocksValid) {
+  ScratchFrame frame;
+  // First allocation from a (possibly small) block, then one large enough to
+  // force a refill: the first pointer must stay dereferenceable.
+  std::uint8_t* a = frame.allocN<std::uint8_t>(64);
+  a[0] = 42;
+  std::uint8_t* b = frame.allocN<std::uint8_t>(1 << 22);
+  b[0] = 1;
+  b[(1 << 22) - 1] = 2;
+  EXPECT_EQ(a[0], 42);
+}
+
+TEST(ScratchArena, PerThreadIsolation) {
+  ScratchFrame frame;
+  std::uint8_t* mine = frame.allocN<std::uint8_t>(256);
+  mine[0] = 7;
+  std::uint8_t* theirs = nullptr;
+  std::thread t([&] {
+    ScratchFrame other;
+    theirs = other.allocN<std::uint8_t>(256);
+    theirs[0] = 9;
+  });
+  t.join();
+  EXPECT_NE(mine, theirs);
+  EXPECT_EQ(mine[0], 7);
+}
+
+TEST(ScratchArena, ReleaseDropsBlockAndNextUseRefills) {
+  ScratchArena& arena = ScratchArena::forThread();
+  {
+    ScratchFrame warm;
+    (void)warm.allocN<std::uint8_t>(4096);
+  }
+  arena.release();
+  EXPECT_EQ(arena.capacity(), 0u);
+  const std::uint64_t refills = arena.refills();
+  ScratchFrame frame;
+  std::uint8_t* p = frame.allocN<std::uint8_t>(4096);
+  p[0] = 1;
+  EXPECT_EQ(arena.refills(), refills + 1);
+}
+
+}  // namespace
+}  // namespace simdcv::core

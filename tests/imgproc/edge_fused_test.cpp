@@ -1,0 +1,288 @@
+// Fused edge-detection pipeline: band-seam golden tests, border coverage,
+// threshold edge values, ROI inputs, and the no-allocation-growth contract of
+// the scratch arena / unfused scratch Mats.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/saturate.hpp"
+#include "core/scratch.hpp"
+#include "imgproc/edge.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/kernels.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace simdcv::imgproc {
+namespace {
+
+std::vector<KernelPath> paths() {
+  return {KernelPath::ScalarNoVec, KernelPath::Auto, KernelPath::Sse2,
+          KernelPath::Avx2, KernelPath::Neon};
+}
+
+std::vector<BorderType> allBorders() {
+  return {BorderType::Constant, BorderType::Replicate, BorderType::Reflect,
+          BorderType::Reflect101, BorderType::Wrap};
+}
+
+Mat randomU8(int rows, int cols, unsigned seed) {
+  Mat m(rows, cols, U8C1);
+  std::mt19937 rng(seed);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      m.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(rng() & 0xff);
+  return m;
+}
+
+// Every band partition must reproduce the unfused scalar reference exactly:
+// heights that split inside the kernel footprint (1, 2, ksize-1), exactly at
+// it (ksize), and a single seam (rows-1) are the adversarial cases.
+TEST(EdgeFused, BandSeamsBitExactAllHeights) {
+  for (int ksize : {3, 5}) {
+    const Mat src = randomU8(23, 17, 100 + static_cast<unsigned>(ksize));
+    Mat ref;
+    edgeDetectUnfused(src, ref, 120.0, ksize, BorderType::Reflect101,
+                      KernelPath::ScalarNoVec);
+    for (KernelPath p : paths()) {
+      if (!pathAvailable(p)) continue;
+      for (int bandRows : {1, 2, ksize - 1, ksize, src.rows() - 1, src.rows()}) {
+        Mat got;
+        detail::edgeDetectFusedBanded(src, got, 120.0, ksize,
+                                      BorderType::Reflect101, p, bandRows);
+        EXPECT_EQ(countMismatches(ref, got), 0u)
+            << toString(p) << " ksize=" << ksize << " bandRows=" << bandRows;
+      }
+    }
+  }
+}
+
+TEST(EdgeFused, AllBordersBitExactWithUnfused) {
+  const Mat src = randomU8(19, 21, 7);
+  for (BorderType b : allBorders()) {
+    for (int ksize : {3, 5}) {
+      Mat ref;
+      edgeDetectUnfused(src, ref, 90.0, ksize, b, KernelPath::ScalarNoVec);
+      for (KernelPath p : paths()) {
+        if (!pathAvailable(p)) continue;
+        Mat got;
+        edgeDetectFused(src, got, 90.0, ksize, b, p);
+        EXPECT_EQ(countMismatches(ref, got), 0u)
+            << toString(b) << " " << toString(p) << " ksize=" << ksize;
+        // Band the fused engine through the same border handling.
+        detail::edgeDetectFusedBanded(src, got, 90.0, ksize, b, p, 2);
+        EXPECT_EQ(countMismatches(ref, got), 0u)
+            << toString(b) << " " << toString(p) << " banded ksize=" << ksize;
+      }
+    }
+  }
+}
+
+// Degenerate geometry: the ring primes entirely from border rows.
+TEST(EdgeFused, TinyAndOnePixelWideImages) {
+  struct Geo {
+    int rows, cols;
+  };
+  for (Geo g : {Geo{1, 1}, Geo{1, 9}, Geo{9, 1}, Geo{2, 2}, Geo{3, 3}}) {
+    const Mat src = randomU8(g.rows, g.cols, 40 + static_cast<unsigned>(g.rows * 16 + g.cols));
+    for (BorderType b : allBorders()) {
+      Mat ref;
+      edgeDetectUnfused(src, ref, 30.0, 3, b, KernelPath::ScalarNoVec);
+      for (KernelPath p : paths()) {
+        if (!pathAvailable(p)) continue;
+        Mat got;
+        edgeDetectFused(src, got, 30.0, 3, b, p);
+        EXPECT_EQ(countMismatches(ref, got), 0u)
+            << g.rows << "x" << g.cols << " " << toString(b) << " "
+            << toString(p);
+        detail::edgeDetectFusedBanded(src, got, 30.0, 3, b, p, 1);
+        EXPECT_EQ(countMismatches(ref, got), 0u)
+            << g.rows << "x" << g.cols << " " << toString(b) << " "
+            << toString(p) << " banded";
+      }
+    }
+  }
+}
+
+// thresh quantization boundaries, including both degenerate collapses: the
+// fused early fill must match the unfused threshold stage's fill bit for bit.
+TEST(EdgeFused, ThresholdEdgeValues) {
+  const Mat src = randomU8(15, 27, 8);
+  for (double thresh : {0.0, 0.5, 254.0, 254.5, 255.0, -1.0, 300.0}) {
+    Mat ref;
+    edgeDetectUnfused(src, ref, thresh, 3, BorderType::Reflect101,
+                      KernelPath::ScalarNoVec);
+    for (KernelPath p : paths()) {
+      if (!pathAvailable(p)) continue;
+      Mat got;
+      edgeDetectFused(src, got, thresh, 3, BorderType::Reflect101, p);
+      EXPECT_EQ(countMismatches(ref, got), 0u)
+          << toString(p) << " thresh=" << thresh;
+    }
+  }
+  // The degenerate collapses themselves: everything fires / nothing fires.
+  Mat all, none;
+  edgeDetectFused(src, all, -1.0);
+  edgeDetectFused(src, none, 255.0);
+  EXPECT_EQ(countMismatches(all, full(15, 27, U8C1, 255)), 0u);
+  EXPECT_EQ(countMismatches(none, zeros(15, 27, U8C1)), 0u);
+}
+
+// Independent golden oracle: dense filter2D with the outer-product Sobel
+// kernels, magnitude and threshold applied per the documented definition.
+// For u8 input and ksize 3 every intermediate is a small integer, exactly
+// representable in float, so the expectation is exact.
+TEST(EdgeFused, MatchesDenseFilter2DOracle) {
+  const Mat src = randomU8(14, 18, 21);
+  const int ksize = 3;
+  std::vector<float> kxd, kys, kxs, kyd;
+  getDerivKernels(kxd, kys, 1, 0, ksize, false);  // gx: deriv(x), smooth(y)
+  getDerivKernels(kxs, kyd, 0, 1, ksize, false);  // gy: smooth(x), deriv(y)
+  auto outer = [&](const std::vector<float>& ky, const std::vector<float>& kx) {
+    std::vector<float> k(static_cast<std::size_t>(ksize) * ksize);
+    for (int r = 0; r < ksize; ++r)
+      for (int c = 0; c < ksize; ++c)
+        k[static_cast<std::size_t>(r) * ksize + c] = ky[static_cast<std::size_t>(r)] * kx[static_cast<std::size_t>(c)];
+    return k;
+  };
+  Mat gxf, gyf;
+  filter2D(src, gxf, Depth::F32, outer(kys, kxd), ksize, ksize,
+           BorderType::Reflect101);
+  filter2D(src, gyf, Depth::F32, outer(kyd, kxs), ksize, ksize,
+           BorderType::Reflect101);
+  const double thresh = 120.0;
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat got;
+    edgeDetectFused(src, got, thresh, ksize, BorderType::Reflect101, p);
+    for (int r = 0; r < src.rows(); ++r)
+      for (int c = 0; c < src.cols(); ++c) {
+        const int gx = saturate_cast<std::int16_t>(gxf.at<float>(r, c));
+        const int gy = saturate_cast<std::int16_t>(gyf.at<float>(r, c));
+        const int mag = std::min(255, std::abs(gx) + std::abs(gy));
+        const std::uint8_t want = mag > static_cast<int>(thresh) ? 255 : 0;
+        ASSERT_EQ(got.at<std::uint8_t>(r, c), want)
+            << toString(p) << " at (" << r << "," << c << ")";
+      }
+  }
+}
+
+TEST(EdgeFused, PublicEdgeDetectDispatchesToFused) {
+  const Mat src = randomU8(17, 31, 3);
+  Mat viaPublic, viaFused, viaUnfused;
+  edgeDetect(src, viaPublic, 75.0);
+  edgeDetectFused(src, viaFused, 75.0);
+  edgeDetectUnfused(src, viaUnfused, 75.0);
+  EXPECT_EQ(countMismatches(viaPublic, viaFused), 0u);
+  EXPECT_EQ(countMismatches(viaPublic, viaUnfused), 0u);
+}
+
+// Non-contiguous source view: the fused loadRowAsFloat walks rows by step.
+TEST(EdgeFused, RoiSourceViewMatchesContiguousCopy) {
+  const Mat big = randomU8(40, 40, 55);
+  const Mat view = big.roi({5, 7, 23, 19});
+  ASSERT_FALSE(view.isContinuous());
+  Mat contiguous(view.rows(), view.cols(), U8C1);
+  view.copyTo(contiguous);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat a, b;
+    edgeDetectFused(view, a, 60.0, 3, BorderType::Reflect101, p);
+    edgeDetectFused(contiguous, b, 60.0, 3, BorderType::Reflect101, p);
+    EXPECT_EQ(countMismatches(a, b), 0u) << toString(p);
+  }
+}
+
+// Satellite: gradientMagnitude must accept non-contiguous ROI gradients.
+TEST(Magnitude, NonContiguousRoiInputs) {
+  Mat bigGx(30, 30, S16C1), bigGy(30, 30, S16C1);
+  std::mt19937 rng(77);
+  for (int r = 0; r < 30; ++r)
+    for (int c = 0; c < 30; ++c) {
+      bigGx.at<std::int16_t>(r, c) = static_cast<std::int16_t>(rng());
+      bigGy.at<std::int16_t>(r, c) = static_cast<std::int16_t>(rng());
+    }
+  const Mat gx = bigGx.roi({3, 4, 21, 17});
+  const Mat gy = bigGy.roi({3, 4, 21, 17});
+  ASSERT_FALSE(gx.isContinuous());
+  Mat gxc(gx.rows(), gx.cols(), S16C1), gyc(gy.rows(), gy.cols(), S16C1);
+  gx.copyTo(gxc);
+  gy.copyTo(gyc);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat fromRoi, fromCopy;
+    gradientMagnitude(gx, gy, fromRoi, p);
+    gradientMagnitude(gxc, gyc, fromCopy, p);
+    EXPECT_EQ(countMismatches(fromRoi, fromCopy), 0u) << toString(p);
+  }
+}
+
+// Satellite: repeated unfused calls at one geometry must not allocate — the
+// per-thread gx/gy/mag scratch Mats are retained across calls, and repeated
+// fused calls must not refill the scratch arena.
+TEST(EdgeScratch, NoAllocationGrowthAcrossRepeatedCalls) {
+  const Mat src = randomU8(64, 96, 13);
+  Mat dst;
+  edgeDetectUnfused(src, dst, 100.0);  // warm the scratch Mats + dst
+  const std::uint64_t matAllocs = matAllocationCount();
+  for (int i = 0; i < 10; ++i) edgeDetectUnfused(src, dst, 100.0);
+  EXPECT_EQ(matAllocationCount(), matAllocs);
+
+  edgeDetectFused(src, dst, 100.0);  // warm the arena block
+  const std::uint64_t refills = core::ScratchArena::forThread().refills();
+  const std::uint64_t matAllocs2 = matAllocationCount();
+  for (int i = 0; i < 10; ++i) edgeDetectFused(src, dst, 100.0);
+  EXPECT_EQ(core::ScratchArena::forThread().refills(), refills);
+  EXPECT_EQ(matAllocationCount(), matAllocs2);
+}
+
+// 1 vs N threads: parallel band splits must be invisible in the output.
+TEST(EdgeFused, OneVsManyThreadsBitExact) {
+  const Mat src = randomU8(200, 256, 31);
+  const int prev = runtime::getNumThreads();
+  runtime::setNumThreads(1);
+  Mat ref;
+  edgeDetectFused(src, ref, 110.0);
+  runtime::setNumThreads(4);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat refP, gotP;
+    runtime::setNumThreads(1);
+    edgeDetectFused(src, refP, 110.0, 3, BorderType::Reflect101, p);
+    runtime::setNumThreads(4);
+    edgeDetectFused(src, gotP, 110.0, 3, BorderType::Reflect101, p);
+    EXPECT_EQ(countMismatches(refP, gotP), 0u) << toString(p);
+  }
+  runtime::setNumThreads(prev);
+  Mat again;
+  edgeDetectFused(src, again, 110.0);
+  EXPECT_EQ(countMismatches(ref, again), 0u);
+}
+
+TEST(EdgeFused, GrainAndScratchAreSane) {
+  for (int ksize : {3, 5}) {
+    for (int width : {16, 640, 3264}) {
+      const int grain = detail::fusedBandGrain(width, ksize, 10000);
+      EXPECT_GE(grain, ksize);
+      EXPECT_LE(grain, 10000);
+      EXPECT_EQ(detail::fusedBandGrain(width, ksize, 7), 7);  // clamps to rows
+      EXPECT_GT(detail::fusedScratchBytes(width, ksize), 0u);
+    }
+    // Scratch grows with width (streaming engine: footprint ~ width, not rows).
+    EXPECT_LT(detail::fusedScratchBytes(640, ksize),
+              detail::fusedScratchBytes(3264, ksize));
+  }
+}
+
+TEST(EdgeFused, RejectsInvalidArguments) {
+  Mat src = randomU8(8, 8, 1), dst;
+  EXPECT_THROW(edgeDetectFused(Mat(), dst, 10.0), Error);
+  EXPECT_THROW(edgeDetectFused(src, dst, 10.0, 4), Error);   // even ksize
+  EXPECT_THROW(edgeDetectFused(src, dst, 10.0, 1), Error);   // ksize < 3
+  Mat f32 = zeros(8, 8, F64C1);
+  EXPECT_THROW(edgeDetectFused(f32, dst, 10.0), Error);      // unsupported depth
+}
+
+}  // namespace
+}  // namespace simdcv::imgproc
