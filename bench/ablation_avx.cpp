@@ -5,11 +5,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/harness.hpp"
-#include "bench/images.hpp"
-#include "core/convert.hpp"
-#include "imgproc/filter.hpp"
-#include "imgproc/threshold.hpp"
+#include "simdcv.hpp"
 
 using namespace simdcv;
 

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common.hpp"
-#include "imgproc/edge.hpp"
+#include "simdcv.hpp"
 
 namespace {
 

@@ -3,17 +3,32 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 
-#include "core/convert.hpp"
-#include "imgproc/edge.hpp"
-#include "imgproc/filter.hpp"
-#include "imgproc/threshold.hpp"
-#include "runtime/parallel.hpp"
-#include "runtime/thread_pool.hpp"
+#include "simdcv.hpp"
 
 namespace simdcv::bench {
 
 namespace {
+
+// SIMDCV_BENCH_VERBOSE=2: trace every span inside the timed window and dump
+// the per-kernel x per-path summary after it. Forces tracing on for the
+// window (compiled-in builds only) and isolates each measurement's stats
+// with a reset.
+bool beginTraceWindow() {
+  if (benchVerboseLevel() < 2 || !prof::kCompiledIn) return false;
+  prof::setEnabled(true);
+  prof::reset();
+  return true;
+}
+
+void endTraceWindow(bool armed, const char* what) {
+  if (!armed) return;
+  const prof::Snapshot snap = prof::snapshot();
+  std::printf("  [prof] span summary for %s:\n", what);
+  prof::writeSummary(std::cout, snap);
+  std::cout.flush();
+}
 
 using platform::BenchKernel;
 
@@ -77,12 +92,14 @@ Measurement measureKernel(platform::BenchKernel kernel, KernelPath path,
   runtime::warmupPool();
   for (std::size_t i = 0; i < images.size(); ++i) fn(static_cast<int>(i));
   const runtime::PoolStats before = runtime::poolStats();
+  const bool traced = beginTraceWindow();
   Measurement m;
   m.stats = summarize(runProtocol(proto, fn));
   m.path = path;
   m.kernel = kernel;
   m.size = size;
-  if (benchVerbose()) {
+  endTraceWindow(traced, platform::toString(kernel));
+  if (benchVerboseLevel() >= 1) {
     const runtime::PoolStats after = runtime::poolStats();
     std::printf(
         "  [runtime] threads=%d tasks=%llu steals=%llu parks=%llu "
@@ -113,17 +130,23 @@ Measurement measureEdgeVariant(bool fused, KernelPath path, Size size,
   };
   runtime::warmupPool();
   for (std::size_t i = 0; i < images.size(); ++i) fn(static_cast<int>(i));
+  const bool traced = beginTraceWindow();
   Measurement m;
   m.stats = summarize(runProtocol(proto, fn));
   m.path = path;
   m.kernel = platform::BenchKernel::EdgeDetect;
   m.size = size;
+  endTraceWindow(traced, fused ? "edgeDetectFused" : "edgeDetectUnfused");
   return m;
 }
 
-bool benchVerbose() {
+int benchVerboseLevel() {
   const char* v = std::getenv("SIMDCV_BENCH_VERBOSE");
-  return v != nullptr && std::strcmp(v, "1") == 0;
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || n < 0) return 0;
+  return static_cast<int>(n);
 }
 
 std::vector<KernelPath> benchPaths() {

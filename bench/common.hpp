@@ -6,9 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/harness.hpp"
-#include "bench/images.hpp"
-#include "platform/platform.hpp"
+#include "simdcv.hpp"
 
 namespace simdcv::bench {
 
@@ -32,10 +30,20 @@ Measurement measureKernel(platform::BenchKernel kernel, KernelPath path,
 Measurement measureEdgeVariant(bool fused, KernelPath path, Size size,
                                const Protocol& proto);
 
-/// True when SIMDCV_BENCH_VERBOSE=1: measureKernel then prints the runtime
-/// thread count and pool activity (tasks/steals/parks/unparks) per
-/// measurement — the first observability hook for threaded runs.
-bool benchVerbose();
+/// Verbosity from SIMDCV_BENCH_VERBOSE (0 when unset/unparsable):
+///   1  measureKernel prints the runtime thread count and pool activity
+///      (tasks/steals/parks/unparks) per measurement;
+///   2  additionally force-enables prof tracing around each measurement and
+///      prints the per-kernel x per-path span summary — for the fused edge
+///      pipeline that includes the per-stage breakdown (edge.fused.rowConv /
+///      colConv / cvt / magnitude / threshold).
+int benchVerboseLevel();
+
+/// Deprecated pre-level API; equivalent to benchVerboseLevel() >= 1.
+[[deprecated("use benchVerboseLevel() — SIMDCV_BENCH_VERBOSE is a level now")]]
+inline bool benchVerbose() {
+  return benchVerboseLevel() >= 1;
+}
 
 /// The KernelPaths benchmarked on the host, in print order. NEON runs
 /// through the emulation layer on x86 and is labelled accordingly.

@@ -6,13 +6,7 @@
 #include <cstdio>
 #include <functional>
 
-#include "bench/harness.hpp"
-#include "bench/images.hpp"
-#include "imgproc/canny.hpp"
-#include "imgproc/color.hpp"
-#include "imgproc/median.hpp"
-#include "imgproc/pyramid.hpp"
-#include "imgproc/resize.hpp"
+#include "simdcv.hpp"
 
 using namespace simdcv;
 

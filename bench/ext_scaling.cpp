@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common.hpp"
-#include "runtime/thread_pool.hpp"
+#include "simdcv.hpp"
 
 namespace simdcv::bench {
 namespace {

@@ -8,9 +8,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/harness.hpp"
-#include "bench/images.hpp"
-#include "simd/features.hpp"
+#include "simdcv.hpp"
+// Not part of the public API: this figure hand-writes NEON kernels inline
+// (the paper's scalar-vs-SIMD comparison), so it needs the intrinsics shim.
 #include "simd/neon_compat.hpp"
 
 #if defined(__SSE2__)

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,21 @@ inline int runSpeedupFigure(const char* figureName, const char* csvSlug,
   std::vector<std::vector<std::string>> all = csv;
   all.insert(all.end(), scsv.begin(), scsv.end());
   writeCsv(std::string(csvSlug) + ".csv", header, all);
+
+  // SIMDCV_TRACE=1 (or setEnabled): dump the whole run's span aggregate —
+  // including the fused pipeline's per-stage rows for fig6 — and the raw
+  // events as a chrome://tracing file next to the CSV.
+  if (prof::enabled()) {
+    std::printf("\n-- prof span summary (SIMDCV_TRACE=1) --\n");
+    prof::writeSummary(std::cout, prof::snapshot());
+    std::cout.flush();
+    const std::string tracePath = std::string(csvSlug) + "_trace.json";
+    if (prof::writeChromeTrace(tracePath))
+      std::printf("chrome trace written to %s (load in chrome://tracing)\n",
+                  tracePath.c_str());
+    else
+      std::printf("chrome trace: failed to write %s\n", tracePath.c_str());
+  }
   std::printf(
       "\n(The simulated series are flat across image size, matching the\n"
       "paper's observation that within a platform speedups are 'remarkably\n"

@@ -5,8 +5,7 @@
 // platforms are classified with the same metric.
 #include <cstdio>
 
-#include "bench/harness.hpp"
-#include "platform/platform.hpp"
+#include "simdcv.hpp"
 
 using namespace simdcv;
 

@@ -5,13 +5,7 @@
 
 #include <vector>
 
-#include "bench/images.hpp"
-#include "core/convert.hpp"
-#include "imgproc/edge.hpp"
-#include "imgproc/filter.hpp"
-#include "imgproc/color.hpp"
-#include "imgproc/match.hpp"
-#include "imgproc/threshold.hpp"
+#include "simdcv.hpp"
 
 using namespace simdcv;
 

@@ -2,8 +2,7 @@
 // characteristics, plus live detection of the executing host.
 #include <cstdio>
 
-#include "bench/harness.hpp"
-#include "platform/platform.hpp"
+#include "simdcv.hpp"
 
 using namespace simdcv;
 

@@ -8,14 +8,7 @@
 #include <cstdio>
 #include <string>
 
-#include "bench/images.hpp"
-#include "imgproc/connected.hpp"
-#include "imgproc/geometry.hpp"
-#include "imgproc/histogram.hpp"
-#include "imgproc/median.hpp"
-#include "imgproc/morphology.hpp"
-#include "imgproc/threshold.hpp"
-#include "io/image_io.hpp"
+#include "simdcv.hpp"
 
 using namespace simdcv;
 using namespace simdcv::imgproc;

@@ -10,12 +10,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "bench/images.hpp"
-#include "core/convert.hpp"
-#include "imgproc/edge.hpp"
-#include "imgproc/filter.hpp"
-#include "imgproc/threshold.hpp"
-#include "io/image_io.hpp"
+#include "simdcv.hpp"
 
 using namespace simdcv;
 

@@ -10,13 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/harness.hpp"
-#include "bench/images.hpp"
-#include "core/array_ops.hpp"
-#include "imgproc/geometry.hpp"
-#include "imgproc/harris.hpp"
-#include "imgproc/match.hpp"
-#include "io/image_io.hpp"
+#include "simdcv.hpp"
 
 using namespace simdcv;
 using namespace simdcv::imgproc;

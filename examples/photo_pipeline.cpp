@@ -9,11 +9,7 @@
 #include <cstring>
 #include <string>
 
-#include "bench/harness.hpp"
-#include "bench/images.hpp"
-#include "core/convert.hpp"
-#include "imgproc/filter.hpp"
-#include "io/image_io.hpp"
+#include "simdcv.hpp"
 
 using namespace simdcv;
 

@@ -8,13 +8,7 @@
 #include <cstdio>
 #include <string>
 
-#include "bench/harness.hpp"
-#include "bench/images.hpp"
-#include "core/convert.hpp"
-#include "imgproc/edge.hpp"
-#include "imgproc/filter.hpp"
-#include "imgproc/threshold.hpp"
-#include "io/image_io.hpp"
+#include "simdcv.hpp"
 
 using namespace simdcv;
 

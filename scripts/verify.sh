@@ -21,7 +21,7 @@ cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSIMDCV_BUILD_BENCH=OFF \
   -DSIMDCV_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j --target test_runtime
+cmake --build build-tsan -j --target test_runtime test_prof
 ctest --test-dir build-tsan -L runtime --output-on-failure -j"$(nproc)"
 
 echo
@@ -42,12 +42,34 @@ cmake --build build-asan -j --target check_all test_check test_io
 ctest --test-dir build-asan -L check --output-on-failure -j"$(nproc)"
 
 echo
+echo "== trace-on: check label with live tracing (SIMDCV_TRACE=1) =="
+# Tracing recording during every differential-checker test: spans commit on
+# every kernel entry, band, and pool event while ASan watches the rings.
+SIMDCV_TRACE=1 ctest --test-dir build-asan -L check --output-on-failure \
+  -j"$(nproc)"
+
+echo
+echo "== trace-off: compile-out leg (SIMDCV_ENABLE_TRACE=OFF) =="
+# Spans must vanish at compile time; test_prof in this configure is the
+# static-assert + inert-switch suite (trace_compiled_out_test.cpp).
+cmake -B build-notrace -S . \
+  -DSIMDCV_ENABLE_TRACE=OFF \
+  -DSIMDCV_BUILD_BENCH=OFF \
+  -DSIMDCV_BUILD_EXAMPLES=OFF
+cmake --build build-notrace -j --target test_prof
+ctest --test-dir build-notrace -L prof --output-on-failure -j"$(nproc)"
+
+echo
 echo "== bench smoke (SIMDCV_BENCH_SMOKE=1: 2 images x 1 cycle) =="
 # Run from inside build/ so the smoke CSV/JSON artifacts do not clobber the
 # committed full-protocol results at the repo root.
 cmake --build build -j --target fig6_edge_speedup ablation_fusion
 (cd build && SIMDCV_BENCH_SMOKE=1 ./bench/fig6_edge_speedup)
 (cd build && SIMDCV_BENCH_SMOKE=1 ./bench/ablation_fusion)
+# Traced smoke: per-stage breakdown summary + chrome trace JSON next to the
+# CSV (fig6_edge_speedup_trace.json).
+(cd build && SIMDCV_TRACE=1 SIMDCV_BENCH_SMOKE=1 ./bench/fig6_edge_speedup)
+test -s build/fig6_edge_speedup_trace.json
 
 echo
 echo "verify: OK"

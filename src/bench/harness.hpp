@@ -4,30 +4,31 @@
 // Figures 2-6.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "core/types.hpp"
+#include "prof/prof.hpp"
 #include "simd/features.hpp"
 
 namespace simdcv::bench {
 
 /// Monotonic nanosecond timer (resolution well under the paper's stated
-/// 1e-6 s requirement on any modern clocksource).
+/// 1e-6 s requirement on any modern clocksource). Reads prof::nowNs(), the
+/// same CLOCK_MONOTONIC source trace spans use, so harness totals and span
+/// sums are directly comparable (asserted within 1% by tests/prof).
 class Timer {
  public:
-  void start() { t0_ = clock::now(); }
+  void start() { t0_ = prof::nowNs(); }
   /// Seconds since start().
   double stop() const {
-    return std::chrono::duration<double>(clock::now() - t0_).count();
+    return static_cast<double>(prof::nowNs() - t0_) * 1e-9;
   }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point t0_;
+  std::uint64_t t0_ = 0;
 };
 
 /// Summary statistics over repeated runs.

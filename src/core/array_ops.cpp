@@ -6,6 +6,7 @@
 
 #include "core/array_ops_detail.hpp"
 #include "core/saturate.hpp"
+#include "prof/prof.hpp"
 #include "runtime/parallel.hpp"
 
 namespace simdcv::core {
@@ -52,6 +53,11 @@ void binaryOp(BinOp op, const Mat& a, const Mat& b, Mat& dst, KernelPath path,
               const char* what) {
   checkPair(a, b, what);
   const KernelPath p = resolvePath(path);
+  // `what` is always a literal at the call sites below, so the profiler can
+  // keep the pointer (SIMDCV_TRACE_SCOPE's static-storage contract).
+  SIMDCV_TRACE_SCOPE(what, p,
+                     3 * static_cast<std::uint64_t>(a.rows()) * a.cols() *
+                         a.channels() * depthSize(a.depth()));
   Mat out = (dst.sharesStorageWith(a) || dst.sharesStorageWith(b))
                 ? Mat(a.rows(), a.cols(), a.type())
                 : std::move(dst);
@@ -107,6 +113,9 @@ void bitwiseNot(const Mat& a, Mat& dst, KernelPath path) {
   SIMDCV_REQUIRE(!a.empty(), "bitwiseNot: empty input");
   SIMDCV_REQUIRE(!isFloatDepth(a.depth()), "bitwiseNot: integer depths only");
   const KernelPath p = resolvePath(path);
+  SIMDCV_TRACE_SCOPE("bitwiseNot", p,
+                     2 * static_cast<std::uint64_t>(a.rows()) * a.cols() *
+                         a.channels() * depthSize(a.depth()));
   Mat out = std::move(dst);  // element-wise: in-place aliasing is safe
   out.create(a.rows(), a.cols(), a.type());
   const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
@@ -130,6 +139,9 @@ void scaleAdd(const Mat& a, double alpha, double beta, Mat& dst,
               KernelPath path) {
   SIMDCV_REQUIRE(!a.empty(), "scaleAdd: empty input");
   const KernelPath p = resolvePath(path);
+  SIMDCV_TRACE_SCOPE("scaleAdd", p,
+                     2 * static_cast<std::uint64_t>(a.rows()) * a.cols() *
+                         a.channels() * depthSize(a.depth()));
   Mat out = std::move(dst);
   out.create(a.rows(), a.cols(), a.type());
   const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
@@ -154,6 +166,9 @@ void addWeighted(const Mat& a, double alpha, const Mat& b, double beta,
                  double gamma, Mat& dst, KernelPath path) {
   checkPair(a, b, "addWeighted");
   const KernelPath p = resolvePath(path);
+  SIMDCV_TRACE_SCOPE("addWeighted", p,
+                     3 * static_cast<std::uint64_t>(a.rows()) * a.cols() *
+                         a.channels() * depthSize(a.depth()));
   Mat out = (dst.sharesStorageWith(a) || dst.sharesStorageWith(b))
                 ? Mat(a.rows(), a.cols(), a.type())
                 : std::move(dst);
@@ -179,6 +194,9 @@ void addWeighted(const Mat& a, double alpha, const Mat& b, double beta,
 double sum(const Mat& a, KernelPath path) {
   SIMDCV_REQUIRE(!a.empty(), "sum: empty input");
   const KernelPath p = resolvePath(path);
+  SIMDCV_TRACE_SCOPE("sum", p,
+                     static_cast<std::uint64_t>(a.rows()) * a.cols() *
+                         a.channels() * depthSize(a.depth()));
   const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
   double total = 0;
   for (int r = 0; r < a.rows(); ++r) {
@@ -207,6 +225,9 @@ double mean(const Mat& a, KernelPath path) {
 std::size_t countNonZero(const Mat& a, KernelPath path) {
   SIMDCV_REQUIRE(!a.empty(), "countNonZero: empty input");
   const KernelPath p = resolvePath(path);
+  SIMDCV_TRACE_SCOPE("countNonZero", p,
+                     static_cast<std::uint64_t>(a.rows()) * a.cols() *
+                         a.channels() * depthSize(a.depth()));
   const std::size_t n = static_cast<std::size_t>(a.cols()) * a.channels();
   std::size_t total = 0;
   for (int r = 0; r < a.rows(); ++r) {
@@ -289,6 +310,9 @@ void minMaxRows(const Mat& a, MinMaxResult& r) {
 
 double norm(const Mat& a, NormType type, KernelPath /*path*/) {
   SIMDCV_REQUIRE(!a.empty(), "norm: empty input");
+  SIMDCV_TRACE_SCOPE("norm", prof::kNoPath,
+                     static_cast<std::uint64_t>(a.rows()) * a.cols() *
+                         a.channels() * depthSize(a.depth()));
   double acc = 0;
   normDispatch(a, nullptr, type, acc);
   return type == NormType::L2 ? std::sqrt(acc) : acc;
@@ -315,6 +339,9 @@ MeanStdDev meanStdDev(const Mat& a, KernelPath path) {
 MinMaxResult minMaxLoc(const Mat& a, KernelPath /*path*/) {
   SIMDCV_REQUIRE(!a.empty(), "minMaxLoc: empty input");
   SIMDCV_REQUIRE(a.channels() == 1, "minMaxLoc: single channel only");
+  SIMDCV_TRACE_SCOPE("minMaxLoc", prof::kNoPath,
+                     static_cast<std::uint64_t>(a.rows()) * a.cols() *
+                         depthSize(a.depth()));
   MinMaxResult r;
   switch (a.depth()) {
     case Depth::U8: minMaxRows<std::uint8_t>(a, r); break;

@@ -4,6 +4,7 @@
 #include "core/convert.hpp"
 
 #include "core/saturate.hpp"
+#include "prof/prof.hpp"
 #include "runtime/parallel.hpp"
 
 namespace simdcv::core {
@@ -124,6 +125,10 @@ void convertTo(const Mat& src, Mat& dst, Depth ddepth, double alpha,
                double beta, KernelPath path) {
   SIMDCV_REQUIRE(!src.empty(), "convertTo: empty source");
   const KernelPath p = resolvePath(path);
+  SIMDCV_TRACE_SCOPE("convertTo", p,
+                     static_cast<std::uint64_t>(src.rows()) * src.cols() *
+                         src.channels() *
+                         (depthSize(src.depth()) + depthSize(ddepth)));
   Mat out;
   // Writing in place (dst sharing storage with src) is safe only for
   // same-or-smaller element size; be conservative and detach when shared.
@@ -158,6 +163,8 @@ void convertTo(const Mat& src, Mat& dst, Depth ddepth, double alpha,
 
 void cvt32f16s(const float* src, std::int16_t* dst, std::size_t n,
                KernelPath path) {
+  SIMDCV_TRACE_SCOPE("cvt32f16s", resolvePath(path),
+                     n * (sizeof(float) + sizeof(std::int16_t)));
   switch (resolvePath(path)) {
     case KernelPath::Avx2: avx2::cvt32f16s(src, dst, n); break;
     case KernelPath::Sse2: sse2::cvt32f16s(src, dst, n); break;

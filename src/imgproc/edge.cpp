@@ -5,8 +5,10 @@
 // every input, so the paths are bit-exact with one another (see tests).
 #include "imgproc/edge.hpp"
 
+#include "imgproc/edge_detail.hpp"
 #include "imgproc/filter.hpp"
 #include "imgproc/threshold.hpp"
+#include "prof/prof.hpp"
 #include "runtime/parallel.hpp"
 #include "simd/neon_compat.hpp"
 
@@ -83,7 +85,11 @@ void gradientMagnitude(const Mat& gx, const Mat& gy, Mat& dst,
                  "magnitude: gradients must be s16");
   SIMDCV_REQUIRE(gx.channels() == 1 && gy.channels() == 1,
                  "magnitude: single channel only");
-  const detail::MagnitudeFn fn = detail::magnitudeFnFor(path);
+  const KernelPath p = resolvePath(path);
+  SIMDCV_TRACE_SCOPE("gradientMagnitude", p,
+                     static_cast<std::uint64_t>(gx.rows()) * gx.cols() *
+                         (2 * sizeof(std::int16_t) + 1));
+  const detail::MagnitudeFn fn = detail::magnitudeFnFor(p);
   Mat out = (dst.sharesStorageWith(gx) || dst.sharesStorageWith(gy))
                 ? Mat()
                 : std::move(dst);
@@ -128,6 +134,9 @@ void releaseEdgeScratch() { edgeScratchForThread() = EdgeScratch{}; }
 
 void edgeDetectUnfused(const Mat& src, Mat& dst, double thresh, int ksize,
                        BorderType border, KernelPath path) {
+  SIMDCV_TRACE_SCOPE("edge.unfused", resolvePath(path),
+                     static_cast<std::uint64_t>(src.rows()) * src.cols() *
+                         (src.elemSize() + 1));
   EdgeScratch& s = edgeScratchForThread();
   Sobel(src, s.gx, Depth::S16, 1, 0, ksize, 1.0, border, path);
   Sobel(src, s.gy, Depth::S16, 0, 1, ksize, 1.0, border, path);

@@ -41,34 +41,8 @@ void edgeDetectUnfused(const Mat& src, Mat& dst, double thresh, int ksize = 3,
                        BorderType border = BorderType::Reflect101,
                        KernelPath path = KernelPath::Default);
 
-// ---- internal hooks (shared dispatch + test instrumentation) ---------------
-namespace detail {
-
-/// Per-path flat-range magnitude kernel selector, shared by
-/// gradientMagnitude and the fused pipeline so both resolve a path to the
-/// identical kernel (Avx2 deliberately maps to the SSE2 HAND kernel).
-using MagnitudeFn = void (*)(const std::int16_t* gx, const std::int16_t* gy,
-                             std::uint8_t* dst, std::size_t n);
-MagnitudeFn magnitudeFnFor(KernelPath path);
-
-/// Run the fused engine serially over fixed-height row bands (testing hook
-/// for band-seam correctness: every band re-primes its own ring, exactly as
-/// a parallel band does). bandRows >= 1.
-void edgeDetectFusedBanded(const Mat& src, Mat& dst, double thresh, int ksize,
-                           BorderType border, KernelPath path, int bandRows);
-
-/// Cache-informed minimum band height for the fused engine at this width
-/// (see DESIGN.md: seam amortization + the runtime's fork threshold).
-int fusedBandGrain(int width, int ksize, int rows);
-
-/// Per-band scratch footprint of the fused engine in bytes (two kh-row float
-/// rings, the padded row, conv/s16/mag rows and tap tables).
-std::size_t fusedScratchBytes(int width, int ksize);
-
-/// Drop this thread's cached unfused-pipeline scratch Mats (gx/gy/mag).
-void releaseEdgeScratch();
-
-}  // namespace detail
+// Internal hooks (shared dispatch + test instrumentation) live in
+// "imgproc/edge_detail.hpp"; they are not part of the public API.
 
 // Flat-range magnitude kernels per path (for benchmarks/tests).
 namespace autovec {

@@ -1,0 +1,41 @@
+// Internal hooks of the edge-detection pipeline: shared per-path dispatch and
+// the fused engine's test/tuning surface. Not part of the public API — the
+// umbrella header (simdcv.hpp) does not include this file, and its contents
+// may change without notice. Include "imgproc/edge.hpp" for the public entry
+// points.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/mat.hpp"
+#include "imgproc/border.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::imgproc::detail {
+
+/// Per-path flat-range magnitude kernel selector, shared by
+/// gradientMagnitude and the fused pipeline so both resolve a path to the
+/// identical kernel (Avx2 deliberately maps to the SSE2 HAND kernel).
+using MagnitudeFn = void (*)(const std::int16_t* gx, const std::int16_t* gy,
+                             std::uint8_t* dst, std::size_t n);
+MagnitudeFn magnitudeFnFor(KernelPath path);
+
+/// Run the fused engine serially over fixed-height row bands (testing hook
+/// for band-seam correctness: every band re-primes its own ring, exactly as
+/// a parallel band does). bandRows >= 1.
+void edgeDetectFusedBanded(const Mat& src, Mat& dst, double thresh, int ksize,
+                           BorderType border, KernelPath path, int bandRows);
+
+/// Cache-informed minimum band height for the fused engine at this width
+/// (see DESIGN.md: seam amortization + the runtime's fork threshold).
+int fusedBandGrain(int width, int ksize, int rows);
+
+/// Per-band scratch footprint of the fused engine in bytes (two kh-row float
+/// rings, the padded row, conv/s16/mag rows and tap tables).
+std::size_t fusedScratchBytes(int width, int ksize);
+
+/// Drop this thread's cached unfused-pipeline scratch Mats (gx/gy/mag).
+void releaseEdgeScratch();
+
+}  // namespace simdcv::imgproc::detail

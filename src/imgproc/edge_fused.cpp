@@ -27,11 +27,13 @@
 #include "core/saturate.hpp"
 #include "core/scratch.hpp"
 #include "imgproc/edge.hpp"
+#include "imgproc/edge_detail.hpp"
 #include "imgproc/filter.hpp"
 #include "imgproc/filter_detail.hpp"
 #include "imgproc/kernels.hpp"
 #include "imgproc/threshold.hpp"
 #include "platform/platform.hpp"
+#include "prof/prof.hpp"
 #include "runtime/parallel.hpp"
 
 namespace simdcv::imgproc {
@@ -91,6 +93,9 @@ void edgeDetectFusedImpl(const Mat& src, Mat& dst, double thresh, int ksize,
   const KernelPath p = resolvePath(path);
   const int rows = src.rows();
   const int width = src.cols();
+  SIMDCV_TRACE_SCOPE("edge.fused", p,
+                     static_cast<std::uint64_t>(rows) * width *
+                         (src.elemSize() + 1));
 
   Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
   out.create(rows, width, U8C1);
@@ -140,6 +145,13 @@ void edgeDetectFusedImpl(const Mat& src, Mat& dst, double thresh, int ksize,
   // which band needs it, so any band partition (1 band, N parallel bands, or
   // the forced test partition) produces bit-identical output.
   auto processBand = [&](runtime::Range band) {
+    // Stage-time attribution: one enabled() check per band; when tracing, a
+    // pair of clock reads brackets each stage call and the per-band sums are
+    // flushed as one synthetic sample per stage (edge.fused.rowConv etc.) so
+    // the VERBOSE=2 summary can split fused time without per-row span spam.
+    const bool trace = prof::enabled();
+    std::uint64_t row_ns = 0, col_ns = 0, cvt_ns = 0, mag_ns = 0, thr_ns = 0;
+    std::uint64_t rows_primed = 0;
     core::ScratchFrame frame;
     const std::size_t w = static_cast<std::size_t>(width);
     float* padded = frame.allocN<float>(w + static_cast<std::size_t>(kw) - 1);
@@ -161,16 +173,21 @@ void edgeDetectFusedImpl(const Mat& src, Mat& dst, double thresh, int ksize,
     };
 
     auto computeVirtualRow = [&](int v) {
+      const std::uint64_t t0 = trace ? prof::nowNs() : 0;
       const int m = borderInterpolate(v, rows, border);
       if (m < 0) {
         std::memcpy(slotX(v), constRowX.data(), w * sizeof(float));
         std::memcpy(slotY(v), constRowY.data(), w * sizeof(float));
-        return;
+      } else {
+        detail::loadRowAsFloat(src, m, padded + rx, p);
+        detail::padRow(padded, width, rx, border, 0.0f);
+        rowFn(padded, slotX(v), width, kxx.data(), kw);
+        rowFn(padded, slotY(v), width, kxy.data(), kw);
       }
-      detail::loadRowAsFloat(src, m, padded + rx, p);
-      detail::padRow(padded, width, rx, border, 0.0f);
-      rowFn(padded, slotX(v), width, kxx.data(), kw);
-      rowFn(padded, slotY(v), width, kxy.data(), kw);
+      if (trace) {
+        row_ns += prof::nowNs() - t0;
+        ++rows_primed;
+      }
     };
 
     for (int v = band.begin - ry; v < band.begin + ry; ++v) computeVirtualRow(v);
@@ -180,12 +197,44 @@ void edgeDetectFusedImpl(const Mat& src, Mat& dst, double thresh, int ksize,
         tapsX[static_cast<std::size_t>(r)] = slotX(y - ry + r);
         tapsY[static_cast<std::size_t>(r)] = slotY(y - ry + r);
       }
+      std::uint64_t t = trace ? prof::nowNs() : 0;
       colFn(tapsX, gxf, width, kyx.data(), kh);
       colFn(tapsY, gyf, width, kyy.data(), kh);
+      if (trace) {
+        const std::uint64_t t1 = prof::nowNs();
+        col_ns += t1 - t;
+        t = t1;
+      }
       cvtFn(gxf, gxs, w);
       cvtFn(gyf, gys, w);
+      if (trace) {
+        const std::uint64_t t1 = prof::nowNs();
+        cvt_ns += t1 - t;
+        t = t1;
+      }
       magFn(gxs, gys, mag, w);
+      if (trace) {
+        const std::uint64_t t1 = prof::nowNs();
+        mag_ns += t1 - t;
+        t = t1;
+      }
       thrFn(mag, out.ptr<std::uint8_t>(y), w, t8, imax, ThresholdType::Binary);
+      if (trace) thr_ns += prof::nowNs() - t;
+    }
+    if (trace) {
+      const std::uint64_t nout = static_cast<std::uint64_t>(band.size());
+      // Bytes moved per stage (reads + writes), so the summary's GB/s column
+      // reflects each stage's true traffic, not the pipeline's image size.
+      prof::addSample("edge.fused.rowConv", p, row_ns,
+                      rows_primed * w * (src.elemSize() + 2 * sizeof(float)));
+      prof::addSample("edge.fused.colConv", p, col_ns,
+                      nout * w * 2 * (static_cast<std::uint64_t>(kh) + 1) *
+                          sizeof(float));
+      prof::addSample("edge.fused.cvt", p, cvt_ns,
+                      nout * w * 2 * (sizeof(float) + sizeof(std::int16_t)));
+      prof::addSample("edge.fused.magnitude", p, mag_ns,
+                      nout * w * (2 * sizeof(std::int16_t) + 1));
+      prof::addSample("edge.fused.threshold", p, thr_ns, nout * w * 2);
     }
   };
 

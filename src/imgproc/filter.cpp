@@ -18,6 +18,7 @@
 #include "core/saturate.hpp"
 #include "imgproc/filter_detail.hpp"
 #include "imgproc/kernels.hpp"
+#include "prof/prof.hpp"
 #include "runtime/parallel.hpp"
 
 namespace simdcv::imgproc {
@@ -53,7 +54,7 @@ void loadRowAsFloat(const Mat& src, int row, float* out, KernelPath p) {
     return;
   }
   const std::uint8_t* s = src.ptr<std::uint8_t>(row);
-  switch (p) {
+  switch (resolvePath(p)) {
     case KernelPath::Avx2: core::avx2::cvt8u32f(s, out, n); break;
     case KernelPath::Sse2: core::sse2::cvt8u32f(s, out, n); break;
     case KernelPath::Neon: core::neon::cvt8u32f(s, out, n); break;
@@ -87,13 +88,6 @@ CvtS16Fn cvt32f16sFor(KernelPath path) {
   }
 }
 
-}  // namespace detail
-
-namespace {
-
-using detail::loadRowAsFloat;
-using detail::padRow;
-
 void storeRow(const float* row, Mat& dst, int y, KernelPath p) {
   const std::size_t n = static_cast<std::size_t>(dst.cols());
   switch (dst.depth()) {
@@ -101,12 +95,12 @@ void storeRow(const float* row, Mat& dst, int y, KernelPath p) {
       std::memcpy(dst.ptr<float>(y), row, n * sizeof(float));
       break;
     case Depth::S16:
-      detail::cvt32f16sFor(p)(row, dst.ptr<std::int16_t>(y), n);
+      cvt32f16sFor(p)(row, dst.ptr<std::int16_t>(y), n);
       break;
     case Depth::U8:
     default: {
       std::uint8_t* d = dst.ptr<std::uint8_t>(y);
-      switch (p) {
+      switch (resolvePath(p)) {
         case KernelPath::Avx2: core::avx2::cvt32f8u(row, d, n); break;
         case KernelPath::Sse2: core::sse2::cvt32f8u(row, d, n); break;
         case KernelPath::Neon: core::neon::cvt32f8u(row, d, n); break;
@@ -121,6 +115,14 @@ void storeRow(const float* row, Mat& dst, int y, KernelPath p) {
     }
   }
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::loadRowAsFloat;
+using detail::padRow;
+using detail::storeRow;
 
 }  // namespace
 
@@ -146,6 +148,9 @@ void sepFilter2D(const Mat& src, Mat& dst, Depth ddepth,
                  "sepFilter2D: wrap border needs non-empty image");
 
   const KernelPath p = resolvePath(path);
+  SIMDCV_TRACE_SCOPE("sepFilter2D", p,
+                     static_cast<std::uint64_t>(rows) * width *
+                         (src.elemSize() + depthSize(ddepth)));
   const auto rowFn = detail::rowConvFor(p);
   const auto colFn = detail::colConvFor(p);
 

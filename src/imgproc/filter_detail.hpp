@@ -16,8 +16,18 @@
 namespace simdcv::imgproc::detail {
 
 /// Convert one source row (U8 or F32) to float with the path-matched
-/// conversion kernel, writing src.cols() floats at `out`.
-void loadRowAsFloat(const Mat& src, int row, float* out, KernelPath p);
+/// conversion kernel, writing src.cols() floats at `out`. The path is
+/// resolved internally, so callers may pass Default (the uniform trailing
+/// default every public kernel signature uses).
+void loadRowAsFloat(const Mat& src, int row, float* out,
+                    KernelPath p = KernelPath::Default);
+
+/// Store one float row into `dst` row `y` with the path-matched conversion
+/// for dst.depth() (F32 memcpy, saturating S16, rounding U8) — the storeRow
+/// step of the separable engine, shared so every pipeline writes output
+/// through identical code.
+void storeRow(const float* row, Mat& dst, int y,
+              KernelPath p = KernelPath::Default);
 
 /// Fill the horizontal pads of `padded` (rx floats each side around `width`
 /// central elements already in place) according to the border rule.

@@ -3,6 +3,7 @@
 #include "imgproc/threshold.hpp"
 
 #include "core/saturate.hpp"
+#include "prof/prof.hpp"
 #include "runtime/parallel.hpp"
 
 namespace simdcv::imgproc {
@@ -64,6 +65,9 @@ double threshold(const Mat& src, Mat& dst, double thresh, double maxval,
                      src.depth() == Depth::F32,
                  "threshold: supported depths are u8, s16, f32");
   const KernelPath p = resolvePath(path);
+  SIMDCV_TRACE_SCOPE("threshold", p,
+                     2 * static_cast<std::uint64_t>(src.rows()) * src.cols() *
+                         src.elemSize());
   // Element-wise op: in-place (dst aliasing src) is safe.
   Mat out = std::move(dst);
   out.create(src.rows(), src.cols(), src.type());

@@ -1,0 +1,99 @@
+// chrome://tracing JSON exporter.
+//
+// Emits the retained ring events in the Trace Event Format (the JSON array
+// flavour): spans as complete events (ph "X", microsecond ts/dur), instants
+// as ph "i". Load the file in chrome://tracing or https://ui.perfetto.dev;
+// one track per simdcv thread id.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "prof/export_internal.hpp"
+#include "prof/prof.hpp"
+
+namespace simdcv::prof {
+
+namespace {
+
+// Labels are static literals from SIMDCV_TRACE_SCOPE call sites, but escape
+// defensively so a hostile label cannot produce invalid JSON.
+std::string escapeJson(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+const char* categoryOf(const detail::RawEvent& e) {
+  const std::string_view name(e.name);
+  if (name.rfind("pool.", 0) == 0) return "pool";
+  if (name.rfind("parallel_for", 0) == 0) return "runtime";
+  return "kernel";
+}
+
+}  // namespace
+
+bool writeChromeTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  const auto events = detail::retainedEvents();
+  const std::uint64_t base = events.empty() ? 0 : events.front().t0;
+
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) std::fputc(',', f);
+    first = false;
+    const double ts = static_cast<double>(e.t0 - base) / 1000.0;
+    const std::string name = escapeJson(e.name);
+    if (e.kind == 1) {
+      std::fprintf(f,
+                   "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+                   "\"ts\":%.3f,\"pid\":1,\"tid\":%u}",
+                   name.c_str(), categoryOf(e), ts, e.tid);
+      continue;
+    }
+    const double dur = static_cast<double>(e.t1 - e.t0) / 1000.0;
+    std::fprintf(f,
+                 "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                 "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{",
+                 name.c_str(), categoryOf(e), ts, dur, e.tid);
+    bool firstArg = true;
+    auto arg = [&](const char* key, std::uint64_t v) {
+      if (!firstArg) std::fputc(',', f);
+      firstArg = false;
+      std::fprintf(f, "\"%s\":%" PRIu64, key, v);
+    };
+    if (e.path != kNoPath) {
+      std::fprintf(f, "\"path\":\"%s\"",
+                   e.path <= static_cast<std::uint8_t>(KernelPath::Default)
+                       ? toString(static_cast<KernelPath>(e.path))
+                       : "?");
+      firstArg = false;
+    }
+    if (e.bytes != 0) arg("bytes", e.bytes);
+    if (e.cycles != 0) arg("cycles", e.cycles);
+    if (e.instructions != 0) arg("instructions", e.instructions);
+    if (e.cache_misses != 0) arg("cache_misses", e.cache_misses);
+    std::fputs("}}", f);
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace simdcv::prof

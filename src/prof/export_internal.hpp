@@ -1,0 +1,23 @@
+// Internal bridge between the ring storage (trace.cpp) and the exporters
+// (chrome_trace.cpp). Not part of the public API — include prof/prof.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace simdcv::prof::detail {
+
+struct RawEvent {
+  const char* name;  // static-lifetime label
+  std::uint64_t t0, t1, bytes;
+  std::uint64_t cycles, instructions, cache_misses;
+  std::uint32_t tid;
+  std::uint8_t path;
+  std::uint8_t kind;  // 0 = span, 1 = instant
+};
+
+/// Locked copy of every event currently retained in any thread's ring,
+/// sorted by start timestamp.
+std::vector<RawEvent> retainedEvents();
+
+}  // namespace simdcv::prof::detail

@@ -1,0 +1,143 @@
+#include "prof/perf_counters.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace simdcv::prof {
+
+namespace {
+
+std::atomic_bool g_force_unavailable{false};
+
+#if defined(__linux__)
+
+int openCounter(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.exclude_kernel = 1;  // count user-space work only; also lowers the
+  attr.exclude_hv = 1;      // perf_event_paranoid level required
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+std::string openError(const char* what) {
+  std::string r = "perf_event_open(";
+  r += what;
+  r += "): ";
+  r += std::strerror(errno);
+  if (errno == EACCES || errno == EPERM)
+    r += " (check /proc/sys/kernel/perf_event_paranoid)";
+  return r;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  if (g_force_unavailable.load(std::memory_order_relaxed)) {
+    reason_ = "forced unavailable (test hook)";
+    return;
+  }
+#if defined(__linux__)
+  fd_cycles_ = openCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (fd_cycles_ < 0) {
+    reason_ = openError("cycles");
+    return;
+  }
+  fd_instructions_ =
+      openCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, fd_cycles_);
+  fd_cache_misses_ =
+      openCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, fd_cycles_);
+  // Instructions are required for the Section V reproduction; cache misses
+  // are best-effort (some PMUs expose fewer programmable counters).
+  if (fd_instructions_ < 0) {
+    reason_ = openError("instructions");
+    close(fd_cycles_);
+    fd_cycles_ = -1;
+    if (fd_cache_misses_ >= 0) {
+      close(fd_cache_misses_);
+      fd_cache_misses_ = -1;
+    }
+    return;
+  }
+  ioctl(fd_cycles_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd_cycles_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  // Verify the group actually reads (a paranoid kernel can fail late).
+  HwCounters probe;
+  available_ = true;
+  probe = read();
+  (void)probe;
+  if (!available_) reason_ = "perf_event read failed after open";
+#else
+  reason_ = "perf_event_open is Linux-only";
+#endif
+}
+
+PerfCounters::~PerfCounters() {
+#if defined(__linux__)
+  if (fd_cache_misses_ >= 0) close(fd_cache_misses_);
+  if (fd_instructions_ >= 0) close(fd_instructions_);
+  if (fd_cycles_ >= 0) close(fd_cycles_);
+#endif
+}
+
+HwCounters PerfCounters::read() noexcept {
+  HwCounters out;
+#if defined(__linux__)
+  if (!available_) return out;
+  auto readOne = [&](int fd, std::uint64_t& dst) {
+    if (fd < 0) return true;  // optional counter absent: leave 0
+    std::uint64_t v = 0;
+    const ssize_t n = ::read(fd, &v, sizeof(v));
+    if (n != static_cast<ssize_t>(sizeof(v))) return false;
+    dst = v;
+    return true;
+  };
+  if (!readOne(fd_cycles_, out.cycles) ||
+      !readOne(fd_instructions_, out.instructions) ||
+      !readOne(fd_cache_misses_, out.cache_misses)) {
+    available_ = false;
+    out = HwCounters{};
+  }
+#endif
+  return out;
+}
+
+PerfCounters& PerfCounters::forCurrentThread() {
+  thread_local PerfCounters counters;
+  return counters;
+}
+
+bool hwCountersUsable() {
+  if (g_force_unavailable.load(std::memory_order_relaxed)) return false;
+  PerfCounters probe;
+  return probe.available();
+}
+
+std::string hwCountersUnavailableReason() {
+  if (g_force_unavailable.load(std::memory_order_relaxed))
+    return "forced unavailable (test hook)";
+  PerfCounters probe;
+  return probe.available() ? std::string() : probe.unavailableReason();
+}
+
+namespace detail {
+void forceHwUnavailableForTest(bool force) {
+  g_force_unavailable.store(force, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+}  // namespace simdcv::prof

@@ -1,0 +1,76 @@
+// Optional per-thread hardware counters via Linux perf_event_open.
+//
+// Reproduces the paper's Section V instruction-count analysis from live
+// counters instead of static assembly accounting: a counter group (CPU
+// cycles, retired instructions, cache misses) is opened per thread and read
+// around each traced span when SIMDCV_TRACE_PERF=1.
+//
+// Graceful fallback is part of the contract: perf_event_open is routinely
+// unavailable (non-Linux builds, containers without CAP_PERFMON, CI with
+// perf_event_paranoid > 2, seccomp filters). In every such case available()
+// is false, reads return all-zero deltas, unavailableReason() names the
+// cause, and tracing itself keeps working without hardware columns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace simdcv::prof {
+
+/// One sample of the counter group. Deltas of two samples attribute
+/// hardware work to a span.
+struct HwCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// Per-thread counter group. Use via forCurrentThread(); the group is opened
+/// on first use and closed at thread exit.
+class PerfCounters {
+ public:
+  /// The calling thread's counter group (opened lazily, at most once).
+  static PerfCounters& forCurrentThread();
+
+  /// True when the group opened and can be read on this thread.
+  bool available() const noexcept { return available_; }
+
+  /// Why the group is unavailable ("" when available): e.g.
+  /// "perf_event_open: Permission denied (perf_event_paranoid?)".
+  const std::string& unavailableReason() const noexcept { return reason_; }
+
+  /// Read the current counter values. Returns all zeros when unavailable.
+  HwCounters read() noexcept;
+
+  /// Opens the group on the calling thread. Prefer forCurrentThread();
+  /// direct construction is for short-lived probes (hwCountersUsable) —
+  /// counters only attribute correctly to the constructing thread.
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+ private:
+  int fd_cycles_ = -1;  // group leader
+  int fd_instructions_ = -1;
+  int fd_cache_misses_ = -1;
+  bool available_ = false;
+  std::string reason_;
+};
+
+/// Process-level probe: can this process open hardware counters at all?
+/// (Opens a throwaway group on the calling thread.) Benchmarks use this to
+/// decide between live-counter and static-accounting output.
+bool hwCountersUsable();
+
+/// Reason the probe failed; empty when hwCountersUsable() is true.
+std::string hwCountersUnavailableReason();
+
+namespace detail {
+/// Test hook: force every subsequently created PerfCounters group (and the
+/// process-level probe) to report unavailable, exercising the fallback path
+/// on hosts where perf_event actually works.
+void forceHwUnavailableForTest(bool force);
+}  // namespace detail
+
+}  // namespace simdcv::prof

@@ -1,0 +1,259 @@
+// simdcv::prof — low-overhead in-process tracing and per-kernel metrics.
+//
+// The paper's argument is a measurement argument: Tables II/III and Figures
+// 2-6 rest on knowing where cycles go per kernel and per path. This module
+// gives the library that visibility from the inside:
+//
+//   - RAII scoped spans (SIMDCV_TRACE_SCOPE("Sobel", path, bytes)) recorded
+//     into per-thread ring buffers at every public kernel entry, every
+//     parallel_for band, and pool steal/park events;
+//   - an aggregation API (prof::snapshot()) producing per-kernel x per-path
+//     stats — call count, total/mean/p99 ns, bytes processed, GB/s — plus
+//     pool activity (tasks, steals, idle ns) derived from the same events;
+//   - exporters: chrome://tracing JSON (prof::writeChromeTrace) and a flat
+//     text summary (prof::writeSummary) wired into the bench harness;
+//   - optional Linux perf_event hardware counters (cycles, instructions,
+//     cache misses) attached per span, with graceful fallback when the
+//     kernel interface is unavailable (see prof/perf_counters.hpp).
+//
+// Cost model (the contract DESIGN.md section 10 budgets):
+//   - SIMDCV_ENABLE_TRACE=OFF (CMake): spans compile to nothing. TraceScope
+//     is an empty type and SIMDCV_TRACE_SCOPE expands to a no-op — enforced
+//     by static_asserts in the compile-out test leg.
+//   - Compiled in but disabled (the default): the span constructor is one
+//     relaxed atomic load and a branch. Tracing is enabled per-process with
+//     SIMDCV_TRACE=1 or prof::setEnabled(true).
+//   - Enabled: a span commit takes its thread's ring lock (uncontended by
+//     construction — one ring per thread), appends one event and folds it
+//     into the thread-local aggregate table.
+//
+// Timestamps come from prof::nowNs(), the single monotonic clock source the
+// bench harness Timer also uses, so harness totals and span sums agree.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simd/features.hpp"
+
+#ifndef SIMDCV_ENABLE_TRACE
+#define SIMDCV_ENABLE_TRACE 1
+#endif
+
+namespace simdcv::prof {
+
+/// True when the library was compiled with tracing support
+/// (-DSIMDCV_ENABLE_TRACE=ON, the default).
+inline constexpr bool kCompiledIn = SIMDCV_ENABLE_TRACE != 0;
+
+/// Path tag for events that have no meaningful KernelPath (pool events,
+/// parallel_for bands).
+inline constexpr std::uint8_t kNoPath = 0xff;
+
+/// Nanoseconds from the process-wide monotonic clock (CLOCK_MONOTONIC).
+/// This is the one clock source shared by spans and the bench harness.
+std::uint64_t nowNs() noexcept;
+
+// ---- runtime enable switch -------------------------------------------------
+
+namespace detail {
+#if SIMDCV_ENABLE_TRACE
+extern std::atomic_bool g_enabled;  // defined in trace.cpp
+#endif
+
+/// Commit a completed span into the calling thread's ring + aggregates.
+void commitSpan(const char* name, std::uint8_t path, std::uint64_t bytes,
+                std::uint64_t t0, std::uint64_t t1) noexcept;
+
+/// Commit an instantaneous event (e.g. a work steal).
+void commitInstant(const char* name) noexcept;
+
+/// Span commit carrying hardware-counter deltas (cycles, instructions,
+/// cache misses); used by TraceScope when perf counters are attached.
+void commitSpanHw(const char* name, std::uint8_t path, std::uint64_t bytes,
+                  std::uint64_t t0, std::uint64_t t1, std::uint64_t cycles,
+                  std::uint64_t instructions,
+                  std::uint64_t cache_misses) noexcept;
+
+/// True when per-span hardware counters are requested (SIMDCV_TRACE_PERF=1)
+/// and tracing is compiled in. Availability on this kernel is still probed
+/// lazily per thread; see prof/perf_counters.hpp.
+bool hwRequested() noexcept;
+}  // namespace detail
+
+/// One relaxed atomic load: is tracing currently recording?
+inline bool enabled() noexcept {
+#if SIMDCV_ENABLE_TRACE
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Turn recording on/off at run time. Compiled-out builds ignore this.
+/// Also honoured at startup from the environment: SIMDCV_TRACE=1.
+void setEnabled(bool on) noexcept;
+
+/// Request per-span hardware counters (cycles/instructions/cache-misses via
+/// perf_event). Also honoured from the environment: SIMDCV_TRACE_PERF=1.
+/// Silently degrades to timestamps-only when the kernel interface is
+/// unavailable — see prof/perf_counters.hpp.
+void setHwCountersEnabled(bool on) noexcept;
+
+/// Ring capacity (events per thread) for rings created after this call.
+/// Must be a power of two >= 16. Existing rings keep their capacity; call
+/// reset() first in tests that need a fresh small ring on the main thread.
+void setRingCapacity(std::size_t events);
+std::size_t ringCapacity() noexcept;
+
+// ---- the span --------------------------------------------------------------
+
+#if SIMDCV_ENABLE_TRACE
+
+class TraceScope {
+ public:
+  TraceScope(const char* name, KernelPath path, std::uint64_t bytes) noexcept
+      : TraceScope(name, static_cast<std::uint8_t>(path), bytes) {}
+
+  explicit TraceScope(const char* name, std::uint8_t path = kNoPath,
+                      std::uint64_t bytes = 0) noexcept {
+    if (!enabled()) return;
+    name_ = name;
+    path_ = path;
+    bytes_ = bytes;
+    begin();
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() {
+    if (name_ != nullptr) end();
+  }
+
+ private:
+  void begin() noexcept;  // records t0 (and hw counters when attached)
+  void end() noexcept;    // commits the span
+
+  const char* name_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t t0_ = 0;
+  std::uint64_t c0_[3] = {0, 0, 0};  // cycles/instructions/cache-misses at t0
+  std::uint8_t path_ = kNoPath;
+  bool hw_ = false;
+};
+
+#define SIMDCV_PROF_CONCAT2(a, b) a##b
+#define SIMDCV_PROF_CONCAT(a, b) SIMDCV_PROF_CONCAT2(a, b)
+/// Open a RAII span covering the rest of the enclosing scope.
+/// Usage: SIMDCV_TRACE_SCOPE("Sobel", path, bytesProcessed);
+///        SIMDCV_TRACE_SCOPE("pool.task");
+/// `name` must be a string with static storage duration (a literal): the
+/// profiler stores the pointer, not a copy.
+#define SIMDCV_TRACE_SCOPE(...)                                     \
+  ::simdcv::prof::TraceScope SIMDCV_PROF_CONCAT(simdcv_trace_scope_, \
+                                                __LINE__) {          \
+    __VA_ARGS__                                                      \
+  }
+
+#else  // SIMDCV_ENABLE_TRACE == 0: spans compile to nothing.
+
+struct TraceScope {
+  constexpr TraceScope(const char*, KernelPath, std::uint64_t) noexcept {}
+  constexpr explicit TraceScope(const char*, std::uint8_t = kNoPath,
+                                std::uint64_t = 0) noexcept {}
+};
+static_assert(sizeof(TraceScope) == 1, "compiled-out TraceScope must be empty");
+
+#define SIMDCV_TRACE_SCOPE(...) \
+  do {                          \
+  } while (0)
+
+#endif  // SIMDCV_ENABLE_TRACE
+
+// ---- lightweight non-RAII recording ---------------------------------------
+
+/// Record an instantaneous event (chrome trace "instant"; counted in the
+/// aggregate table). No-op when tracing is off.
+inline void instant(const char* name) noexcept {
+  if (enabled()) detail::commitInstant(name);
+}
+
+/// Fold a pre-measured sample into the aggregate table (and ring) without an
+/// open scope — used by the fused edge pipeline to attribute per-stage time
+/// accumulated across a whole band in one commit. No-op when tracing is off.
+inline void addSample(const char* name, KernelPath path, std::uint64_t ns,
+                      std::uint64_t bytes = 0) noexcept {
+  if (!enabled()) return;
+  const std::uint64_t t1 = nowNs();
+  detail::commitSpan(name, static_cast<std::uint8_t>(path), bytes,
+                     t1 >= ns ? t1 - ns : 0, t1);
+}
+
+// ---- aggregation -----------------------------------------------------------
+
+/// Per-(kernel, path) statistics aggregated over every recorded span.
+struct KernelStat {
+  std::string name;
+  std::uint8_t path = kNoPath;  ///< KernelPath value, or kNoPath
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  double mean_ns = 0.0;
+  std::uint64_t p99_ns = 0;  ///< upper bound of the p99 log2 bucket
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::uint64_t bytes = 0;
+  double gbps = 0.0;  ///< bytes / total_ns (0 when no bytes recorded)
+  // Hardware-counter sums; all zero when perf counters were not attached.
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+
+  std::string pathLabel() const;  ///< "sse2", "auto", ... or "-" for kNoPath
+};
+
+/// Pool activity derived from the pool's own trace events.
+struct PoolActivity {
+  std::uint64_t tasks = 0;   ///< "pool.task" spans
+  std::uint64_t steals = 0;  ///< "pool.steal" instants
+  std::uint64_t parks = 0;   ///< "pool.park" spans
+  std::uint64_t idle_ns = 0; ///< total parked time
+};
+
+struct Snapshot {
+  std::vector<KernelStat> kernels;  ///< sorted by (name, path)
+  PoolActivity pool;
+  std::uint64_t total_spans = 0;     ///< spans across all threads (incl. pool)
+  std::uint64_t dropped_events = 0;  ///< ring-buffer overwrites (stats keep
+                                     ///< counting; only raw events are lost)
+  std::uint64_t threads = 0;         ///< threads that recorded at least once
+};
+
+/// Aggregate every thread's recorded events. Deterministic for a quiesced
+/// process: aggregates are folded per-thread at commit time, so the result
+/// does not depend on ring wraparound or snapshot timing.
+Snapshot snapshot();
+
+/// Drop all recorded events and aggregates (all threads).
+void reset();
+
+/// Human-readable per-kernel x per-path table (the SIMDCV_BENCH_VERBOSE=2
+/// dump). `prefix` filters kernels by name prefix; empty prints everything.
+void writeSummary(std::ostream& os, const Snapshot& snap,
+                  const std::string& prefix = std::string());
+
+/// CSV form of the same table (header + one row per kernel x path).
+void writeSummaryCsv(std::ostream& os, const Snapshot& snap,
+                     const std::string& prefix = std::string());
+
+/// Write every retained raw event as a chrome://tracing JSON file
+/// (load via chrome://tracing or https://ui.perfetto.dev). Returns false if
+/// the file cannot be written. Note: rings retain the most recent
+/// ringCapacity() events per thread; aggregate stats are never dropped.
+bool writeChromeTrace(const std::string& path);
+
+}  // namespace simdcv::prof

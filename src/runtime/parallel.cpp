@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "prof/prof.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace simdcv::runtime {
@@ -48,6 +49,7 @@ void parallel_for(Range range, const std::function<void(Range)>& body,
   std::once_flag error_once;
   auto runBand = [&](Range band) noexcept {
     try {
+      SIMDCV_TRACE_SCOPE("parallel_for.band");
       body(band);
     } catch (...) {
       std::call_once(error_once, [&] { first_error = std::current_exception(); });

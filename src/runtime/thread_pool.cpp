@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "prof/prof.hpp"
+
 namespace simdcv::runtime {
 
 namespace detail {
@@ -177,6 +179,7 @@ class ThreadPool {
         out = std::move(v.deque.back());
         v.deque.pop_back();
         steals_.fetch_add(1, std::memory_order_relaxed);
+        prof::instant("pool.steal");
         return true;
       }
     }
@@ -196,7 +199,10 @@ class ThreadPool {
         seen = epoch_;
       }
       if (tryGetTask(self, task)) {
-        task();
+        {
+          SIMDCV_TRACE_SCOPE("pool.task");
+          task();
+        }
         task = nullptr;
         tasks_executed_.fetch_add(1, std::memory_order_relaxed);
         continue;
@@ -204,9 +210,13 @@ class ThreadPool {
       std::unique_lock<std::mutex> lk(park_mu_);
       if (stop_) break;
       if (epoch_ == seen) {
+        const std::uint64_t park_t0 = prof::enabled() ? prof::nowNs() : 0;
         parks_.fetch_add(1, std::memory_order_relaxed);
         park_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
         unparks_.fetch_add(1, std::memory_order_relaxed);
+        if (park_t0 != 0)
+          prof::detail::commitSpan("pool.park", prof::kNoPath, 0, park_t0,
+                                   prof::nowNs());
       }
       if (stop_) break;
     }

@@ -10,6 +10,7 @@
 #include "core/saturate.hpp"
 #include "core/scratch.hpp"
 #include "imgproc/edge.hpp"
+#include "imgproc/edge_detail.hpp"
 #include "imgproc/filter.hpp"
 #include "imgproc/kernels.hpp"
 #include "runtime/thread_pool.hpp"
