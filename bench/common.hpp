@@ -39,12 +39,6 @@ Measurement measureEdgeVariant(bool fused, KernelPath path, Size size,
 ///      colConv / cvt / magnitude / threshold).
 int benchVerboseLevel();
 
-/// Deprecated pre-level API; equivalent to benchVerboseLevel() >= 1.
-[[deprecated("use benchVerboseLevel() — SIMDCV_BENCH_VERBOSE is a level now")]]
-inline bool benchVerbose() {
-  return benchVerboseLevel() >= 1;
-}
-
 /// The KernelPaths benchmarked on the host, in print order. NEON runs
 /// through the emulation layer on x86 and is labelled accordingly.
 std::vector<KernelPath> benchPaths();

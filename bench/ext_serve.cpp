@@ -1,0 +1,282 @@
+// Serving-engine load generator: drives simdcv::serve::Engine with a matrix
+// of {pipeline} x {workers} x {resolution} x {closed, open} cells and reports
+// p50/p99 request latency, queue-wait percentiles, and throughput.
+//
+//   closed loop  2xW client threads submit back to back (blocking submit, so
+//                the ingress ring applies backpressure); measures the
+//                engine's capacity and best-case latency.
+//   open loop    a dispatcher issues trySubmit at 1.2x the measured
+//                closed-loop throughput with a 250 ms deadline; measures
+//                behaviour under overload — latency of completed requests
+//                plus how much load is shed (rejected-full / expired).
+//
+// Emits BENCH_serve.json in the working directory. SIMDCV_BENCH_SMOKE=1
+// shrinks the matrix (320x240, workers {1,2}, 6 requests per cell) so CI can
+// run the binary end to end; --requests=N overrides the per-cell count.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "simdcv.hpp"
+
+namespace {
+
+using namespace simdcv;
+using namespace simdcv::bench;
+
+struct Cell {
+  std::string pipeline;
+  std::string mode;  // "closed" | "open"
+  int workers = 0;
+  std::string resolution;
+  int requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;  // trySubmit refused: ring full
+  std::uint64_t expired = 0;   // deadline passed before execute
+  double p50_ms = 0, p99_ms = 0, mean_ms = 0;
+  double wait_p50_ms = 0, wait_p99_ms = 0;
+  double images_per_sec = 0;
+};
+
+std::string fmt2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+// A fixed-seed image pool cycled across requests (the paper's protocol cycles
+// images so repeated requests do not hit a warm identical working set).
+std::vector<Mat> imagePool(Size size) {
+  std::vector<Mat> pool;
+  const Scene scenes[] = {Scene::Checker, Scene::Gradient, Scene::Noise,
+                          Scene::Blobs};
+  std::uint32_t seed = 11;
+  for (Scene s : scenes) pool.push_back(makeScene(s, size, seed++));
+  return pool;
+}
+
+// Closed loop: `2 * workers` clients, each submitting back to back until the
+// shared budget is spent. Blocking submit, no deadline.
+Cell runClosed(const std::string& pipeline, int workers, Size size,
+               const char* sizeLabel, int requests) {
+  serve::Options opts;
+  opts.workers = workers;
+  opts.queue_capacity = 64;
+  serve::Engine engine(opts);
+  const std::vector<Mat> pool = imagePool(size);
+
+  std::atomic<int> budget{requests};
+  std::mutex mu;
+  std::vector<double> lat_ms, wait_ms;
+  const std::uint64_t t0 = prof::nowNs();
+  std::vector<std::thread> clients;
+  const int nClients = 2 * workers;
+  for (int c = 0; c < nClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (;;) {
+        const int i = budget.fetch_sub(1, std::memory_order_relaxed);
+        if (i <= 0) break;
+        const Mat& src = pool[static_cast<std::size_t>(c + i) % pool.size()];
+        serve::Response r = engine.submit(pipeline, src).get();
+        if (r.status != serve::Status::Ok) continue;
+        doNotOptimize(r.image.data());
+        std::lock_guard<std::mutex> lk(mu);
+        lat_ms.push_back(static_cast<double>(r.totalNs()) * 1e-6);
+        wait_ms.push_back(static_cast<double>(r.queueWaitNs()) * 1e-6);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_s = static_cast<double>(prof::nowNs() - t0) * 1e-9;
+  engine.shutdown(serve::Shutdown::Drain);
+  const serve::Stats s = engine.stats();
+
+  Cell cell;
+  cell.pipeline = pipeline;
+  cell.mode = "closed";
+  cell.workers = workers;
+  cell.resolution = sizeLabel;
+  cell.requests = requests;
+  cell.completed = s.completed;
+  cell.rejected = s.rejected_full;
+  cell.expired = s.expired;
+  double sum = 0;
+  for (double v : lat_ms) sum += v;
+  cell.mean_ms = lat_ms.empty() ? 0 : sum / static_cast<double>(lat_ms.size());
+  cell.p50_ms = percentile(lat_ms, 0.50);
+  cell.p99_ms = percentile(lat_ms, 0.99);
+  cell.wait_p50_ms = percentile(wait_ms, 0.50);
+  cell.wait_p99_ms = percentile(wait_ms, 0.99);
+  cell.images_per_sec =
+      wall_s > 0 ? static_cast<double>(s.completed) / wall_s : 0;
+  return cell;
+}
+
+// Open loop: one dispatcher issues trySubmit on a fixed tick at `rate`
+// requests/sec with a 250 ms deadline. Overload behaviour: the ring sheds
+// load via RejectedFull and the deadline drops stale queue entries.
+Cell runOpen(const std::string& pipeline, int workers, Size size,
+             const char* sizeLabel, int requests, double rate) {
+  serve::Options opts;
+  opts.workers = workers;
+  opts.queue_capacity = 64;
+  serve::Engine engine(opts);
+  const std::vector<Mat> pool = imagePool(size);
+
+  serve::SubmitOptions so;
+  so.deadline_ns = std::uint64_t(250) * 1000000;  // 250 ms
+  const auto interval = std::chrono::nanoseconds(
+      rate > 0 ? static_cast<std::uint64_t>(1e9 / rate) : 1);
+
+  std::vector<std::future<serve::Response>> futs;
+  futs.reserve(static_cast<std::size_t>(requests));
+  const std::uint64_t t0 = prof::nowNs();
+  auto next = std::chrono::steady_clock::now();
+  for (int i = 0; i < requests; ++i) {
+    const Mat& src = pool[static_cast<std::size_t>(i) % pool.size()];
+    futs.push_back(engine.trySubmit(pipeline, src, so));
+    next += interval;
+    std::this_thread::sleep_until(next);
+  }
+  std::vector<double> lat_ms, wait_ms;
+  for (auto& f : futs) {
+    serve::Response r = f.get();
+    if (r.status != serve::Status::Ok) continue;
+    doNotOptimize(r.image.data());
+    lat_ms.push_back(static_cast<double>(r.totalNs()) * 1e-6);
+    wait_ms.push_back(static_cast<double>(r.queueWaitNs()) * 1e-6);
+  }
+  const double wall_s = static_cast<double>(prof::nowNs() - t0) * 1e-9;
+  engine.shutdown(serve::Shutdown::Drain);
+  const serve::Stats s = engine.stats();
+
+  Cell cell;
+  cell.pipeline = pipeline;
+  cell.mode = "open";
+  cell.workers = workers;
+  cell.resolution = sizeLabel;
+  cell.requests = requests;
+  cell.completed = s.completed;
+  cell.rejected = s.rejected_full;
+  cell.expired = s.expired;
+  double sum = 0;
+  for (double v : lat_ms) sum += v;
+  cell.mean_ms = lat_ms.empty() ? 0 : sum / static_cast<double>(lat_ms.size());
+  cell.p50_ms = percentile(lat_ms, 0.50);
+  cell.p99_ms = percentile(lat_ms, 0.99);
+  cell.wait_p50_ms = percentile(wait_ms, 0.50);
+  cell.wait_p99_ms = percentile(wait_ms, 0.99);
+  cell.images_per_sec =
+      wall_s > 0 ? static_cast<double>(s.completed) / wall_s : 0;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printHostBanner("Serving engine: closed/open-loop load generator");
+
+  const char* smokeEnv = std::getenv("SIMDCV_BENCH_SMOKE");
+  const bool smoke = smokeEnv != nullptr && std::strcmp(smokeEnv, "1") == 0;
+
+  int requests = smoke ? 6 : 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--requests=", 11) == 0)
+      requests = std::max(1, std::atoi(argv[i] + 11));
+  }
+
+  struct SizeSpec {
+    Size size;
+    const char* label;
+  };
+  const std::vector<SizeSpec> sizes =
+      smoke ? std::vector<SizeSpec>{{{320, 240}, "320x240"}}
+            : std::vector<SizeSpec>{{{640, 480}, "640x480"},
+                                    {{1024, 960}, "1024x960"}};
+  const std::vector<int> workerCounts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+  const std::vector<std::string> pipelines = {"edge", "scanner"};
+
+  std::printf("requests/cell: %d%s\n\n", requests, smoke ? " (smoke)" : "");
+
+  std::vector<Cell> cells;
+  Table t({"pipeline", "mode", "workers", "size", "done", "shed", "p50 ms",
+           "p99 ms", "img/s"});
+  for (const std::string& pipe : pipelines) {
+    for (const SizeSpec& sz : sizes) {
+      for (int w : workerCounts) {
+        Cell closed = runClosed(pipe, w, sz.size, sz.label, requests);
+        // Open loop arrives at 1.2x the just-measured capacity, so the ring
+        // is persistently oversubscribed and the shed paths light up.
+        const double rate = std::max(1.0, closed.images_per_sec * 1.2);
+        Cell open = runOpen(pipe, w, sz.size, sz.label, requests, rate);
+        for (const Cell& c : {closed, open}) {
+          t.addRow({c.pipeline, c.mode, std::to_string(c.workers),
+                    c.resolution, std::to_string(c.completed),
+                    std::to_string(c.rejected + c.expired), fmt2(c.p50_ms),
+                    fmt2(c.p99_ms), fmt2(c.images_per_sec)});
+          cells.push_back(c);
+        }
+      }
+    }
+  }
+  t.print();
+  std::printf(
+      "\n(closed loop: 2xW blocking clients, engine at capacity;\n"
+      " open loop: fixed-rate trySubmit at 1.2x closed throughput with a\n"
+      " 250 ms deadline — `shed` counts rejected-full + expired requests.)\n");
+
+  const auto host = platform::queryHost();
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ext_serve\",\n");
+  std::fprintf(f, "  \"host\": {\"brand\": \"%s\", \"logical_cpus\": %d, "
+                  "\"l1d_kb\": %d, \"l2_kb\": %d, \"l3_kb\": %d},\n",
+               host.brand.c_str(), host.logical_cpus, host.l1d_kb, host.l2_kb,
+               host.l3_kb);
+  std::fprintf(f,
+               "  \"config\": {\"requests_per_cell\": %d, \"smoke\": %s, "
+               "\"queue_capacity\": 64, \"open_deadline_ms\": 250},\n",
+               requests, smoke ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"pipeline\": \"%s\", \"mode\": \"%s\", \"workers\": %d, "
+        "\"resolution\": \"%s\", \"requests\": %d, \"completed\": %llu, "
+        "\"rejected\": %llu, \"expired\": %llu, \"p50_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"mean_ms\": %.3f, \"wait_p50_ms\": %.3f, "
+        "\"wait_p99_ms\": %.3f, \"images_per_sec\": %.2f}%s\n",
+        c.pipeline.c_str(), c.mode.c_str(), c.workers, c.resolution.c_str(),
+        c.requests, static_cast<unsigned long long>(c.completed),
+        static_cast<unsigned long long>(c.rejected),
+        static_cast<unsigned long long>(c.expired), c.p50_ms, c.p99_ms,
+        c.mean_ms, c.wait_p50_ms, c.wait_p99_ms, c.images_per_sec,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_serve.json\n");
+  return 0;
+}

@@ -21,8 +21,15 @@ cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSIMDCV_BUILD_BENCH=OFF \
   -DSIMDCV_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j --target test_runtime test_prof
+cmake --build build-tsan -j --target test_runtime test_prof test_serve
 ctest --test-dir build-tsan -L runtime --output-on-failure -j"$(nproc)"
+
+echo
+echo "== serving engine under ThreadSanitizer =="
+# The `serve` label: the bounded MPMC ingress queue's wraparound/close/drain
+# edge cases plus the engine's admission, deadline, and shutdown paths, all
+# with real producer/consumer contention (see DESIGN.md, "simdcv::serve").
+ctest --test-dir build-tsan -L serve --output-on-failure -j"$(nproc)"
 
 echo
 echo "== differential checker under AddressSanitizer =="
@@ -70,6 +77,16 @@ cmake --build build -j --target fig6_edge_speedup ablation_fusion
 # CSV (fig6_edge_speedup_trace.json).
 (cd build && SIMDCV_TRACE=1 SIMDCV_BENCH_SMOKE=1 ./bench/fig6_edge_speedup)
 test -s build/fig6_edge_speedup_trace.json
+
+echo
+echo "== serve smoke (fixed-size load matrix end to end) =="
+cmake --build build -j --target ext_serve
+(cd build && SIMDCV_BENCH_SMOKE=1 ./bench/ext_serve)
+# The smoke JSON must carry real latency/throughput rows for both presets.
+grep -q '"images_per_sec"' build/BENCH_serve.json
+grep -q '"p99_ms"' build/BENCH_serve.json
+grep -q '"pipeline": "edge"' build/BENCH_serve.json
+grep -q '"pipeline": "scanner"' build/BENCH_serve.json
 
 echo
 echo "verify: OK"

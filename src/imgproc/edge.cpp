@@ -146,7 +146,12 @@ void edgeDetectUnfused(const Mat& src, Mat& dst, double thresh, int ksize,
 
 void edgeDetect(const Mat& src, Mat& dst, double thresh, int ksize,
                 BorderType border, KernelPath path) {
-  edgeDetectFused(src, dst, thresh, ksize, border, path);
+  // Fused and staged forms are bit-exact, so this is purely a per-size
+  // scheduling decision (see detail::fuseProfitable).
+  if (detail::fuseProfitable(src.cols(), src.rows(), ksize, path))
+    edgeDetectFused(src, dst, thresh, ksize, border, path);
+  else
+    edgeDetectUnfused(src, dst, thresh, ksize, border, path);
 }
 
 }  // namespace simdcv::imgproc

@@ -31,6 +31,14 @@ void edgeDetectFusedBanded(const Mat& src, Mat& dst, double thresh, int ksize,
 /// (see DESIGN.md: seam amortization + the runtime's fork threshold).
 int fusedBandGrain(int width, int ksize, int rows);
 
+/// Per-size fuse-vs-staged scheduling decision used by edgeDetect: false
+/// when the staged (unfused) pipeline is expected to win — currently the
+/// AVX2 small-image case, where the whole-image intermediates fit in L2 and
+/// fusion's per-row stage dispatch costs more than the memory round trips it
+/// avoids (the 0.54x regression at 640x480 in BENCH_fusion.json).
+/// Overridable for experiments: SIMDCV_EDGE_FUSE=1 forces fused, =0 staged.
+bool fuseProfitable(int width, int rows, int ksize, KernelPath path);
+
 /// Per-band scratch footprint of the fused engine in bytes (two kh-row float
 /// rings, the padded row, conv/s16/mag rows and tap tables).
 std::size_t fusedScratchBytes(int width, int ksize);

@@ -21,6 +21,7 @@
 // saturating-s16 + re-saturating-magnitude tail is element-wise — the
 // guarantee `check_all --only edge` enforces on adversarial inputs.
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -74,6 +75,33 @@ int fusedBandGrain(int width, int ksize, int rows) {
                              : 512u * 1024u;
   if (fusedScratchBytes(width, ksize) > l2 / 2) grain = std::max(grain, 32 * ksize);
   return std::min(grain, std::max(rows, 1));
+}
+
+bool fuseProfitable(int width, int rows, int ksize, KernelPath path) {
+  (void)ksize;
+  // Experiment override: SIMDCV_EDGE_FUSE=1 always fused, =0 always staged.
+  static const int forced = [] {
+    const char* v = std::getenv("SIMDCV_EDGE_FUSE");
+    if (v == nullptr || *v == '\0') return -1;
+    return *v == '0' ? 0 : 1;
+  }();
+  if (forced >= 0) return forced == 1;
+  // Fusion trades per-row stage dispatch + seam recompute for not
+  // round-tripping the whole-image intermediates (two s16 gradients + u8
+  // magnitude) through memory. The AVX2 staged kernels are fast enough that
+  // when those intermediates fit in L2 — so the staged passes re-read them
+  // cache-hot — fusion's overhead dominates: 0.54x at 640x480 vs 1.2-1.36x
+  // once the footprint spills (BENCH_fusion.json). The other paths' staged
+  // kernels are slow enough that fusion stays >= ~1x at every size.
+  if (resolvePath(path) != KernelPath::Avx2) return true;
+  const std::size_t intermediates = static_cast<std::size_t>(width) *
+                                    static_cast<std::size_t>(rows) *
+                                    (2 * sizeof(std::int16_t) + 1);
+  static const platform::HostInfo host = platform::queryHost();
+  const std::size_t l2 = host.l2_kb > 0
+                             ? static_cast<std::size_t>(host.l2_kb) * 1024
+                             : 512u * 1024u;
+  return intermediates > l2;
 }
 
 }  // namespace detail

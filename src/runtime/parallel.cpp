@@ -38,7 +38,7 @@ void parallel_for(Range range, const std::function<void(Range)>& body,
   const int threads = getNumThreads();
   const int bands = static_cast<int>(
       std::min<long long>(threads, (static_cast<long long>(len) + grain - 1) / grain));
-  if (bands <= 1 || inWorkerThread()) {
+  if (bands <= 1 || inWorkerThread() || inlineParallel()) {
     body(range);
     return;
   }

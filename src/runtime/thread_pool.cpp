@@ -295,6 +295,18 @@ void setNumThreads(int n) {
 
 bool inWorkerThread() noexcept { return detail::tls_in_worker; }
 
+namespace {
+thread_local bool tls_inline_parallel = false;
+}  // namespace
+
+bool setInlineParallel(bool on) noexcept {
+  const bool prev = tls_inline_parallel;
+  tls_inline_parallel = on;
+  return prev;
+}
+
+bool inlineParallel() noexcept { return tls_inline_parallel; }
+
 void warmupPool() {
   if (getNumThreads() > 1) detail::globalPool().ensureStarted();
 }

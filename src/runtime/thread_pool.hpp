@@ -56,6 +56,16 @@ int maxHardwareThreads();
 /// run nested regions inline rather than deadlocking on the pool).
 bool inWorkerThread() noexcept;
 
+/// Per-thread switch forcing parallel_for on this thread to run its body
+/// inline instead of forking bands to the pool. The serve engine sets this
+/// on its request workers so cross-request concurrency does not multiply
+/// with band parallelism (N request workers x M bands would oversubscribe
+/// the cores). Returns the previous value so scopes can restore it.
+bool setInlineParallel(bool on) noexcept;
+
+/// Current value of the calling thread's inline-parallel switch.
+bool inlineParallel() noexcept;
+
 /// Spin up the pool's worker threads for the current thread count without
 /// running any work. Benchmarks call this so thread creation and stack
 /// first-touch land outside the measured window.

@@ -1,0 +1,273 @@
+// The serve engine: admission, request workers, deadlines, shutdown.
+//
+// Lifecycle of a request (every path sets exactly one Stats bucket):
+//
+//   submit/trySubmit
+//     -> admission refused (shutdown begun / ring full)   RejectedShutdown /
+//                                                         RejectedFull
+//     -> queued in the ingress ring
+//          -> shutdown(Abort) drains it                   Aborted
+//          -> worker pops it, deadline already passed     Expired
+//          -> worker executes it                          Ok / Error
+//
+// Workers never interrupt a running pipeline: deadlines are checked at
+// pickup, so "drop-expired" sheds exactly the work that has not started.
+#include "serve/serve.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/scratch.hpp"
+#include "prof/prof.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/queue.hpp"
+
+namespace simdcv::serve {
+
+namespace {
+
+// Parse a non-negative integer environment value; `fallback` when the
+// variable is unset or malformed.
+std::uint64_t envU64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(n);
+}
+
+std::future<Response> readyResponse(Status status, std::uint64_t submit_ns,
+                                    std::string error = {}) {
+  std::promise<Response> p;
+  Response r;
+  r.status = status;
+  r.error = std::move(error);
+  r.submit_ns = submit_ns;
+  p.set_value(std::move(r));
+  return p.get_future();
+}
+
+}  // namespace
+
+const char* toString(Status s) noexcept {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::RejectedFull: return "rejected-full";
+    case Status::RejectedShutdown: return "rejected-shutdown";
+    case Status::Expired: return "expired";
+    case Status::Aborted: return "aborted";
+    case Status::Error: return "error";
+  }
+  return "?";
+}
+
+Options Options::fromEnv() {
+  Options o;
+  o.workers = static_cast<int>(envU64("SIMDCV_SERVE_WORKERS", 1));
+  if (o.workers < 1) o.workers = 1;
+  o.queue_capacity =
+      static_cast<std::size_t>(envU64("SIMDCV_SERVE_QUEUE_CAP", 64));
+  if (o.queue_capacity < 1) o.queue_capacity = 1;
+  o.default_deadline_ns =
+      envU64("SIMDCV_SERVE_DEADLINE_MS", 0) * std::uint64_t(1000000);
+  return o;
+}
+
+class Engine::Impl {
+ public:
+  struct Request {
+    PipelineFn fn;
+    Mat src;
+    KernelPath path = KernelPath::Default;
+    std::uint64_t submit_ns = 0;
+    std::uint64_t deadline_ns = 0;  // absolute nowNs() value; 0 = none
+    std::promise<Response> promise;
+  };
+
+  explicit Impl(Options opts)
+      : opts_(normalize(std::move(opts))), queue_(opts_.queue_capacity) {
+    workers_.reserve(static_cast<std::size_t>(opts_.workers));
+    for (int i = 0; i < opts_.workers; ++i)
+      workers_.emplace_back([this] { workerLoop(); });
+  }
+
+  ~Impl() { shutdown(Shutdown::Drain); }
+
+  std::future<Response> submit(const std::string& pipeline, Mat&& src,
+                               const SubmitOptions& so, bool blocking) {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t now = prof::nowNs();
+    if (!accepting_.load(std::memory_order_acquire)) {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      return readyResponse(Status::RejectedShutdown, now);
+    }
+    PipelineFn fn = pipelineFn(pipeline);
+    if (!fn) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return readyResponse(Status::Error, now,
+                           "unknown pipeline '" + pipeline + "'");
+    }
+    Request req;
+    req.fn = std::move(fn);
+    req.src = std::move(src);
+    req.path = so.path;
+    req.submit_ns = now;
+    const std::uint64_t rel =
+        so.deadline_ns != 0 ? so.deadline_ns : opts_.default_deadline_ns;
+    req.deadline_ns = rel != 0 ? now + rel : 0;
+    std::future<Response> fut = req.promise.get_future();
+
+    const PushResult pr = blocking ? queue_.push(std::move(req))
+                                   : queue_.tryPush(std::move(req));
+    switch (pr) {
+      case PushResult::Ok:
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        return fut;
+      case PushResult::Full:
+        rejected_full_.fetch_add(1, std::memory_order_relaxed);
+        return readyResponse(Status::RejectedFull, now);
+      case PushResult::Closed:
+        rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+        return readyResponse(Status::RejectedShutdown, now);
+    }
+    return readyResponse(Status::Error, now, "unreachable");
+  }
+
+  void shutdown(Shutdown mode) {
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    accepting_.store(false, std::memory_order_release);
+    queue_.close();
+    if (mode == Shutdown::Abort) {
+      for (Request& req : queue_.drainNow()) {
+        aborted_.fetch_add(1, std::memory_order_relaxed);
+        Response r;
+        r.status = Status::Aborted;
+        r.submit_ns = req.submit_ns;
+        req.promise.set_value(std::move(r));
+      }
+    }
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  Stats stats() const noexcept {
+    Stats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+    s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+    s.expired = expired_.load(std::memory_order_relaxed);
+    s.aborted = aborted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  const Options& options() const noexcept { return opts_; }
+  std::size_t queued() const { return queue_.size(); }
+
+ private:
+  static Options normalize(Options o) {
+    if (o.workers < 1) o.workers = 1;
+    if (o.queue_capacity < 1) o.queue_capacity = 1;
+    return o;
+  }
+
+  void workerLoop() {
+    if (opts_.inline_kernel_parallel) runtime::setInlineParallel(true);
+    Request req;
+    while (queue_.pop(req)) {
+      const std::uint64_t start = prof::nowNs();
+      const KernelPath p = resolvePath(req.path);
+      prof::addSample("serve.wait", p, start - req.submit_ns);
+      Response resp;
+      resp.submit_ns = req.submit_ns;
+      resp.start_ns = start;
+      if (req.deadline_ns != 0 && start > req.deadline_ns) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        prof::instant("serve.expired");
+        resp.status = Status::Expired;
+        resp.done_ns = start;
+        req.promise.set_value(std::move(resp));
+        req = Request{};  // drop the source image before the next pop
+        continue;
+      }
+      {
+        // One arena frame per request: pipeline-internal frames nest inside
+        // it, and the worker's arena stays warm across requests (zero
+        // steady-state allocations at a stable request size).
+        core::ScratchFrame frame;
+        SIMDCV_TRACE_SCOPE("serve.exec", p,
+                           static_cast<std::uint64_t>(req.src.total()) *
+                               (req.src.elemSize() + 1));
+        try {
+          req.fn(req.src, resp.image, req.path);
+          resp.status = Status::Ok;
+          completed_.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception& e) {
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          resp.status = Status::Error;
+          resp.error = e.what();
+          resp.image = Mat();
+        } catch (...) {
+          errors_.fetch_add(1, std::memory_order_relaxed);
+          resp.status = Status::Error;
+          resp.error = "unknown exception";
+          resp.image = Mat();
+        }
+      }
+      resp.done_ns = prof::nowNs();
+      req.promise.set_value(std::move(resp));
+      req = Request{};
+    }
+  }
+
+  Options opts_;
+  BoundedQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+  std::atomic_bool accepting_{true};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> aborted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+Engine::Engine(Options opts) : impl_(std::make_unique<Impl>(std::move(opts))) {}
+
+Engine::~Engine() = default;
+
+std::future<Response> Engine::submit(const std::string& pipeline, Mat src,
+                                     SubmitOptions so) {
+  return impl_->submit(pipeline, std::move(src), so, /*blocking=*/true);
+}
+
+std::future<Response> Engine::trySubmit(const std::string& pipeline, Mat src,
+                                        SubmitOptions so) {
+  return impl_->submit(pipeline, std::move(src), so, /*blocking=*/false);
+}
+
+void Engine::shutdown(Shutdown mode) { impl_->shutdown(mode); }
+
+Stats Engine::stats() const noexcept { return impl_->stats(); }
+
+const Options& Engine::options() const noexcept { return impl_->options(); }
+
+std::size_t Engine::queued() const { return impl_->queued(); }
+
+}  // namespace simdcv::serve

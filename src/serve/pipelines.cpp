@@ -1,0 +1,97 @@
+// Pipeline-template registry and the built-in presets.
+//
+// Presets are the serving form of the example applications: each is a fixed
+// chain of public kernels parameterized only by the request's KernelPath, so
+// a served response is bit-identical to calling the chain directly (the
+// guarantee tests/serve asserts per preset).
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "imgproc/edge.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/histogram.hpp"
+#include "imgproc/median.hpp"
+#include "imgproc/morphology.hpp"
+#include "imgproc/threshold.hpp"
+#include "serve/serve.hpp"
+
+namespace simdcv::serve {
+
+namespace {
+
+std::mutex g_registry_mu;
+
+std::map<std::string, PipelineFn>& registryLocked() {
+  static std::map<std::string, PipelineFn> registry;
+  return registry;
+}
+
+void registerLocked(const std::string& name, PipelineFn fn) {
+  registryLocked()[name] = std::move(fn);
+}
+
+// The built-in presets, installed once before the first lookup. Thresholds
+// and kernel shapes mirror the examples they were lifted from
+// (examples/edge_detection.cpp, photo_pipeline.cpp, document_scanner.cpp).
+void ensurePresets() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::lock_guard<std::mutex> lk(g_registry_mu);
+    registerLocked("edge", [](const Mat& src, Mat& dst, KernelPath path) {
+      imgproc::edgeDetect(src, dst, 100.0, 3, imgproc::BorderType::Reflect101,
+                          path);
+    });
+    registerLocked("blur", [](const Mat& src, Mat& dst, KernelPath path) {
+      imgproc::GaussianBlur(src, dst, {7, 7}, 1.6, 1.6,
+                            imgproc::BorderType::Reflect101, path);
+    });
+    registerLocked("threshold", [](const Mat& src, Mat& dst, KernelPath path) {
+      imgproc::threshold(src, dst, 128.0, 255.0,
+                         imgproc::ThresholdType::Binary, path);
+    });
+    registerLocked("scanner", [](const Mat& src, Mat& dst, KernelPath path) {
+      // Document binarization: impulse denoise, automatic threshold (text is
+      // dark -> BinaryInv), then a morphological close to merge dashes into
+      // word blobs — the document_scanner chain minus its search stages.
+      Mat den;
+      imgproc::medianBlur(src, den, 3, path);
+      const double t = imgproc::otsuThreshold(den, path);
+      Mat bin;
+      imgproc::threshold(den, bin, t, 255.0, imgproc::ThresholdType::BinaryInv,
+                         path);
+      imgproc::morphClose(bin, dst, {9, 3}, path);
+    });
+  });
+}
+
+}  // namespace
+
+void registerPipeline(const std::string& name, PipelineFn fn) {
+  ensurePresets();
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  registerLocked(name, std::move(fn));
+}
+
+PipelineFn pipelineFn(const std::string& name) {
+  ensurePresets();
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  const auto& registry = registryLocked();
+  const auto it = registry.find(name);
+  return it == registry.end() ? PipelineFn() : it->second;
+}
+
+bool hasPipeline(const std::string& name) {
+  return static_cast<bool>(pipelineFn(name));
+}
+
+std::vector<std::string> pipelineNames() {
+  ensurePresets();
+  std::lock_guard<std::mutex> lk(g_registry_mu);
+  std::vector<std::string> names;
+  names.reserve(registryLocked().size());
+  for (const auto& [name, fn] : registryLocked()) names.push_back(name);
+  return names;
+}
+
+}  // namespace simdcv::serve

@@ -1,0 +1,151 @@
+// Bounded MPMC ingress queue: a fixed-capacity ring with condition-variable
+// blocking, the admission point of the serve engine. Design choices:
+//
+//   - Mutex + two CVs over a preallocated ring, not a lock-free queue. The
+//     items are whole image requests (the cheapest is ~1 ms of kernel work),
+//     so enqueue cost is noise; what matters is that full/empty blocking and
+//     close() semantics are airtight under ThreadSanitizer.
+//   - Bounded by construction: push() blocks when full (backpressure to the
+//     producer), tryPush() refuses instead (reject-on-full admission).
+//   - close() freezes admission but lets consumers drain what was accepted
+//     (the drain shutdown); drainNow() empties the ring immediately so the
+//     caller can fail the leftovers (the abort shutdown).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace simdcv::serve {
+
+enum class PushResult : int {
+  Ok = 0,
+  Full,    ///< tryPush only: ring at capacity
+  Closed,  ///< queue was closed; item not accepted
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {
+    SIMDCV_REQUIRE(capacity >= 1, "BoundedQueue: capacity must be >= 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return count_;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  /// Blocking submit: waits while the ring is full. Returns Closed if the
+  /// queue is (or becomes, while waiting) closed; the item is not consumed
+  /// in that case.
+  PushResult push(T&& item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || count_ < slots_.size(); });
+    if (closed_) return PushResult::Closed;
+    emplaceLocked(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return PushResult::Ok;
+  }
+
+  /// Non-blocking submit: refuses immediately when full or closed.
+  PushResult tryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return PushResult::Closed;
+      if (count_ == slots_.size()) return PushResult::Full;
+      emplaceLocked(std::move(item));
+    }
+    not_empty_.notify_one();
+    return PushResult::Ok;
+  }
+
+  /// Blocking consume: waits until an item is available or the queue is
+  /// closed AND empty (drained). Returns false only in the latter case.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || count_ > 0; });
+    if (count_ == 0) return false;  // closed and drained
+    out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    lk.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking consume.
+  bool tryPop(T& out) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (count_ == 0) return false;
+      out = std::move(slots_[head_]);
+      head_ = (head_ + 1) % slots_.size();
+      --count_;
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Freeze admission. Blocked pushers return Closed; poppers drain the
+  /// remaining items and then get false. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Remove and return every queued item right now, in FIFO order. Used by
+  /// the abort shutdown to fail leftovers after close(); racing poppers may
+  /// legitimately win individual items.
+  std::vector<T> drainNow() {
+    std::vector<T> out;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      out.reserve(count_);
+      while (count_ > 0) {
+        out.push_back(std::move(slots_[head_]));
+        head_ = (head_ + 1) % slots_.size();
+        --count_;
+      }
+    }
+    not_full_.notify_all();
+    return out;
+  }
+
+ private:
+  // Requires mu_ held and count_ < slots_.size().
+  void emplaceLocked(T&& item) {
+    slots_[(head_ + count_) % slots_.size()] = std::move(item);
+    ++count_;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> slots_;  // ring storage; [head_, head_+count_) mod capacity
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace simdcv::serve

@@ -1,0 +1,175 @@
+// simdcv::serve — batched image-service engine: the request layer that turns
+// the kernel library into a system under traffic.
+//
+// Everything below the serve line is single-request machinery (kernels, the
+// band-parallel runtime, per-thread scratch arenas, prof spans). This module
+// adds the missing layer on top:
+//
+//   - a bounded MPMC ingress queue (serve/queue.hpp): fixed-capacity ring,
+//     CV-based blocking submit() for backpressure, trySubmit() for
+//     reject-on-full admission;
+//   - an Engine running N request workers, each pulling requests off the
+//     queue and executing a registered pipeline inside its own ScratchArena
+//     frame, with queue-wait vs execute time attributed through prof spans
+//     ("serve.wait" / "serve.exec");
+//   - per-request deadlines (expired requests are dropped before execution,
+//     never mid-kernel) and graceful shutdown in two modes: Drain completes
+//     everything admitted, Abort fails the queue's leftovers immediately;
+//   - a pipeline-template registry with presets lifted from examples/
+//     ("edge", "blur", "threshold", "scanner") plus registerPipeline() for
+//     application chains.
+//
+// Determinism: the engine adds no arithmetic of its own — a request's output
+// is produced by the same kernels, on the same path, as a direct call, so
+// results are bit-identical to unqueued execution on every KernelPath and
+// worker count (enforced by tests/serve under ThreadSanitizer).
+//
+// Threading model: request workers are dedicated threads owned by the
+// Engine; cross-request concurrency comes from them, not from the band pool.
+// By default each worker pins runtime::setInlineParallel(true) so kernels
+// inside a request run single-threaded — N workers x M bands oversubscription
+// cannot happen. Set Options::inline_kernel_parallel = false to let requests
+// fan bands out to the shared work-stealing pool (sensible for workers == 1
+// with SIMDCV_NUM_THREADS > 1).
+//
+// Environment (read by Options::fromEnv(), the Engine default):
+//   SIMDCV_SERVE_WORKERS      request workers (default 1)
+//   SIMDCV_SERVE_QUEUE_CAP    ingress ring capacity (default 64)
+//   SIMDCV_SERVE_DEADLINE_MS  default per-request deadline, 0 = none
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mat.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::serve {
+
+// ---- pipeline registry -----------------------------------------------------
+
+/// A pipeline template: src in, dst out, on the requested kernel path. Must
+/// be safe to run concurrently from multiple threads (all simdcv kernels
+/// are) and deterministic for a given (src, path).
+using PipelineFn = std::function<void(const Mat& src, Mat& dst,
+                                      KernelPath path)>;
+
+/// Register (or replace) a pipeline template under `name`.
+void registerPipeline(const std::string& name, PipelineFn fn);
+
+/// Look up a pipeline; returns an empty function if `name` is unknown.
+/// The first registry access installs the built-in presets:
+///   "edge"       edgeDetect (Sobel x/y, |gx|+|gy|, binary threshold)
+///   "blur"       7x7 Gaussian, sigma 1.6
+///   "threshold"  binary threshold at 128
+///   "scanner"    document chain: median denoise, Otsu binarize, morph close
+PipelineFn pipelineFn(const std::string& name);
+
+bool hasPipeline(const std::string& name);
+std::vector<std::string> pipelineNames();
+
+// ---- requests and responses ------------------------------------------------
+
+enum class Status : int {
+  Ok = 0,
+  RejectedFull,      ///< trySubmit: ingress ring at capacity
+  RejectedShutdown,  ///< submitted after shutdown began
+  Expired,           ///< deadline passed while queued; dropped before execute
+  Aborted,           ///< queued at shutdown(Abort); never executed
+  Error,             ///< pipeline threw (or unknown pipeline name)
+};
+const char* toString(Status s) noexcept;
+
+struct Response {
+  Status status = Status::Ok;
+  Mat image;          ///< pipeline output (empty unless status == Ok)
+  std::string error;  ///< what() when status == Error
+  // Lifecycle timestamps from prof::nowNs() (0 for states never reached).
+  std::uint64_t submit_ns = 0;  ///< admission into the ingress queue
+  std::uint64_t start_ns = 0;   ///< picked up by a worker
+  std::uint64_t done_ns = 0;    ///< response ready
+  std::uint64_t queueWaitNs() const noexcept { return start_ns - submit_ns; }
+  std::uint64_t execNs() const noexcept { return done_ns - start_ns; }
+  std::uint64_t totalNs() const noexcept { return done_ns - submit_ns; }
+};
+
+struct SubmitOptions {
+  KernelPath path = KernelPath::Default;
+  /// Deadline relative to submission; 0 uses the engine's default. A request
+  /// whose deadline passes while it waits in the queue is dropped (Expired)
+  /// before any kernel runs — execution is never cut short mid-image.
+  std::uint64_t deadline_ns = 0;
+};
+
+// ---- the engine ------------------------------------------------------------
+
+struct Options {
+  int workers = 1;                       ///< request worker threads (>= 1)
+  std::size_t queue_capacity = 64;       ///< ingress ring slots (>= 1)
+  std::uint64_t default_deadline_ns = 0; ///< 0 = no default deadline
+  /// Run kernels single-threaded inside each request worker (see header
+  /// comment on the threading model).
+  bool inline_kernel_parallel = true;
+
+  /// Defaults above overridden by SIMDCV_SERVE_WORKERS /
+  /// SIMDCV_SERVE_QUEUE_CAP / SIMDCV_SERVE_DEADLINE_MS where set.
+  static Options fromEnv();
+};
+
+/// Monotonic admission/outcome counters (relaxed atomics; a snapshot is not
+/// a consistent cut but every request ends in exactly one outcome bucket).
+struct Stats {
+  std::uint64_t submitted = 0;          ///< submit/trySubmit calls
+  std::uint64_t accepted = 0;           ///< admitted into the queue
+  std::uint64_t rejected_full = 0;      ///< trySubmit refused: ring full
+  std::uint64_t rejected_shutdown = 0;  ///< submitted after shutdown
+  std::uint64_t expired = 0;            ///< dropped: deadline passed in queue
+  std::uint64_t aborted = 0;            ///< dropped: shutdown(Abort) leftovers
+  std::uint64_t completed = 0;          ///< executed, status Ok
+  std::uint64_t errors = 0;             ///< pipeline threw / unknown name
+};
+
+enum class Shutdown : int {
+  Drain,  ///< stop admission, complete everything already queued
+  Abort,  ///< stop admission, fail queued requests (in-flight ones finish)
+};
+
+class Engine {
+ public:
+  explicit Engine(Options opts = Options::fromEnv());
+  ~Engine();  ///< shutdown(Drain) if still running
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Blocking submit: waits while the ingress ring is full (backpressure).
+  /// The returned future always becomes ready — with status Ok, or one of
+  /// the drop/reject statuses. Safe from any number of threads.
+  std::future<Response> submit(const std::string& pipeline, Mat src,
+                               SubmitOptions so = {});
+
+  /// Non-blocking submit: RejectedFull immediately when the ring is full.
+  std::future<Response> trySubmit(const std::string& pipeline, Mat src,
+                                  SubmitOptions so = {});
+
+  /// Stop admission and wind down the workers. Drain completes every queued
+  /// request before returning; Abort fails queued requests immediately and
+  /// returns once in-flight ones finish. Idempotent; the first call decides
+  /// the mode. submit() after shutdown yields RejectedShutdown.
+  void shutdown(Shutdown mode = Shutdown::Drain);
+
+  Stats stats() const noexcept;
+  const Options& options() const noexcept;
+  /// Requests currently waiting in the ingress ring.
+  std::size_t queued() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace simdcv::serve

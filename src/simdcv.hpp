@@ -60,6 +60,12 @@
 // platform: host introspection (caches, ISA) and the kernel cost catalog.
 #include "platform/platform.hpp"
 
+// serve: the batched image-service engine — bounded MPMC ingress queue,
+// request workers with deadlines and drain/abort shutdown, and the
+// pipeline-template registry (edge / blur / threshold / scanner presets).
+#include "serve/queue.hpp"
+#include "serve/serve.hpp"
+
 // prof: tracing spans, per-kernel metrics, chrome-trace export, optional
 // perf_event hardware counters.
 #include "prof/prof.hpp"

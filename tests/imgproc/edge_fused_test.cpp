@@ -13,6 +13,7 @@
 #include "imgproc/edge_detail.hpp"
 #include "imgproc/filter.hpp"
 #include "imgproc/kernels.hpp"
+#include "platform/platform.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace simdcv::imgproc {
@@ -273,6 +274,48 @@ TEST(EdgeFused, GrainAndScratchAreSane) {
     // Scratch grows with width (streaming engine: footprint ~ width, not rows).
     EXPECT_LT(detail::fusedScratchBytes(640, ksize),
               detail::fusedScratchBytes(3264, ksize));
+  }
+}
+
+// Satellite: the fuse-vs-staged cutoff. Fusion is always profitable off the
+// AVX2 path; on AVX2 the staged form wins while the whole-image intermediates
+// (w*h*(2*s16 + u8) bytes) fit in L2, so tiny images must choose staged and
+// huge ones fused. Both forms are bit-exact, so straddling the cutoff must be
+// invisible in the output.
+TEST(EdgeFused, FuseProfitableCutoff) {
+  // Non-AVX2 paths: always fuse (no regression was measured there).
+  for (KernelPath p : {KernelPath::ScalarNoVec, KernelPath::Auto,
+                       KernelPath::Sse2, KernelPath::Neon}) {
+    EXPECT_TRUE(detail::fuseProfitable(640, 480, 3, p)) << toString(p);
+    EXPECT_TRUE(detail::fuseProfitable(64, 64, 3, p)) << toString(p);
+  }
+  if (pathAvailable(KernelPath::Avx2)) {
+    // 64x64 intermediates are 20 KB — inside any L2 — so staged wins; a
+    // 4096x4096 frame needs 80 MB of intermediates — beyond any L2 — so the
+    // cache-blocked fused engine wins.
+    EXPECT_FALSE(detail::fuseProfitable(64, 64, 3, KernelPath::Avx2));
+    EXPECT_TRUE(detail::fuseProfitable(4096, 4096, 3, KernelPath::Avx2));
+    // The measured regression case from BENCH_fusion.json: 640x480 staged.
+    const platform::HostInfo host = platform::queryHost();
+    if (host.l2_kb >= 2048) {
+      EXPECT_FALSE(detail::fuseProfitable(640, 480, 3, KernelPath::Avx2));
+    }
+  }
+}
+
+TEST(EdgeFused, DispatchBitExactAcrossCutoff) {
+  // Sizes on both sides of any plausible cutoff; edgeDetect may pick either
+  // form per size, and each must match the staged reference exactly.
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    for (int cols : {32, 640}) {
+      const Mat src = randomU8(48, cols, 90 + static_cast<unsigned>(cols));
+      Mat viaDispatch, staged;
+      edgeDetect(src, viaDispatch, 85.0, 3, BorderType::Reflect101, p);
+      edgeDetectUnfused(src, staged, 85.0, 3, BorderType::Reflect101, p);
+      EXPECT_EQ(countMismatches(viaDispatch, staged), 0u)
+          << toString(p) << " cols=" << cols;
+    }
   }
 }
 

@@ -1,0 +1,171 @@
+// BoundedQueue edge cases: ring wraparound at capacity 1, FIFO across wrap,
+// full/closed admission, blocking push/pop wakeups, drain semantics, and an
+// MPMC stress run (the ThreadSanitizer target of the `serve` label).
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/queue.hpp"
+
+namespace simdcv::serve {
+namespace {
+
+TEST(BoundedQueue, Capacity1Wraparound) {
+  BoundedQueue<int> q(1);
+  EXPECT_EQ(q.capacity(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.tryPush(int(i)), PushResult::Ok) << i;
+    EXPECT_EQ(q.tryPush(int(i)), PushResult::Full) << i;  // ring is full
+    EXPECT_EQ(q.size(), 1u);
+    int out = -1;
+    EXPECT_TRUE(q.tryPop(out));
+    EXPECT_EQ(out, i);
+    EXPECT_EQ(q.size(), 0u);
+  }
+  int out = -1;
+  EXPECT_FALSE(q.tryPop(out));
+}
+
+TEST(BoundedQueue, FifoOrderAcrossWrap) {
+  BoundedQueue<int> q(3);
+  int next_push = 0, next_pop = 0;
+  // Interleave so head_ walks around the ring several times: +2/-2 per round
+  // advances the head two slots of three, wrapping every other round.
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_EQ(q.tryPush(int(next_push)), PushResult::Ok);
+    ++next_push;
+    ASSERT_EQ(q.tryPush(int(next_push)), PushResult::Ok);
+    ++next_push;
+    int out = -1;
+    ASSERT_TRUE(q.tryPop(out));
+    EXPECT_EQ(out, next_pop++);
+    ASSERT_TRUE(q.tryPop(out));
+    EXPECT_EQ(out, next_pop++);
+  }
+  int out = -1;
+  while (q.tryPop(out)) EXPECT_EQ(out, next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(BoundedQueue, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  ASSERT_EQ(q.tryPush(std::make_unique<int>(7)), PushResult::Ok);
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(BoundedQueue, CloseRejectsSubmissions) {
+  BoundedQueue<int> q(2);
+  ASSERT_EQ(q.tryPush(1), PushResult::Ok);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.tryPush(2), PushResult::Closed);
+  EXPECT_EQ(q.push(3), PushResult::Closed);
+  // Already-admitted items still drain.
+  int out = -1;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(q.pop(out));  // closed and empty
+  q.close();                 // idempotent
+}
+
+TEST(BoundedQueue, BlockingPushUnblocksOnPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_EQ(q.tryPush(1), PushResult::Ok);
+  std::atomic_bool pushed{false};
+  std::thread t([&] {
+    EXPECT_EQ(q.push(2), PushResult::Ok);  // blocks until the pop below
+    pushed.store(true);
+  });
+  int out = -1;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  t.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueue, BlockingPopUnblocksOnPush) {
+  BoundedQueue<int> q(1);
+  std::thread t([&] {
+    int out = -1;
+    EXPECT_TRUE(q.pop(out));  // blocks until the push below
+    EXPECT_EQ(out, 42);
+  });
+  ASSERT_EQ(q.push(42), PushResult::Ok);
+  t.join();
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPush) {
+  BoundedQueue<int> q(1);
+  ASSERT_EQ(q.tryPush(1), PushResult::Ok);
+  std::thread t([&] { EXPECT_EQ(q.push(2), PushResult::Closed); });
+  q.close();
+  t.join();
+  EXPECT_EQ(q.size(), 1u);  // the blocked item was never admitted
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPop) {
+  BoundedQueue<int> q(1);
+  std::thread t([&] {
+    int out = -1;
+    EXPECT_FALSE(q.pop(out));
+  });
+  q.close();
+  t.join();
+}
+
+TEST(BoundedQueue, DrainNowReturnsFifoLeftovers) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 3; ++i) ASSERT_EQ(q.tryPush(int(i)), PushResult::Ok);
+  const std::vector<int> got = q.drainNow();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.drainNow().empty());
+}
+
+TEST(BoundedQueue, MpmcStress) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);
+
+  std::mutex got_mu;
+  std::vector<int> got;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int v = -1;
+      while (q.pop(v)) {
+        std::lock_guard<std::mutex> lk(got_mu);
+        got.push_back(v);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_EQ(q.push(p * kPerProducer + i), PushResult::Ok);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(got.size(), std::size_t(kProducers) * kPerProducer);
+  std::sort(got.begin(), got.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i)
+    ASSERT_EQ(got[static_cast<std::size_t>(i)], i);  // every item exactly once
+}
+
+}  // namespace
+}  // namespace simdcv::serve

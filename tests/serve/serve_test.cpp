@@ -1,0 +1,387 @@
+// serve::Engine semantics: preset registry, bit-identical outputs vs direct
+// (unqueued) kernel calls, admission policy (reject-on-full, backpressure,
+// reject-after-shutdown), deadline drops, drain-vs-abort shutdown with
+// requests in flight, and a many-clients concurrency run for TSan.
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simdcv.hpp"
+
+namespace simdcv::serve {
+namespace {
+
+Mat testImage(int w = 160, int h = 120, std::uint32_t seed = 7) {
+  return bench::makeScene(bench::Scene::Checker, {w, h}, seed);
+}
+
+// A pipeline the test can hold open: the worker blocks inside run() until
+// release(). Lets tests pin a worker deterministically while they fill the
+// ingress ring, expire deadlines, or shut down.
+class Gate {
+ public:
+  PipelineFn pipeline() {
+    return [this](const Mat& src, Mat& dst, KernelPath) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        ++started_;
+        cv_.notify_all();
+        cv_.wait(lk, [&] { return open_; });
+      }
+      dst = src.clone();
+    };
+  }
+  void waitStarted(int n) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return started_ >= n; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int started_ = 0;
+  bool open_ = false;
+};
+
+TEST(ServeRegistry, PresetsRegistered) {
+  for (const char* name : {"edge", "blur", "threshold", "scanner"}) {
+    EXPECT_TRUE(hasPipeline(name)) << name;
+    EXPECT_TRUE(static_cast<bool>(pipelineFn(name))) << name;
+  }
+  EXPECT_FALSE(hasPipeline("no-such-pipeline"));
+  const auto names = pipelineNames();
+  EXPECT_GE(names.size(), 4u);
+}
+
+TEST(ServeRegistry, RegisterAndReplace) {
+  registerPipeline("test.copy", [](const Mat& src, Mat& dst, KernelPath) {
+    dst = src.clone();
+  });
+  ASSERT_TRUE(hasPipeline("test.copy"));
+  registerPipeline("test.copy", [](const Mat& src, Mat& dst, KernelPath) {
+    Mat out = src.clone();
+    out.setTo(1);
+    dst = std::move(out);
+  });
+  Mat out;
+  pipelineFn("test.copy")(testImage(8, 8), out, KernelPath::Default);
+  EXPECT_EQ(out.at<std::uint8_t>(0, 0), 1);  // the replacement ran
+}
+
+TEST(ServeStatus, ToString) {
+  EXPECT_STREQ(toString(Status::Ok), "ok");
+  EXPECT_STREQ(toString(Status::RejectedFull), "rejected-full");
+  EXPECT_STREQ(toString(Status::RejectedShutdown), "rejected-shutdown");
+  EXPECT_STREQ(toString(Status::Expired), "expired");
+  EXPECT_STREQ(toString(Status::Aborted), "aborted");
+  EXPECT_STREQ(toString(Status::Error), "error");
+}
+
+TEST(ServeOptions, FromEnv) {
+  ::setenv("SIMDCV_SERVE_WORKERS", "3", 1);
+  ::setenv("SIMDCV_SERVE_QUEUE_CAP", "17", 1);
+  ::setenv("SIMDCV_SERVE_DEADLINE_MS", "250", 1);
+  const Options o = Options::fromEnv();
+  EXPECT_EQ(o.workers, 3);
+  EXPECT_EQ(o.queue_capacity, 17u);
+  EXPECT_EQ(o.default_deadline_ns, std::uint64_t(250) * 1000000);
+  ::unsetenv("SIMDCV_SERVE_WORKERS");
+  ::unsetenv("SIMDCV_SERVE_QUEUE_CAP");
+  ::unsetenv("SIMDCV_SERVE_DEADLINE_MS");
+  const Options d = Options::fromEnv();
+  EXPECT_EQ(d.workers, 1);
+  EXPECT_EQ(d.queue_capacity, 64u);
+  EXPECT_EQ(d.default_deadline_ns, 0u);
+}
+
+// The acceptance contract: a served response is bit-identical to calling
+// the same pipeline directly, for every preset, with multiple workers
+// racing. The engine must add no arithmetic of its own.
+TEST(ServeEngine, BitIdenticalVsDirectCall) {
+  const Mat src = testImage(127, 93, 11);
+  Options opts;
+  opts.workers = 3;
+  opts.queue_capacity = 16;
+  Engine engine(opts);
+  for (const char* name : {"edge", "blur", "threshold", "scanner"}) {
+    Mat want;
+    pipelineFn(name)(src, want, KernelPath::Default);
+    // Several concurrent requests of the same pipeline: all must match the
+    // direct result exactly.
+    std::vector<std::future<Response>> futs;
+    for (int i = 0; i < 6; ++i) futs.push_back(engine.submit(name, src));
+    for (auto& f : futs) {
+      Response r = f.get();
+      ASSERT_EQ(r.status, Status::Ok) << name << ": " << r.error;
+      ASSERT_EQ(r.image.size(), want.size()) << name;
+      EXPECT_EQ(countMismatches(r.image, want), 0u) << name;
+      EXPECT_GE(r.start_ns, r.submit_ns) << name;
+      EXPECT_GE(r.done_ns, r.start_ns) << name;
+    }
+  }
+  const Stats s = engine.stats();
+  EXPECT_EQ(s.completed, 24u);
+  EXPECT_EQ(s.accepted, 24u);
+  EXPECT_EQ(s.errors, 0u);
+}
+
+TEST(ServeEngine, UnknownPipelineIsError) {
+  Engine engine(Options{});
+  Response r = engine.submit("no-such-pipeline", testImage()).get();
+  EXPECT_EQ(r.status, Status::Error);
+  EXPECT_NE(r.error.find("no-such-pipeline"), std::string::npos);
+  EXPECT_EQ(engine.stats().errors, 1u);
+}
+
+TEST(ServeEngine, PipelineExceptionIsError) {
+  registerPipeline("test.throws", [](const Mat&, Mat&, KernelPath) {
+    throw Error("deliberate failure");
+  });
+  Engine engine(Options{});
+  Response r = engine.submit("test.throws", testImage()).get();
+  EXPECT_EQ(r.status, Status::Error);
+  EXPECT_NE(r.error.find("deliberate failure"), std::string::npos);
+  EXPECT_TRUE(r.image.empty());
+  EXPECT_EQ(engine.stats().errors, 1u);
+  // The worker survives a throwing pipeline.
+  EXPECT_EQ(engine.submit("threshold", testImage()).get().status, Status::Ok);
+}
+
+TEST(ServeEngine, SubmitAfterShutdownRejected) {
+  Engine engine(Options{});
+  ASSERT_EQ(engine.submit("threshold", testImage()).get().status, Status::Ok);
+  engine.shutdown(Shutdown::Drain);
+  Response r = engine.submit("threshold", testImage()).get();
+  EXPECT_EQ(r.status, Status::RejectedShutdown);
+  EXPECT_EQ(engine.trySubmit("threshold", testImage()).get().status,
+            Status::RejectedShutdown);
+  const Stats s = engine.stats();
+  EXPECT_EQ(s.rejected_shutdown, 2u);
+  EXPECT_EQ(s.completed, 1u);
+  engine.shutdown(Shutdown::Abort);  // idempotent, mode decided by first call
+}
+
+TEST(ServeEngine, TrySubmitRejectsWhenFull) {
+  auto gate = std::make_shared<Gate>();
+  registerPipeline("test.gate.full", gate->pipeline());
+  Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  Engine engine(opts);
+  // Pin the single worker, then fill the single ring slot.
+  auto in_flight = engine.submit("test.gate.full", testImage(16, 16));
+  gate->waitStarted(1);
+  auto queued = engine.submit("threshold", testImage(16, 16));
+  // Ring is now full: non-blocking admission must refuse immediately.
+  Response rejected =
+      engine.trySubmit("threshold", testImage(16, 16)).get();
+  EXPECT_EQ(rejected.status, Status::RejectedFull);
+  gate->release();
+  EXPECT_EQ(in_flight.get().status, Status::Ok);
+  EXPECT_EQ(queued.get().status, Status::Ok);
+  const Stats s = engine.stats();
+  EXPECT_EQ(s.rejected_full, 1u);
+  EXPECT_EQ(s.completed, 2u);
+}
+
+TEST(ServeEngine, BlockingSubmitAppliesBackpressure) {
+  auto gate = std::make_shared<Gate>();
+  registerPipeline("test.gate.bp", gate->pipeline());
+  Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  Engine engine(opts);
+  auto in_flight = engine.submit("test.gate.bp", testImage(16, 16));
+  gate->waitStarted(1);
+  auto queued = engine.submit("threshold", testImage(16, 16));
+  // This submit finds the ring full and must block until the gate opens and
+  // the worker drains a slot — then be admitted, not rejected.
+  std::future<Response> blocked;
+  std::thread t([&] { blocked = engine.submit("threshold", testImage(16, 16)); });
+  gate->release();
+  t.join();
+  EXPECT_EQ(in_flight.get().status, Status::Ok);
+  EXPECT_EQ(queued.get().status, Status::Ok);
+  EXPECT_EQ(blocked.get().status, Status::Ok);
+  const Stats s = engine.stats();
+  EXPECT_EQ(s.accepted, 3u);
+  EXPECT_EQ(s.rejected_full, 0u);
+}
+
+TEST(ServeEngine, DrainCompletesQueuedRequests) {
+  auto gate = std::make_shared<Gate>();
+  registerPipeline("test.gate.drain", gate->pipeline());
+  Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  Engine engine(opts);
+  auto in_flight = engine.submit("test.gate.drain", testImage(16, 16));
+  gate->waitStarted(1);
+  std::vector<std::future<Response>> queued;
+  for (int i = 0; i < 3; ++i)
+    queued.push_back(engine.submit("threshold", testImage(16, 16)));
+  EXPECT_EQ(engine.queued(), 3u);
+  // Drain shutdown with one request executing and three queued: everything
+  // admitted must complete.
+  std::thread t([&] { engine.shutdown(Shutdown::Drain); });
+  gate->release();
+  t.join();
+  EXPECT_EQ(in_flight.get().status, Status::Ok);
+  for (auto& f : queued) EXPECT_EQ(f.get().status, Status::Ok);
+  const Stats s = engine.stats();
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.aborted, 0u);
+}
+
+TEST(ServeEngine, AbortFailsQueuedButFinishesInFlight) {
+  auto gate = std::make_shared<Gate>();
+  registerPipeline("test.gate.abort", gate->pipeline());
+  Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  Engine engine(opts);
+  auto in_flight = engine.submit("test.gate.abort", testImage(16, 16));
+  gate->waitStarted(1);
+  std::vector<std::future<Response>> queued;
+  for (int i = 0; i < 3; ++i)
+    queued.push_back(engine.submit("threshold", testImage(16, 16)));
+  // Abort while the worker is pinned: the queued requests must fail
+  // immediately (their futures become ready before the gate opens)...
+  std::thread t([&] { engine.shutdown(Shutdown::Abort); });
+  for (auto& f : queued) {
+    Response r = f.get();
+    EXPECT_EQ(r.status, Status::Aborted);
+    EXPECT_TRUE(r.image.empty());
+  }
+  // ...while the in-flight request runs to completion.
+  gate->release();
+  t.join();
+  EXPECT_EQ(in_flight.get().status, Status::Ok);
+  const Stats s = engine.stats();
+  EXPECT_EQ(s.aborted, 3u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(ServeEngine, ExpiredDeadlineDroppedBeforeExecute) {
+  auto gate = std::make_shared<Gate>();
+  registerPipeline("test.gate.deadline", gate->pipeline());
+  Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  Engine engine(opts);
+  auto in_flight = engine.submit("test.gate.deadline", testImage(16, 16));
+  gate->waitStarted(1);
+  // 1 ns deadline: long expired by the time the pinned worker reaches it.
+  SubmitOptions so;
+  so.deadline_ns = 1;
+  auto doomed = engine.submit("threshold", testImage(16, 16), so);
+  auto healthy = engine.submit("threshold", testImage(16, 16));
+  gate->release();
+  Response r = doomed.get();
+  EXPECT_EQ(r.status, Status::Expired);
+  EXPECT_TRUE(r.image.empty());
+  EXPECT_EQ(r.done_ns, r.start_ns);  // never executed
+  EXPECT_EQ(healthy.get().status, Status::Ok);
+  EXPECT_EQ(in_flight.get().status, Status::Ok);
+  const Stats s = engine.stats();
+  EXPECT_EQ(s.expired, 1u);
+  EXPECT_EQ(s.completed, 2u);
+}
+
+TEST(ServeEngine, DefaultDeadlineFromOptions) {
+  auto gate = std::make_shared<Gate>();
+  registerPipeline("test.gate.defdl", gate->pipeline());
+  Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 8;
+  opts.default_deadline_ns = 1;  // every request expires once it queues
+  Engine engine(opts);
+  // The gate request overrides the default with a generous deadline so it
+  // actually starts executing and pins the worker.
+  SubmitOptions generous;
+  generous.deadline_ns = std::uint64_t(60) * 1000000000;
+  auto in_flight = engine.submit("test.gate.defdl", testImage(16, 16), generous);
+  gate->waitStarted(1);
+  auto doomed = engine.submit("threshold", testImage(16, 16));
+  gate->release();
+  EXPECT_EQ(doomed.get().status, Status::Expired);
+  EXPECT_EQ(in_flight.get().status, Status::Ok);
+  EXPECT_EQ(engine.stats().expired, 1u);
+}
+
+TEST(ServeEngine, DestructorDrains) {
+  std::vector<std::future<Response>> futs;
+  {
+    Options opts;
+    opts.workers = 2;
+    opts.queue_capacity = 16;
+    Engine engine(opts);
+    for (int i = 0; i < 8; ++i)
+      futs.push_back(engine.submit("threshold", testImage(32, 32)));
+  }  // ~Engine == shutdown(Drain)
+  for (auto& f : futs) EXPECT_EQ(f.get().status, Status::Ok);
+}
+
+TEST(ServeEngine, SharedPoolModeSmoke) {
+  // inline_kernel_parallel = false: requests may fan bands out to the
+  // runtime pool (the workers == 1, SIMDCV_NUM_THREADS > 1 configuration).
+  Options opts;
+  opts.workers = 1;
+  opts.inline_kernel_parallel = false;
+  Engine engine(opts);
+  const Mat src = testImage(127, 93, 11);
+  Mat want;
+  pipelineFn("edge")(src, want, KernelPath::Default);
+  Response r = engine.submit("edge", src).get();
+  ASSERT_EQ(r.status, Status::Ok);
+  EXPECT_EQ(countMismatches(r.image, want), 0u);
+}
+
+// Many concurrent clients against few workers: the TSan workload for the
+// whole admission/execute/respond path under real contention.
+TEST(ServeEngine, ManyClientsManyWorkers) {
+  Options opts;
+  opts.workers = 4;
+  opts.queue_capacity = 4;
+  Engine engine(opts);
+  const Mat src = testImage(64, 48, 3);
+  Mat want;
+  pipelineFn("threshold")(src, want, KernelPath::Default);
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 10;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerClient; ++i) {
+        Response r = engine.submit("threshold", src).get();
+        ASSERT_EQ(r.status, Status::Ok);
+        ASSERT_EQ(countMismatches(r.image, want), 0u);
+        ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kPerClient);
+  const Stats s = engine.stats();
+  EXPECT_EQ(s.completed, std::uint64_t(kClients) * kPerClient);
+  EXPECT_EQ(s.accepted, s.completed);
+}
+
+}  // namespace
+}  // namespace simdcv::serve
