@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Perf-regression guardrail: run the smoke bench suites and gate them against
+# the committed same-host smoke baselines (bench/baselines/) with
+# per-metric tolerances. Exits nonzero on a sustained regression.
+#
+# Policy (DESIGN.md section 12):
+#   - Ratio-ish metrics only by default — fusion gates `speedup`
+#     (unfused/fused within one process, so clock drift mostly cancels) and
+#     serve gates `images_per_sec`. Absolute *_s / *_ms metrics are far too
+#     noisy on shared 1-CPU CI hosts to gate at useful tolerances.
+#   - Tolerances are calibrated from measured run-to-run smoke noise on the
+#     reference CI host (fusion up to ~1.4x on single rows, serve similar on
+#     the scanner preset), not from wishful thinking: fusion 25%, serve 40%.
+#   - Up to SIMDCV_GATE_ATTEMPTS (default 3) runs per suite; one passing run
+#     passes the suite. Noise passes on retry; a real regression fails every
+#     attempt. Structural failures (parse error, no row overlap, missing
+#     baseline) never retry.
+#   - gate_compare refuses to vouch across machines (exit 5, host-mismatch:
+#     the baseline's "host" block differs — same policy as the tune cache's
+#     fingerprint). Default is skip-with-warning so forks are not gated by
+#     our hardware; SIMDCV_GATE_STRICT=1 turns that into a failure.
+#
+# Overrides: SIMDCV_GATE_TOL_FUSION, SIMDCV_GATE_TOL_SERVE,
+# SIMDCV_GATE_ATTEMPTS, SIMDCV_GATE_BASELINES (dir), SIMDCV_GATE_STRICT,
+# BUILD_DIR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BASELINE_DIR="${SIMDCV_GATE_BASELINES:-bench/baselines}"
+ATTEMPTS="${SIMDCV_GATE_ATTEMPTS:-3}"
+TOL_FUSION="${SIMDCV_GATE_TOL_FUSION:-0.25}"
+TOL_SERVE="${SIMDCV_GATE_TOL_SERVE:-0.40}"
+STRICT="${SIMDCV_GATE_STRICT:-0}"
+
+cmake --build "$BUILD_DIR" -j --target gate_compare ablation_fusion ext_serve
+
+# gate_suite NAME BENCH_BINARY CANDIDATE_JSON BASELINE_JSON METRICS TOL
+gate_suite() {
+  local name="$1" bin="$2" json="$3" baseline="$4" metrics="$5" tol="$6"
+  local rc attempt
+  for attempt in $(seq 1 "$ATTEMPTS"); do
+    echo "== gate: $name (attempt $attempt/$ATTEMPTS, metrics=$metrics, tolerance=$tol) =="
+    # Run inside build/ so smoke artifacts never clobber committed results.
+    (cd "$BUILD_DIR" && SIMDCV_BENCH_SMOKE=1 "./bench/$bin" >/dev/null)
+    rc=0
+    "$BUILD_DIR/bench/gate_compare" \
+      --baseline "$baseline" --candidate "$BUILD_DIR/$json" \
+      --metrics "$metrics" --tolerance "$tol" || rc=$?
+    case "$rc" in
+      0)
+        echo "gate: $name ok"
+        return 0
+        ;;
+      1)
+        echo "gate: $name regressed on attempt $attempt (noise or real; retrying)"
+        ;;
+      5)
+        if [ "$STRICT" = "1" ]; then
+          echo "gate: $name FAILED (host mismatch, strict mode)"
+          return 5
+        fi
+        echo "gate: $name SKIPPED — baseline recorded on a different host;" \
+             "re-record $baseline on this machine to arm the gate"
+        return 0
+        ;;
+      *)
+        # missing baseline / parse error / no overlap: deterministic, no retry
+        echo "gate: $name FAILED (structural, exit $rc)"
+        return "$rc"
+        ;;
+    esac
+  done
+  echo "gate: $name FAILED — regression persisted across $ATTEMPTS attempts"
+  return 1
+}
+
+gate_suite fusion ablation_fusion BENCH_fusion.json \
+  "$BASELINE_DIR/BENCH_fusion_smoke.json" speedup "$TOL_FUSION"
+echo
+gate_suite serve ext_serve BENCH_serve.json \
+  "$BASELINE_DIR/BENCH_serve_smoke.json" images_per_sec "$TOL_SERVE"
+
+echo
+echo "bench gate: OK"

@@ -38,7 +38,7 @@ cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSIMDCV_BUILD_BENCH=OFF \
   -DSIMDCV_BUILD_EXAMPLES=OFF
-cmake --build build-asan -j --target check_all test_check test_io
+cmake --build build-asan -j --target check_all test_check test_io test_tune
 # Fixed seeds: the run must be reproducible in CI; a failure prints a
 # one-line reproducer (see DESIGN.md, "simdcv::check").
 ./build-asan/src/check/check_all --seed=0x51dc5eed --iters=200
@@ -46,7 +46,29 @@ cmake --build build-asan -j --target check_all test_check test_io
 # The edge family again, deeper: the fused/unfused differential pair is the
 # bit-exactness contract of the fused pipeline (see DESIGN.md, "Fusion").
 ./build-asan/src/check/check_all --only=edge --seed=0xed6ef05e --iters=400
+# Tuned dispatch vs fixed-path oracles: trials time candidates on live calls,
+# so ASan watches the tuner's scopes, registry, and cache I/O too.
+./build-asan/src/check/check_all --only=tuned --seed=0x7a5ed15b --iters=150
 ctest --test-dir build-asan -L check --output-on-failure -j"$(nproc)"
+
+echo
+echo "== autotuner under AddressSanitizer (ctest -L tune) =="
+ctest --test-dir build-asan -L tune --output-on-failure -j"$(nproc)"
+
+echo
+echo "== tune-cache round trip (SIMDCV_TUNE + SIMDCV_TUNE_CACHE) =="
+# First run measures and persists decisions; the file must exist, carry the
+# versioned header, and at least one committed decision. The second run
+# reloads it (same fingerprint) and serves tuned dispatch from the cache.
+TUNE_CACHE="build-asan/tune_cache_roundtrip.txt"
+rm -f "$TUNE_CACHE"
+SIMDCV_TUNE=1 SIMDCV_TUNE_CACHE="$TUNE_CACHE" \
+  ./build-asan/src/check/check_all --only=tuned --seed=0xcac4ed15 --iters=60
+test -s "$TUNE_CACHE"
+head -1 "$TUNE_CACHE" | grep -q '^simdcv-tune-cache v1$'
+grep -q '^decide ' "$TUNE_CACHE"
+SIMDCV_TUNE=1 SIMDCV_TUNE_CACHE="$TUNE_CACHE" \
+  ./build-asan/src/check/check_all --only=tuned --seed=0xcac4ed15 --iters=60
 
 echo
 echo "== trace-on: check label with live tracing (SIMDCV_TRACE=1) =="
@@ -87,6 +109,29 @@ grep -q '"images_per_sec"' build/BENCH_serve.json
 grep -q '"p99_ms"' build/BENCH_serve.json
 grep -q '"pipeline": "edge"' build/BENCH_serve.json
 grep -q '"pipeline": "scanner"' build/BENCH_serve.json
+
+echo
+echo "== bench gate (smoke runs vs committed baselines) =="
+scripts/bench_gate.sh
+
+echo
+echo "== bench gate: synthetic regression must fail with the metric named =="
+# Deterministic negative control: clamp every speedup in a copy of the
+# fusion baseline to a floor far below tolerance and gate the copy against
+# the original. The gate must exit 1 (Regression) and name `speedup` —
+# proving the guardrail trips on a real regression, not only on happy paths.
+sed -E 's/"speedup": [0-9.eE+-]+/"speedup": 0.01/g' \
+  bench/baselines/BENCH_fusion_smoke.json > build/BENCH_fusion_degraded.json
+grep -q '"speedup": 0.01' build/BENCH_fusion_degraded.json
+rc=0
+./build/bench/gate_compare \
+  --baseline bench/baselines/BENCH_fusion_smoke.json \
+  --candidate build/BENCH_fusion_degraded.json \
+  --metrics speedup --tolerance 0.25 2> build/gate_synth.err || rc=$?
+test "$rc" -eq 1 || { echo "expected exit 1 (regression), got $rc"; exit 1; }
+grep -q 'REGRESSION' build/gate_synth.err
+grep -q 'speedup' build/gate_synth.err
+echo "synthetic regression correctly rejected"
 
 echo
 echo "verify: OK"

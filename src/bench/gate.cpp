@@ -1,0 +1,390 @@
+#include "bench/gate.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace simdcv::bench::gate {
+
+namespace {
+
+// ---- minimal JSON reader ---------------------------------------------------
+// Just enough for the bench files: objects, arrays, strings, numbers,
+// true/false/null. No \uXXXX escapes (the writers never emit them).
+
+struct Json {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> items;                                // Array
+  std::vector<std::pair<std::string, Json>> members;      // Object (in order)
+
+  const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  void skipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool fail(const std::string& what) {
+    if (error.empty()) error = what;
+    return false;
+  }
+
+  bool parseString(std::string* out) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return fail("truncated escape");
+        switch (*p) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          default: return fail("unsupported escape");
+        }
+        ++p;
+      } else {
+        out->push_back(*p++);
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parseValue(Json* out) {
+    skipWs();
+    if (p >= end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': {
+        out->kind = Json::Kind::Object;
+        ++p;
+        skipWs();
+        if (p < end && *p == '}') { ++p; return true; }
+        while (true) {
+          skipWs();
+          std::string key;
+          if (!parseString(&key)) return false;
+          skipWs();
+          if (p >= end || *p != ':') return fail("expected ':'");
+          ++p;
+          Json v;
+          if (!parseValue(&v)) return false;
+          out->members.emplace_back(std::move(key), std::move(v));
+          skipWs();
+          if (p < end && *p == ',') { ++p; continue; }
+          if (p < end && *p == '}') { ++p; return true; }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        out->kind = Json::Kind::Array;
+        ++p;
+        skipWs();
+        if (p < end && *p == ']') { ++p; return true; }
+        while (true) {
+          Json v;
+          if (!parseValue(&v)) return false;
+          out->items.push_back(std::move(v));
+          skipWs();
+          if (p < end && *p == ',') { ++p; continue; }
+          if (p < end && *p == ']') { ++p; return true; }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        out->kind = Json::Kind::String;
+        return parseString(&out->str);
+      case 't':
+        if (end - p >= 4 && std::equal(p, p + 4, "true")) {
+          out->kind = Json::Kind::Bool;
+          out->b = true;
+          p += 4;
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (end - p >= 5 && std::equal(p, p + 5, "false")) {
+          out->kind = Json::Kind::Bool;
+          out->b = false;
+          p += 5;
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (end - p >= 4 && std::equal(p, p + 4, "null")) {
+          out->kind = Json::Kind::Null;
+          p += 4;
+          return true;
+        }
+        return fail("bad literal");
+      default: {
+        char* numEnd = nullptr;
+        const double v = std::strtod(p, &numEnd);
+        if (numEnd == p || numEnd > end) return fail("bad number");
+        out->kind = Json::Kind::Number;
+        out->num = v;
+        p = numEnd;
+        return true;
+      }
+    }
+  }
+};
+
+bool parseJson(const std::string& text, Json* out, std::string* error) {
+  Parser ps{text.data(), text.data() + text.size(), {}};
+  if (!ps.parseValue(out)) {
+    *error = ps.error;
+    return false;
+  }
+  ps.skipWs();
+  if (ps.p != ps.end) {
+    *error = "trailing characters after JSON value";
+    return false;
+  }
+  return true;
+}
+
+// ---- row extraction --------------------------------------------------------
+
+// Numeric fields that identify a row rather than measure it.
+bool isNumericIdentity(const std::string& name) noexcept {
+  return name == "workers" || name == "requests";
+}
+
+std::string canonicalNumber(double v) {
+  // Identity numerics are small integers in practice; print exactly.
+  char buf[32];
+  if (v == static_cast<long long>(v)) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+Row rowFrom(const Json& obj) {
+  Row row;
+  for (const auto& [key, val] : obj.members) {
+    if (val.kind == Json::Kind::String) {
+      row.ids.emplace_back(key, val.str);
+    } else if (val.kind == Json::Kind::Number) {
+      if (isNumericIdentity(key))
+        row.ids.emplace_back(key, canonicalNumber(val.num));
+      else
+        row.metrics.emplace_back(key, val.num);
+    }
+    // bools/nulls/nested values carry no gate meaning; ignore.
+  }
+  std::sort(row.ids.begin(), row.ids.end());
+  std::sort(row.metrics.begin(), row.metrics.end());
+  return row;
+}
+
+bool readFile(const std::string& path, std::string* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool endsWith(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+const char* toString(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Ok: return "ok";
+    case Outcome::Regression: return "regression";
+    case Outcome::MissingBaseline: return "missing-baseline";
+    case Outcome::ParseError: return "parse-error";
+    case Outcome::NoOverlap: return "no-overlap";
+    case Outcome::HostMismatch: return "host-mismatch";
+  }
+  return "?";
+}
+
+std::string parseHost(const std::string& json_text) {
+  Json root;
+  std::string error;
+  if (!parseJson(json_text, &root, &error) || root.kind != Json::Kind::Object)
+    return {};
+  const Json* host = root.find("host");
+  if (host == nullptr || host->kind != Json::Kind::Object) return {};
+  std::string out;
+  for (const char* key :
+       {"brand", "logical_cpus", "l1d_kb", "l2_kb", "l3_kb"}) {
+    const Json* v = host->find(key);
+    if (!out.empty()) out += '|';
+    if (v == nullptr) continue;
+    out += v->kind == Json::Kind::String ? v->str : canonicalNumber(v->num);
+  }
+  return out;
+}
+
+std::string Row::idKey() const {
+  std::string key;
+  for (const auto& [k, v] : ids) {
+    if (!key.empty()) key += '|';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+int metricDirection(const std::string& name) noexcept {
+  if (name == "speedup" || endsWith(name, "_per_sec")) return +1;
+  if (endsWith(name, "_s") || endsWith(name, "_ms")) return -1;
+  return 0;  // counts (completed/rejected/expired), unknowns: not gated
+}
+
+bool parseResults(const std::string& json_text, std::vector<Row>* out,
+                  std::string* error) {
+  Json root;
+  if (!parseJson(json_text, &root, error)) return false;
+  if (root.kind != Json::Kind::Object) {
+    *error = "top-level JSON value is not an object";
+    return false;
+  }
+  const Json* results = root.find("results");
+  if (results == nullptr || results->kind != Json::Kind::Array) {
+    *error = "no \"results\" array";
+    return false;
+  }
+  out->clear();
+  for (const Json& item : results->items) {
+    if (item.kind != Json::Kind::Object) {
+      *error = "non-object row in results";
+      return false;
+    }
+    out->push_back(rowFrom(item));
+  }
+  return true;
+}
+
+CompareReport compareRows(const std::vector<Row>& baseline,
+                          const std::vector<Row>& candidate,
+                          const CompareOptions& opts) {
+  CompareReport rep;
+  std::map<std::string, const Row*> baseByKey;
+  for (const Row& r : baseline) baseByKey[r.idKey()] = &r;
+
+  for (const Row& cand : candidate) {
+    const auto it = baseByKey.find(cand.idKey());
+    if (it == baseByKey.end()) {
+      ++rep.rows_unmatched;
+      continue;
+    }
+    ++rep.rows_matched;
+    const Row& base = *it->second;
+    for (const auto& [metric, candVal] : cand.metrics) {
+      const bool requested =
+          opts.metrics.empty()
+              ? true
+              : std::find(opts.metrics.begin(), opts.metrics.end(), metric) !=
+                    opts.metrics.end();
+      if (!requested) continue;
+      const int dir = metricDirection(metric);
+      if (dir == 0) {
+        if (!opts.metrics.empty()) {
+          rep.messages.push_back("unknown direction for requested metric \"" +
+                                 metric + "\"; skipped");
+        }
+        continue;
+      }
+      const auto bit = std::find_if(
+          base.metrics.begin(), base.metrics.end(),
+          [&](const auto& kv) { return kv.first == metric; });
+      if (bit == base.metrics.end()) continue;  // intersection only
+      const double baseVal = bit->second;
+      if (baseVal <= 0.0) continue;  // degenerate baseline: nothing to gate
+      ++rep.metrics_compared;
+      // Strict inequality: exactly at tolerance passes.
+      const bool regressed = dir > 0
+                                 ? candVal * (1.0 + opts.tolerance) < baseVal
+                                 : candVal > baseVal * (1.0 + opts.tolerance);
+      if (regressed) {
+        char buf[128];
+        const double ratio = dir > 0 ? baseVal / candVal : candVal / baseVal;
+        std::snprintf(buf, sizeof(buf), "%s: %.4g -> %.4g (%.2fx worse, tol %.0f%%)",
+                      metric.c_str(), baseVal, candVal, ratio,
+                      opts.tolerance * 100.0);
+        rep.messages.push_back("REGRESSION [" + cand.idKey() + "] " + buf);
+        rep.outcome = Outcome::Regression;
+      }
+    }
+  }
+  if (rep.rows_matched == 0 && rep.outcome == Outcome::Ok) {
+    rep.outcome = Outcome::NoOverlap;
+    rep.messages.push_back(
+        "no candidate row matched any baseline row (identity drift?)");
+  }
+  return rep;
+}
+
+CompareReport compareFiles(const std::string& baseline_path,
+                           const std::string& candidate_path,
+                           const CompareOptions& opts) {
+  CompareReport rep;
+  std::string baseText, candText, error;
+  if (!readFile(baseline_path, &baseText)) {
+    rep.outcome = Outcome::MissingBaseline;
+    rep.messages.push_back("baseline not readable: " + baseline_path);
+    return rep;
+  }
+  if (!readFile(candidate_path, &candText)) {
+    rep.outcome = Outcome::ParseError;
+    rep.messages.push_back("candidate not readable: " + candidate_path);
+    return rep;
+  }
+  std::vector<Row> base, cand;
+  if (!parseResults(baseText, &base, &error)) {
+    rep.outcome = Outcome::ParseError;
+    rep.messages.push_back("baseline " + baseline_path + ": " + error);
+    return rep;
+  }
+  if (!parseResults(candText, &cand, &error)) {
+    rep.outcome = Outcome::ParseError;
+    rep.messages.push_back("candidate " + candidate_path + ": " + error);
+    return rep;
+  }
+  const std::string baseHost = parseHost(baseText);
+  const std::string candHost = parseHost(candText);
+  if (!opts.ignore_host_mismatch && !baseHost.empty() && !candHost.empty() &&
+      baseHost != candHost) {
+    rep.outcome = Outcome::HostMismatch;
+    rep.messages.push_back("baseline host [" + baseHost +
+                           "] != candidate host [" + candHost +
+                           "]; timings are not comparable across machines — "
+                           "re-record the baseline on this host");
+    return rep;
+  }
+  return compareRows(base, cand, opts);
+}
+
+}  // namespace simdcv::bench::gate

@@ -10,6 +10,7 @@
 #include "imgproc/edge.hpp"
 #include "imgproc/filter.hpp"
 #include "imgproc/threshold.hpp"
+#include "tune/tune.hpp"
 
 namespace simdcv::check {
 
@@ -226,6 +227,56 @@ Mat runEdgeFusedVsUnfused(const CaseSpec& c, KernelPath p) {
   return dst;
 }
 
+// Tuned dispatch must be bit-exact with fixed-path dispatch: every tuning
+// axis (path selection, fuse choice, band grain) only reschedules work whose
+// candidates all compute the same function. The ScalarNoVec leg runs with
+// tuning OFF — the oracle's reference stays the untuned heuristic pipeline —
+// while every other leg runs under tune::ScopedEnable, so live trials (the
+// tuner cycling through candidates) are themselves compared bit-exactly
+// against the untuned scalar reference.
+Mat runEdgeDetectTuned(const CaseSpec& c, KernelPath p) {
+  Mat src = genMat(c, kSrcA, U8C1);
+  Rng r(c.seed ^ 0xed6ede7ull);  // same salt as runEdgeDetect
+  const double thresh = r.real(0.0, 400.0);
+  const imgproc::BorderType border = borderFor(r);
+  Mat dst;
+  if (p == KernelPath::ScalarNoVec) {
+    imgproc::edgeDetect(src, dst, thresh, 3, border, p);
+  } else {
+    // The Auto leg goes through Default so the tuner's path axis (which only
+    // engages for Default requests) gets differential coverage too; concrete
+    // paths exercise the fuse/grain axes at that path.
+    tune::ScopedEnable tuned(true);
+    imgproc::edgeDetect(src, dst, thresh, 3, border,
+                        p == KernelPath::Auto ? KernelPath::Default : p);
+  }
+  return dst;
+}
+
+Mat runThresholdTuned(const CaseSpec& c, KernelPath p) {
+  static const Depth depths[] = {Depth::U8, Depth::S16, Depth::F32};
+  const Depth d = depths[c.variant % 3];
+  Mat src = genMat(c, kSrcA, PixelType(d, channelsFor(c)));
+  Rng r(c.seed ^ 0x7445e5401dull);  // same salt/draws as runThreshold
+  const double thresh = d == Depth::U8    ? r.real(-40.0, 300.0)
+                        : d == Depth::S16 ? r.real(-40000.0, 40000.0)
+                                          : r.real(-1e4, 1e4);
+  const double maxval = d == Depth::U8    ? r.real(-40.0, 300.0)
+                        : d == Depth::S16 ? r.real(-40000.0, 40000.0)
+                                          : r.real(-1e4, 1e4);
+  Mat dst;
+  if (p == KernelPath::ScalarNoVec) {
+    imgproc::threshold(src, dst, thresh, maxval,
+                       imgproc::ThresholdType::Binary, p);
+  } else {
+    // Auto -> Default for path-axis coverage, as in runEdgeDetectTuned.
+    tune::ScopedEnable tuned(true);
+    imgproc::threshold(src, dst, thresh, maxval, imgproc::ThresholdType::Binary,
+                       p == KernelPath::Auto ? KernelPath::Default : p);
+  }
+  return dst;
+}
+
 Mat runMagnitude(const CaseSpec& c, KernelPath p) {
   Mat gx = genMat(c, kSrcA, S16C1);
   Mat gy = genMat(c, kSrcB, S16C1);
@@ -275,6 +326,10 @@ const std::vector<KernelCheck>& kernelRegistry() {
     reg.push_back({"edge.detect", &runEdgeDetect, 0.0});
     reg.push_back({"edge.fused", &runEdgeFused, 0.0});
     reg.push_back({"edge.fused-vs-unfused", &runEdgeFusedVsUnfused, 0.0});
+    // Tuned dispatch vs the untuned fixed-path oracle (scheduling-only
+    // contract of simdcv::tune).
+    reg.push_back({"tuned.edge-detect", &runEdgeDetectTuned, 0.0});
+    reg.push_back({"tuned.threshold", &runThresholdTuned, 0.0});
     return reg;
   }();
   return registry;

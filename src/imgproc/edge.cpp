@@ -11,6 +11,7 @@
 #include "prof/prof.hpp"
 #include "runtime/parallel.hpp"
 #include "simd/neon_compat.hpp"
+#include "tune/tune.hpp"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -86,18 +87,22 @@ void gradientMagnitude(const Mat& gx, const Mat& gy, Mat& dst,
   SIMDCV_REQUIRE(gx.channels() == 1 && gy.channels() == 1,
                  "magnitude: single channel only");
   const KernelPath p = resolvePath(path);
-  SIMDCV_TRACE_SCOPE("gradientMagnitude", p,
-                     static_cast<std::uint64_t>(gx.rows()) * gx.cols() *
-                         (2 * sizeof(std::int16_t) + 1));
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(gx.rows()) * detail::magnitudeRowBytes(gx.cols());
+  SIMDCV_TRACE_SCOPE("gradientMagnitude", p, bytes);
   const detail::MagnitudeFn fn = detail::magnitudeFnFor(p);
   Mat out = (dst.sharesStorageWith(gx) || dst.sharesStorageWith(gy))
                 ? Mat()
                 : std::move(dst);
   out.create(gx.rows(), gx.cols(), U8C1);
   const std::size_t n = static_cast<std::size_t>(gx.cols());
-  // Element-wise over (gx, gy): banding rows cannot change the result.
-  const int grain = runtime::parallelThreshold(2 * n * sizeof(std::int16_t),
-                                               gx.rows());
+  // Element-wise over (gx, gy): banding rows cannot change the result. The
+  // fork decision prices a row via magnitudeRowBytes — the same traffic the
+  // trace scope above accounts — and tuning may rescale it per size-class.
+  const int heuristic = runtime::parallelThreshold(
+      static_cast<std::size_t>(detail::magnitudeRowBytes(gx.cols())),
+      gx.rows());
+  tune::GrainScope gs("gradientMagnitude", p, bytes, gx.rows(), heuristic);
   runtime::parallel_for(
       {0, gx.rows()},
       [&](runtime::Range band) {
@@ -105,7 +110,7 @@ void gradientMagnitude(const Mat& gx, const Mat& gy, Mat& dst,
           fn(gx.ptr<std::int16_t>(r), gy.ptr<std::int16_t>(r),
              out.ptr<std::uint8_t>(r), n);
       },
-      grain);
+      gs.grain());
   dst = std::move(out);
 }
 
@@ -147,7 +152,24 @@ void edgeDetectUnfused(const Mat& src, Mat& dst, double thresh, int ksize,
 void edgeDetect(const Mat& src, Mat& dst, double thresh, int ksize,
                 BorderType border, KernelPath path) {
   // Fused and staged forms are bit-exact, so this is purely a per-size
-  // scheduling decision (see detail::fuseProfitable).
+  // scheduling decision (see detail::fuseProfitable). Under SIMDCV_TUNE the
+  // heuristic only seeds the trial: the path (for Default requests) and the
+  // fuse-vs-staged choice are measured per size-class and the winner served
+  // to every later call.
+  if (tune::enabled()) {
+    const std::uint64_t bytes = static_cast<std::uint64_t>(src.rows()) *
+                                src.cols() * (src.elemSize() + 1);
+    tune::PathScope ps("edgeDetect", path, bytes);
+    const KernelPath p = ps.path();
+    const int fallback =
+        detail::fuseProfitable(src.cols(), src.rows(), ksize, p) ? 1 : 0;
+    tune::ChoiceScope fuse("edgeDetect", "fuse", p, bytes, 2, fallback);
+    if (fuse.choice() == 1)
+      edgeDetectFused(src, dst, thresh, ksize, border, p);
+    else
+      edgeDetectUnfused(src, dst, thresh, ksize, border, p);
+    return;
+  }
   if (detail::fuseProfitable(src.cols(), src.rows(), ksize, path))
     edgeDetectFused(src, dst, thresh, ksize, border, path);
   else

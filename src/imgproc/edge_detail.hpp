@@ -14,6 +14,14 @@
 
 namespace simdcv::imgproc::detail {
 
+/// Memory traffic of one magnitude output row: two s16 gradient-row reads
+/// plus the u8 write. gradientMagnitude's trace accounting, its parallel
+/// grain, and the fused engine's per-stage sample all use this helper so the
+/// fork decision prices exactly the traffic the profiler reports.
+inline constexpr std::uint64_t magnitudeRowBytes(int cols) noexcept {
+  return static_cast<std::uint64_t>(cols) * (2 * sizeof(std::int16_t) + 1);
+}
+
 /// Per-path flat-range magnitude kernel selector, shared by
 /// gradientMagnitude and the fused pipeline so both resolve a path to the
 /// identical kernel (Avx2 deliberately maps to the SSE2 HAND kernel).

@@ -33,9 +33,11 @@
 #include "imgproc/filter_detail.hpp"
 #include "imgproc/kernels.hpp"
 #include "imgproc/threshold.hpp"
+#include "platform/env.hpp"
 #include "platform/platform.hpp"
 #include "prof/prof.hpp"
 #include "runtime/parallel.hpp"
+#include "tune/tune.hpp"
 
 namespace simdcv::imgproc {
 
@@ -80,11 +82,9 @@ int fusedBandGrain(int width, int ksize, int rows) {
 bool fuseProfitable(int width, int rows, int ksize, KernelPath path) {
   (void)ksize;
   // Experiment override: SIMDCV_EDGE_FUSE=1 always fused, =0 always staged.
-  static const int forced = [] {
-    const char* v = std::getenv("SIMDCV_EDGE_FUSE");
-    if (v == nullptr || *v == '\0') return -1;
-    return *v == '0' ? 0 : 1;
-  }();
+  // Anything else warns and falls through to the heuristic (-1).
+  static const int forced =
+      static_cast<int>(platform::envInt("SIMDCV_EDGE_FUSE", -1, 0, 1));
   if (forced >= 0) return forced == 1;
   // Fusion trades per-row stage dispatch + seam recompute for not
   // round-tripping the whole-image intermediates (two s16 gradients + u8
@@ -261,7 +261,7 @@ void edgeDetectFusedImpl(const Mat& src, Mat& dst, double thresh, int ksize,
       prof::addSample("edge.fused.cvt", p, cvt_ns,
                       nout * w * 2 * (sizeof(float) + sizeof(std::int16_t)));
       prof::addSample("edge.fused.magnitude", p, mag_ns,
-                      nout * w * (2 * sizeof(std::int16_t) + 1));
+                      nout * detail::magnitudeRowBytes(width));
       prof::addSample("edge.fused.threshold", p, thr_ns, nout * w * 2);
     }
   };
@@ -270,8 +270,13 @@ void edgeDetectFusedImpl(const Mat& src, Mat& dst, double thresh, int ksize,
     for (int b = 0; b < rows; b += forcedBandRows)
       processBand({b, std::min(rows, b + forcedBandRows)});
   } else {
-    runtime::parallel_for({0, rows}, processBand,
-                          detail::fusedBandGrain(width, ksize, rows));
+    // Band partitions are bit-exact (seams re-prime), so the grain is pure
+    // scheduling — tunable around the cache-model heuristic.
+    tune::GrainScope gs("edge.fused", p,
+                        static_cast<std::uint64_t>(rows) * width *
+                            (src.elemSize() + 1),
+                        rows, detail::fusedBandGrain(width, ksize, rows));
+    runtime::parallel_for({0, rows}, processBand, gs.grain());
   }
   dst = std::move(out);
 }

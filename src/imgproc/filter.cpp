@@ -20,6 +20,7 @@
 #include "imgproc/kernels.hpp"
 #include "prof/prof.hpp"
 #include "runtime/parallel.hpp"
+#include "tune/tune.hpp"
 
 namespace simdcv::imgproc {
 
@@ -216,13 +217,18 @@ void sepFilter2D(const Mat& src, Mat& dst, Depth ddepth,
 
   // Each output row costs ~kw multiplies horizontally plus kh taps
   // vertically over float32 rows; keep bands tall enough to amortize both
-  // the fork and the ry-row seam recomputation.
-  const int grain =
+  // the fork and the ry-row seam recomputation. Bands are bit-exact (seam
+  // rows recompute), so the grain is tunable around the heuristic.
+  const int heuristic =
       std::max(runtime::parallelThreshold(
                    static_cast<std::size_t>(width) * sizeof(float), rows,
                    static_cast<double>(kw + kh)),
                kh);
-  runtime::parallel_for({0, rows}, processBand, grain);
+  tune::GrainScope gs("sepFilter2D", p,
+                      static_cast<std::uint64_t>(rows) * width *
+                          (src.elemSize() + depthSize(ddepth)),
+                      rows, heuristic);
+  runtime::parallel_for({0, rows}, processBand, gs.grain());
   dst = std::move(out);
 }
 

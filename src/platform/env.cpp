@@ -1,0 +1,51 @@
+#include "platform/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace simdcv::platform {
+
+bool parseInt(const char* text, long long min, long long max,
+              long long* out) noexcept {
+  if (text == nullptr || *text == '\0') return false;
+  // strtoll would skip leading whitespace; the contract is sign+digits only.
+  if (!std::isdigit(static_cast<unsigned char>(*text)) && *text != '+' &&
+      *text != '-')
+    return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') return false;  // garbage / trailing junk
+  if (errno == ERANGE) return false;              // overflow / underflow
+  if (v < min || v > max) return false;
+  *out = v;
+  return true;
+}
+
+long long envInt(const char* name, long long fallback, long long min,
+                 long long max) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  long long parsed = 0;
+  if (parseInt(v, min, max, &parsed)) return parsed;
+  std::fprintf(stderr,
+               "simdcv: ignoring %s=\"%s\" (want an integer in [%lld, %lld]); "
+               "using %lld\n",
+               name, v, min, max, fallback);
+  return fallback;
+}
+
+bool envFlag(const char* name, bool fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  if (std::strcmp(v, "1") == 0) return true;
+  if (std::strcmp(v, "0") == 0) return false;
+  std::fprintf(stderr, "simdcv: ignoring %s=\"%s\" (want 0 or 1); using %d\n",
+               name, v, fallback ? 1 : 0);
+  return fallback;
+}
+
+}  // namespace simdcv::platform

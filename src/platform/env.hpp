@@ -1,0 +1,36 @@
+// Hardened environment-variable parsing, shared by every subsystem that
+// reads a numeric knob (SIMDCV_NUM_THREADS, SIMDCV_SERVE_*, SIMDCV_TUNE*).
+//
+// Contract: an unset variable silently yields the fallback; a set-but-
+// malformed value (garbage text, trailing junk, a negative number where a
+// count is expected, or a value outside [min, max]) yields the fallback too,
+// but with a one-line warning on stderr naming the variable and the reason —
+// never undefined behavior, never a silently nonsensical config. The
+// pre-hardening parsers routed "-5" through strtoull (wrapping to a huge
+// worker count) or dropped bad values without a trace; both failure modes
+// are now tested (tests/platform/env_test.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace simdcv::platform {
+
+/// Strict integer parse of `text` into `*out`. Accepts an optional sign and
+/// decimal digits only (no trailing junk, no hex/octal). Returns false —
+/// leaving *out untouched — on null/empty text, non-numeric input, overflow,
+/// or a value outside [min, max].
+bool parseInt(const char* text, long long min, long long max,
+              long long* out) noexcept;
+
+/// Read environment variable `name` as an integer in [min, max].
+/// Unset/empty: returns `fallback` silently. Set but invalid: returns
+/// `fallback` after a one-line stderr warning ("simdcv: ignoring NAME=...").
+long long envInt(const char* name, long long fallback, long long min,
+                 long long max) noexcept;
+
+/// Read environment variable `name` as a boolean flag: "1" → true,
+/// "0" → false, unset/empty → fallback. Anything else warns and returns
+/// the fallback.
+bool envFlag(const char* name, bool fallback) noexcept;
+
+}  // namespace simdcv::platform

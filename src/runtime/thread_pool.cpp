@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <functional>
@@ -10,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "platform/env.hpp"
 #include "prof/prof.hpp"
 
 namespace simdcv::runtime {
@@ -247,10 +249,17 @@ ThreadPool& globalPool() {
 }
 
 int parseThreadCount(const char* text) noexcept {
-  if (text == nullptr || *text == '\0') return -1;
-  char* end = nullptr;
-  const long v = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || v < 0 || v > 4096) return -1;
+  if (text == nullptr || *text == '\0') return -1;  // unset: silent default
+  long long v = 0;
+  // Strict parse (no trailing junk, no overflow wrap): a malformed value is
+  // worth one warning, not a silent fall-through to single-threaded.
+  if (!platform::parseInt(text, 0, 4096, &v)) {
+    std::fprintf(stderr,
+                 "simdcv: ignoring SIMDCV_NUM_THREADS=\"%s\" (want an integer "
+                 "in [0, 4096]); using default\n",
+                 text);
+    return -1;
+  }
   return v == 0 ? maxHardwareThreads() : static_cast<int>(v);
 }
 

@@ -23,6 +23,7 @@
 #include <utility>
 
 #include "core/scratch.hpp"
+#include "platform/env.hpp"
 #include "prof/prof.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/queue.hpp"
@@ -30,17 +31,6 @@
 namespace simdcv::serve {
 
 namespace {
-
-// Parse a non-negative integer environment value; `fallback` when the
-// variable is unset or malformed.
-std::uint64_t envU64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long n = std::strtoull(v, &end, 10);
-  if (end == v || *end != '\0') return fallback;
-  return static_cast<std::uint64_t>(n);
-}
 
 std::future<Response> readyResponse(Status status, std::uint64_t submit_ns,
                                     std::string error = {}) {
@@ -68,14 +58,18 @@ const char* toString(Status s) noexcept {
 }
 
 Options Options::fromEnv() {
+  // platform::envInt rejects negative / overflowed / trailing-garbage values
+  // with a one-line stderr warning and keeps the default — "-5" must not wrap
+  // into four billion workers.
   Options o;
-  o.workers = static_cast<int>(envU64("SIMDCV_SERVE_WORKERS", 1));
-  if (o.workers < 1) o.workers = 1;
-  o.queue_capacity =
-      static_cast<std::size_t>(envU64("SIMDCV_SERVE_QUEUE_CAP", 64));
-  if (o.queue_capacity < 1) o.queue_capacity = 1;
+  o.workers = static_cast<int>(
+      platform::envInt("SIMDCV_SERVE_WORKERS", 1, 1, 4096));
+  o.queue_capacity = static_cast<std::size_t>(
+      platform::envInt("SIMDCV_SERVE_QUEUE_CAP", 64, 1, 1 << 20));
   o.default_deadline_ns =
-      envU64("SIMDCV_SERVE_DEADLINE_MS", 0) * std::uint64_t(1000000);
+      static_cast<std::uint64_t>(platform::envInt("SIMDCV_SERVE_DEADLINE_MS",
+                                                  0, 0, 1000000000000LL)) *
+      std::uint64_t(1000000);
   return o;
 }
 

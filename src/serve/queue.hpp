@@ -31,10 +31,7 @@ enum class PushResult : int {
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity)
-      : slots_(capacity == 0 ? 1 : capacity) {
-    SIMDCV_REQUIRE(capacity >= 1, "BoundedQueue: capacity must be >= 1");
-  }
+  explicit BoundedQueue(std::size_t capacity) : slots_(checked(capacity)) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -133,6 +130,13 @@ class BoundedQueue {
   }
 
  private:
+  // Validates before the ring is sized: a zero capacity must throw, not be
+  // silently promoted to 1 (a capacity the caller never asked for).
+  static std::size_t checked(std::size_t capacity) {
+    SIMDCV_REQUIRE(capacity >= 1, "BoundedQueue: capacity must be >= 1");
+    return capacity;
+  }
+
   // Requires mu_ held and count_ < slots_.size().
   void emplaceLocked(T&& item) {
     slots_[(head_ + count_) % slots_.size()] = std::move(item);

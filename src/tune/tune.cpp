@@ -1,0 +1,447 @@
+#include "tune/tune.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "platform/env.hpp"
+#include "platform/platform.hpp"
+#include "prof/prof.hpp"
+
+namespace simdcv::tune {
+
+namespace {
+
+// One decision point. Committed points carry only the winner; trialing
+// points accumulate per-candidate samples until every candidate has
+// kTrialSamples, then commit the smallest-median candidate.
+struct Point {
+  int winner = -1;  // -1 while trialing
+  std::vector<std::vector<std::uint64_t>> samples;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point> points;
+  Stats stats;
+  std::string cache_path;
+  bool cache_path_init = false;  // lazily from SIMDCV_TUNE_CACHE
+  bool cache_loaded = false;     // lazy one-shot load of cache_path
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: used from kernel entries at exit
+  return *r;
+}
+
+std::atomic<int> g_enabled{-1};  // -1 = consult SIMDCV_TUNE on first read
+
+// Only one axis measures per call tree: a nested kernel inside an outer
+// trial's window must not start its own trial (it would both pollute the
+// outer sample and be polluted by it).
+thread_local bool tls_trial_active = false;
+
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Requires r.mu held. Serves a committed winner or assigns the
+// least-sampled candidate as this call's trial (caller must hold the
+// thread's trial guard).
+Decision decideLocked(Registry& r, const std::string& key, int numCandidates,
+                      int fallback, bool allowTrial) {
+  Point& pt = r.points[key];
+  if (pt.winner >= 0 && pt.winner < numCandidates) {
+    ++r.stats.decisions_served;
+    return {pt.winner, false};
+  }
+  if (!allowTrial) return {fallback, false};
+  if (pt.samples.empty()) pt.samples.resize(static_cast<std::size_t>(numCandidates));
+  // Least-sampled candidate next, ties to the lowest index: every candidate
+  // reaches kTrialSamples after numCandidates * kTrialSamples calls.
+  int cand = 0;
+  std::size_t fewest = pt.samples[0].size();
+  for (int i = 1; i < numCandidates; ++i) {
+    if (pt.samples[static_cast<std::size_t>(i)].size() < fewest) {
+      fewest = pt.samples[static_cast<std::size_t>(i)].size();
+      cand = i;
+    }
+  }
+  ++r.stats.trials_started;
+  return {cand, true};
+}
+
+std::uint64_t medianOf(std::vector<std::uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+bool saveLocked(Registry& r, const std::string& path);
+
+// Requires r.mu held.
+void reportLocked(Registry& r, const std::string& key, int candidate,
+                  std::uint64_t ns) {
+  Point& pt = r.points[key];
+  if (pt.winner >= 0) return;  // decided concurrently; drop the straggler
+  if (candidate < 0 ||
+      static_cast<std::size_t>(candidate) >= pt.samples.size())
+    return;
+  pt.samples[static_cast<std::size_t>(candidate)].push_back(ns);
+  ++r.stats.samples_recorded;
+  for (const auto& s : pt.samples)
+    if (s.size() < static_cast<std::size_t>(kTrialSamples)) return;
+  // Calibrated enough: commit the smallest-median candidate.
+  int winner = 0;
+  std::uint64_t best = medianOf(pt.samples[0]);
+  for (std::size_t i = 1; i < pt.samples.size(); ++i) {
+    const std::uint64_t m = medianOf(pt.samples[i]);
+    if (m < best) {
+      best = m;
+      winner = static_cast<int>(i);
+    }
+  }
+  pt.winner = winner;
+  pt.samples.clear();
+  pt.samples.shrink_to_fit();
+  ++r.stats.decisions_committed;
+  if (!r.cache_path.empty()) saveLocked(r, r.cache_path);
+}
+
+constexpr const char* kFileMagic = "simdcv-tune-cache v1";
+
+// Requires r.mu held.
+bool saveLocked(Registry& r, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "simdcv: tune cache not writable: %s\n",
+                   tmp.c_str());
+      return false;
+    }
+    os << kFileMagic << "\n";
+    os << "host " << fingerprint() << "\n";
+    for (const auto& [key, pt] : r.points)
+      if (pt.winner >= 0) os << "decide " << key << " " << pt.winner << "\n";
+    if (!os.good()) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "simdcv: tune cache rename failed: %s\n",
+                 path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Requires r.mu held. Tolerant load: missing/corrupt/wrong-host files warn
+// once and leave the registry untouched (decisions re-measure); individually
+// malformed data lines are skipped.
+bool loadLocked(Registry& r, const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    ++r.stats.file_load_failures;
+    return false;  // missing file is the normal first run: no warning
+  }
+  std::string line;
+  if (!std::getline(is, line) || line != kFileMagic) {
+    std::fprintf(stderr,
+                 "simdcv: ignoring tune cache %s (bad or missing header)\n",
+                 path.c_str());
+    ++r.stats.file_load_failures;
+    return false;
+  }
+  std::string tag, fp;
+  if (!(is >> tag >> fp) || tag != "host") {
+    std::fprintf(stderr, "simdcv: ignoring tune cache %s (no host line)\n",
+                 path.c_str());
+    ++r.stats.file_load_failures;
+    return false;
+  }
+  if (fp != fingerprint()) {
+    std::fprintf(stderr,
+                 "simdcv: ignoring tune cache %s (host fingerprint %s != %s; "
+                 "re-measuring)\n",
+                 path.c_str(), fp.c_str(), fingerprint().c_str());
+    ++r.stats.file_load_failures;
+    return false;
+  }
+  std::uint64_t loaded = 0;
+  while (is >> tag) {
+    std::string key;
+    int winner = -1;
+    if (tag != "decide" || !(is >> key >> winner) || winner < 0) {
+      // Malformed entry: skip the rest of the line, keep the good ones. The
+      // failed extraction left the stream in a fail state — clear it or the
+      // getline (and every later entry) would be dropped too.
+      is.clear();
+      std::getline(is, line);
+      continue;
+    }
+    r.points[key].winner = winner;
+    ++loaded;
+  }
+  r.stats.file_entries_loaded += loaded;
+  return true;
+}
+
+// Requires r.mu held. Resolve the lazy cache path + one-shot load.
+void ensureCacheLocked(Registry& r) {
+  if (!r.cache_path_init) {
+    const char* p = std::getenv("SIMDCV_TUNE_CACHE");
+    r.cache_path = (p != nullptr) ? p : "";
+    r.cache_path_init = true;
+  }
+  if (!r.cache_loaded) {
+    r.cache_loaded = true;
+    if (!r.cache_path.empty()) loadLocked(r, r.cache_path);
+  }
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  int v = g_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = platform::envFlag("SIMDCV_TUNE", false) ? 1 : 0;
+    int expected = -1;
+    g_enabled.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+    v = g_enabled.load(std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void setEnabled(bool on) noexcept {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+ScopedEnable::ScopedEnable(bool on) noexcept : prev_(enabled()) {
+  setEnabled(on);
+}
+
+ScopedEnable::~ScopedEnable() { setEnabled(prev_); }
+
+std::string fingerprint() {
+  static const std::string fp = [] {
+    const platform::HostInfo h = platform::queryHost();
+    std::ostringstream os;
+    os << h.brand << "|" << h.logical_cpus << "|" << h.l1d_kb << "|" << h.l2_kb
+       << "|" << h.l3_kb << "|" << h.sse2 << h.avx << h.avx2 << h.neon;
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(os.str())));
+    return std::string(buf);
+  }();
+  return fp;
+}
+
+int sizeClass(std::uint64_t bytes) noexcept {
+  int c = 0;
+  while (bytes > 1) {
+    bytes >>= 1;
+    ++c;
+  }
+  return c;
+}
+
+void setCachePath(std::string path) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.cache_path = std::move(path);
+  r.cache_path_init = true;
+  r.cache_loaded = false;  // re-arm the lazy load for the new path
+}
+
+std::string cachePath() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  if (!r.cache_path_init) {
+    const char* p = std::getenv("SIMDCV_TUNE_CACHE");
+    r.cache_path = (p != nullptr) ? p : "";
+    r.cache_path_init = true;
+  }
+  return r.cache_path;
+}
+
+bool loadCache(const std::string& path) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return loadLocked(r, path);
+}
+
+bool saveCache(const std::string& path) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return saveLocked(r, path);
+}
+
+Decision decide(const std::string& key, int numCandidates, int fallback) {
+  if (numCandidates <= 1) return {0, false};
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  ensureCacheLocked(r);
+  return decideLocked(r, key, numCandidates, fallback, !tls_trial_active);
+}
+
+void report(const std::string& key, int candidate, std::uint64_t ns) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  reportLocked(r, key, candidate, ns);
+}
+
+int committedChoice(const std::string& key) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.points.find(key);
+  return it != r.points.end() ? it->second.winner : -1;
+}
+
+std::vector<std::pair<std::string, int>> decisions() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  std::vector<std::pair<std::string, int>> out;
+  for (const auto& [key, pt] : r.points)
+    if (pt.winner >= 0) out.emplace_back(key, pt.winner);
+  return out;
+}
+
+Stats stats() noexcept {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.stats;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.points.clear();
+  r.stats = Stats{};
+  r.cache_loaded = true;  // an explicit reset means "start empty", not reload
+}
+
+std::string pointKey(const char* kernel, const char* axis, KernelPath path,
+                     int size_class) {
+  std::string key(kernel);
+  key += '|';
+  key += axis;
+  key += '|';
+  key += toString(path);
+  key += "|c";
+  key += std::to_string(size_class);
+  return key;
+}
+
+std::string pointKeyPathAxis(const char* kernel, int size_class) {
+  std::string key(kernel);
+  key += "|path|*|c";
+  key += std::to_string(size_class);
+  return key;
+}
+
+const std::vector<KernelPath>& pathCandidates() {
+  static const std::vector<KernelPath> cands = [] {
+    std::vector<KernelPath> v{KernelPath::Auto};
+    for (KernelPath p :
+         {KernelPath::Sse2, KernelPath::Avx2, KernelPath::Neon})
+      if (pathAvailable(p)) v.push_back(p);
+    return v;
+  }();
+  return cands;
+}
+
+PathScope::PathScope(const char* kernel, KernelPath requested,
+                     std::uint64_t bytes) noexcept
+    : path_(resolvePath(requested)) {
+  if (!enabled() || requested != KernelPath::Default) return;
+  const auto& cands = pathCandidates();
+  key_ = pointKeyPathAxis(kernel, sizeClass(bytes));
+  // The heuristic fallback is the library's static preference (resolvePath),
+  // expressed as a candidate index; Auto (index 0) if it is not a candidate.
+  int fallback = 0;
+  for (std::size_t i = 0; i < cands.size(); ++i)
+    if (cands[i] == path_) fallback = static_cast<int>(i);
+  const Decision d = decide(key_, static_cast<int>(cands.size()), fallback);
+  path_ = cands[static_cast<std::size_t>(d.choice)];
+  if (d.measuring) {
+    measuring_ = true;
+    candidate_ = d.choice;
+    tls_trial_active = true;
+    t0_ = prof::nowNs();
+  }
+}
+
+PathScope::~PathScope() {
+  if (!measuring_) return;
+  const std::uint64_t ns = prof::nowNs() - t0_;
+  tls_trial_active = false;
+  report(key_, candidate_, ns);
+}
+
+ChoiceScope::ChoiceScope(const char* kernel, const char* axis, KernelPath path,
+                         std::uint64_t bytes, int numCandidates,
+                         int fallback) noexcept
+    : choice_(fallback) {
+  if (!enabled()) return;
+  key_ = pointKey(kernel, axis, path, sizeClass(bytes));
+  const Decision d = decide(key_, numCandidates, fallback);
+  choice_ = d.choice;
+  if (d.measuring) {
+    measuring_ = true;
+    tls_trial_active = true;
+    t0_ = prof::nowNs();
+  }
+}
+
+ChoiceScope::~ChoiceScope() {
+  if (!measuring_) return;
+  const std::uint64_t ns = prof::nowNs() - t0_;
+  tls_trial_active = false;
+  report(key_, choice_, ns);
+}
+
+int grainForChoice(int choice, int heuristicGrain, int rows) noexcept {
+  const int cap = rows > 1 ? rows : 1;
+  long long g = heuristicGrain > 0 ? heuristicGrain : 1;
+  switch (choice) {
+    case 0: break;
+    case 1: g *= 2; break;
+    case 2: g *= 4; break;
+    default: g = cap; break;  // serial: one band
+  }
+  if (g > cap) g = cap;
+  return static_cast<int>(g);
+}
+
+GrainScope::GrainScope(const char* kernel, KernelPath path, std::uint64_t bytes,
+                       int rows, int heuristicGrain) noexcept
+    : grain_(heuristicGrain) {
+  if (!enabled()) return;
+  key_ = pointKey(kernel, "grain", path, sizeClass(bytes));
+  const Decision d = decide(key_, kGrainCandidates, /*fallback=*/0);
+  grain_ = grainForChoice(d.choice, heuristicGrain, rows);
+  if (d.measuring) {
+    measuring_ = true;
+    candidate_ = d.choice;
+    tls_trial_active = true;
+    t0_ = prof::nowNs();
+  }
+}
+
+GrainScope::~GrainScope() {
+  if (!measuring_) return;
+  const std::uint64_t ns = prof::nowNs() - t0_;
+  tls_trial_active = false;
+  report(key_, candidate_, ns);
+}
+
+}  // namespace simdcv::tune

@@ -1,0 +1,230 @@
+// Perf-regression gate (bench/gate.hpp): parsing, row matching, direction
+// handling, the strict-inequality tolerance boundary, and the full failure
+// taxonomy (missing baseline, corrupt JSON, no overlap, host mismatch)
+// against the fixture JSONs under tests/bench/data/.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/gate.hpp"
+
+namespace simdcv::bench::gate {
+namespace {
+
+std::string fixture(const char* name) {
+  return std::string(SIMDCV_TEST_DATA_DIR) + "/" + name;
+}
+
+std::vector<Row> rowsOf(const char* json) {
+  std::vector<Row> rows;
+  std::string error;
+  EXPECT_TRUE(parseResults(json, &rows, &error)) << error;
+  return rows;
+}
+
+TEST(GateMetricDirection, KnownSuffixes) {
+  EXPECT_EQ(metricDirection("speedup"), +1);
+  EXPECT_EQ(metricDirection("images_per_sec"), +1);
+  EXPECT_EQ(metricDirection("unfused_s"), -1);
+  EXPECT_EQ(metricDirection("p99_total_ms"), -1);
+  EXPECT_EQ(metricDirection("completed"), 0);
+  EXPECT_EQ(metricDirection("rejected_full"), 0);
+}
+
+TEST(GateParse, RowSplitsIdentityFromMetrics) {
+  const auto rows = rowsOf(
+      R"({"results": [{"resolution": "640x480", "workers": 2, "mode": "scan",
+                       "images_per_sec": 120.5, "p50_total_ms": 3.2}]})");
+  ASSERT_EQ(rows.size(), 1u);
+  // workers is a numeric identity: it lands in the id key, canonicalized.
+  EXPECT_EQ(rows[0].idKey(), "mode=scan|resolution=640x480|workers=2");
+  ASSERT_EQ(rows[0].metrics.size(), 2u);
+  EXPECT_EQ(rows[0].metrics[0].first, "images_per_sec");
+  EXPECT_DOUBLE_EQ(rows[0].metrics[0].second, 120.5);
+}
+
+TEST(GateParse, RejectsMalformedJson) {
+  std::vector<Row> rows;
+  std::string error;
+  EXPECT_FALSE(parseResults("{\"results\": [", &rows, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parseResults("[1, 2, 3]", &rows, &error));
+  EXPECT_FALSE(parseResults("{\"bench\": \"x\"}", &rows, &error))
+      << "missing results array must be an error";
+}
+
+TEST(GateParse, ParseHostCanonicalizes) {
+  const std::string h = parseHost(
+      R"({"host": {"brand": "CPU X", "logical_cpus": 4, "l1d_kb": 32,
+                   "l2_kb": 1024, "l3_kb": 8192}})");
+  EXPECT_EQ(h, "CPU X|4|32|1024|8192");
+  EXPECT_TRUE(parseHost(R"({"bench": "no host block"})").empty());
+}
+
+TEST(GateCompare, WithinToleranceIsOk) {
+  const auto base = rowsOf(R"({"results": [{"path": "A", "speedup": 1.00}]})");
+  const auto cand = rowsOf(R"({"results": [{"path": "A", "speedup": 0.95}]})");
+  const CompareReport rep = compareRows(base, cand, CompareOptions{});
+  EXPECT_EQ(rep.outcome, Outcome::Ok);
+  EXPECT_EQ(rep.rows_matched, 1);
+  EXPECT_EQ(rep.metrics_compared, 1);
+}
+
+TEST(GateCompare, RegressionNamesTheMetric) {
+  const auto base = rowsOf(
+      R"({"results": [{"path": "A", "speedup": 1.50, "total_s": 2.0}]})");
+  const auto cand = rowsOf(
+      R"({"results": [{"path": "A", "speedup": 1.00, "total_s": 2.1}]})");
+  const CompareReport rep = compareRows(base, cand, CompareOptions{});
+  EXPECT_EQ(rep.outcome, Outcome::Regression);
+  ASSERT_EQ(rep.messages.size(), 1u);  // total_s is within 15%: only speedup
+  EXPECT_NE(rep.messages[0].find("REGRESSION"), std::string::npos);
+  EXPECT_NE(rep.messages[0].find("speedup"), std::string::npos);
+  EXPECT_NE(rep.messages[0].find("path=A"), std::string::npos);
+}
+
+TEST(GateCompare, LowerIsBetterDirection) {
+  const auto base = rowsOf(R"({"results": [{"path": "A", "total_s": 1.0}]})");
+  const auto slower = rowsOf(R"({"results": [{"path": "A", "total_s": 1.3}]})");
+  const auto faster = rowsOf(R"({"results": [{"path": "A", "total_s": 0.5}]})");
+  EXPECT_EQ(compareRows(base, slower, CompareOptions{}).outcome,
+            Outcome::Regression);
+  EXPECT_EQ(compareRows(base, faster, CompareOptions{}).outcome, Outcome::Ok);
+}
+
+TEST(GateCompare, MetricsFilterAndUnknownNameWarns) {
+  const auto base = rowsOf(
+      R"({"results": [{"path": "A", "speedup": 2.0, "total_s": 9.0}]})");
+  const auto cand = rowsOf(
+      R"({"results": [{"path": "A", "speedup": 2.0, "total_s": 1.0}]})");
+  CompareOptions opts;
+  opts.metrics = {"speedup"};
+  const CompareReport rep = compareRows(base, cand, opts);
+  EXPECT_EQ(rep.outcome, Outcome::Ok);
+  EXPECT_EQ(rep.metrics_compared, 1) << "total_s was not requested";
+
+  // Requesting a direction-less metric by name is flagged, not silently ok.
+  opts.metrics = {"completed"};
+  const auto base2 = rowsOf(R"({"results": [{"path": "A", "completed": 6}]})");
+  const CompareReport rep2 = compareRows(base2, base2, opts);
+  ASSERT_EQ(rep2.messages.size(), 1u);
+  EXPECT_NE(rep2.messages[0].find("completed"), std::string::npos);
+}
+
+TEST(GateCompare, IntersectionOnlySmokeSubsetGatesAgainstFullBaseline) {
+  // Baseline has extra rows and an extra metric; the candidate's subset must
+  // compare cleanly (the smoke-vs-full protocol case).
+  const auto base = rowsOf(
+      R"({"results": [{"path": "A", "speedup": 1.0, "extra_s": 1.0},
+                      {"path": "B", "speedup": 9.9}]})");
+  const auto cand =
+      rowsOf(R"({"results": [{"path": "A", "speedup": 1.0, "other_s": 5.0}]})");
+  const CompareReport rep = compareRows(base, cand, CompareOptions{});
+  EXPECT_EQ(rep.outcome, Outcome::Ok);
+  EXPECT_EQ(rep.rows_matched, 1);
+  EXPECT_EQ(rep.rows_unmatched, 0);
+  EXPECT_EQ(rep.metrics_compared, 1) << "only the shared metric is gated";
+}
+
+TEST(GateCompare, ZeroOverlapIsAnErrorNotAPass) {
+  const auto base = rowsOf(R"({"results": [{"path": "A", "speedup": 1.0}]})");
+  const auto cand = rowsOf(R"({"results": [{"path": "Z", "speedup": 0.1}]})");
+  const CompareReport rep = compareRows(base, cand, CompareOptions{});
+  EXPECT_EQ(rep.outcome, Outcome::NoOverlap);
+  EXPECT_EQ(rep.rows_unmatched, 1);
+}
+
+TEST(GateCompare, DegenerateBaselineValueSkipped) {
+  const auto base = rowsOf(R"({"results": [{"path": "A", "speedup": 0.0}]})");
+  const auto cand = rowsOf(R"({"results": [{"path": "A", "speedup": 0.0}]})");
+  const CompareReport rep = compareRows(base, cand, CompareOptions{});
+  EXPECT_EQ(rep.outcome, Outcome::Ok);
+  EXPECT_EQ(rep.metrics_compared, 0);
+}
+
+// ---- fixture-file taxonomy (compareFiles) ----------------------------------
+
+TEST(GateFiles, OkCandidatePasses) {
+  const CompareReport rep = compareFiles(fixture("gate_base.json"),
+                                         fixture("gate_ok.json"),
+                                         CompareOptions{});
+  EXPECT_EQ(rep.outcome, Outcome::Ok)
+      << (rep.messages.empty() ? "" : rep.messages[0]);
+  EXPECT_EQ(rep.rows_matched, 2);
+}
+
+TEST(GateFiles, MissingBaseline) {
+  const CompareReport rep = compareFiles(fixture("gate_never_written.json"),
+                                         fixture("gate_ok.json"),
+                                         CompareOptions{});
+  EXPECT_EQ(rep.outcome, Outcome::MissingBaseline);
+}
+
+TEST(GateFiles, MissingCandidateIsParseError) {
+  // The candidate is the run the caller just made; its absence is a bug,
+  // not a vouch-less pass.
+  const CompareReport rep = compareFiles(fixture("gate_base.json"),
+                                         fixture("gate_never_written.json"),
+                                         CompareOptions{});
+  EXPECT_EQ(rep.outcome, Outcome::ParseError);
+}
+
+TEST(GateFiles, CorruptJson) {
+  EXPECT_EQ(compareFiles(fixture("gate_corrupt.json"), fixture("gate_ok.json"),
+                         CompareOptions{})
+                .outcome,
+            Outcome::ParseError);
+  EXPECT_EQ(compareFiles(fixture("gate_base.json"),
+                         fixture("gate_corrupt.json"), CompareOptions{})
+                .outcome,
+            Outcome::ParseError);
+}
+
+TEST(GateFiles, InjectedRegressionFailsAndNamesMetric) {
+  const CompareReport rep = compareFiles(fixture("gate_base.json"),
+                                         fixture("gate_regression.json"),
+                                         CompareOptions{});
+  EXPECT_EQ(rep.outcome, Outcome::Regression);
+  ASSERT_FALSE(rep.messages.empty());
+  EXPECT_NE(rep.messages[0].find("speedup"), std::string::npos);
+}
+
+TEST(GateFiles, ExactlyAtToleranceBoundaryPasses) {
+  // tol 0.25 with base/cand values whose products are exact in binary
+  // (80 * 1.25 == 100, 2.0 * 1.25 == 2.5): the boundary itself must pass —
+  // "worse than 25%" gates, "exactly 25% worse" does not.
+  CompareOptions opts;
+  opts.tolerance = 0.25;
+  const CompareReport rep = compareFiles(fixture("gate_base.json"),
+                                         fixture("gate_at_tolerance.json"),
+                                         opts);
+  EXPECT_EQ(rep.outcome, Outcome::Ok)
+      << (rep.messages.empty() ? "" : rep.messages[0]);
+  EXPECT_GE(rep.metrics_compared, 3);
+  // One hair past the boundary regresses.
+  opts.tolerance = 0.249;
+  EXPECT_EQ(compareFiles(fixture("gate_base.json"),
+                         fixture("gate_at_tolerance.json"), opts)
+                .outcome,
+            Outcome::Regression);
+}
+
+TEST(GateFiles, HostMismatchRefusesToVouch) {
+  const CompareReport rep = compareFiles(fixture("gate_base.json"),
+                                         fixture("gate_otherhost.json"),
+                                         CompareOptions{});
+  EXPECT_EQ(rep.outcome, Outcome::HostMismatch);
+  ASSERT_FALSE(rep.messages.empty());
+  EXPECT_NE(rep.messages[0].find("host"), std::string::npos);
+
+  CompareOptions opts;
+  opts.ignore_host_mismatch = true;
+  EXPECT_EQ(compareFiles(fixture("gate_base.json"),
+                         fixture("gate_otherhost.json"), opts)
+                .outcome,
+            Outcome::Ok);
+}
+
+}  // namespace
+}  // namespace simdcv::bench::gate

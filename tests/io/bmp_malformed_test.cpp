@@ -13,13 +13,19 @@
 #include <fstream>
 #include <vector>
 
+#include <unistd.h>
+
 namespace simdcv::io {
 namespace {
 
 class BadBmpTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "simdcv_bad_bmp_test";
+    // Unique per process: a shared scratch dir races under `ctest -j` (each
+    // discovered test is its own process; TearDown's remove_all would delete
+    // a sibling's files mid-test).
+    dir_ = std::filesystem::temp_directory_path() /
+           ("simdcv_bad_bmp_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -48,7 +54,8 @@ std::vector<std::uint8_t> goodBmp(int channels) {
     for (int x = 0; x < img.cols() * channels; ++x)
       img.at<std::uint8_t>(y, x) = static_cast<std::uint8_t>(16 * y + x);
   const std::string p =
-      (std::filesystem::temp_directory_path() / "simdcv_bad_bmp_seed.bmp")
+      (std::filesystem::temp_directory_path() /
+       ("simdcv_bad_bmp_seed_" + std::to_string(::getpid()) + ".bmp"))
           .string();
   writeBmp(p, img);
   std::ifstream f(p, std::ios::binary);

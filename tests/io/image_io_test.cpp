@@ -8,6 +8,7 @@
 #include <fstream>
 #include <filesystem>
 #include <random>
+#include <unistd.h>
 
 namespace simdcv::io {
 namespace {
@@ -15,7 +16,11 @@ namespace {
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "simdcv_io_test";
+    // Unique per process: ctest runs each discovered test as its own process,
+    // and a shared scratch dir makes one test's remove_all race another's
+    // reads under `ctest -j`.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("simdcv_io_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,0 +1,146 @@
+// Hardened env parsing (platform/env.hpp): the satellite fix for the
+// pre-hardening parsers that routed "-5" through strtoull (wrapping to a
+// huge worker count) or silently dropped garbage. parseInt is the strict
+// core; envInt/envFlag wrap it with the warn-and-fallback contract.
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "platform/env.hpp"
+
+namespace simdcv::platform {
+namespace {
+
+// setenv/unsetenv RAII so a failing assertion cannot leak a variable into
+// later tests (the test binary is single-process).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value != nullptr)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+  ~ScopedEnv() { ::unsetenv(name_.c_str()); }
+
+ private:
+  std::string name_;
+};
+
+TEST(ParseInt, AcceptsPlainDecimal) {
+  long long v = -1;
+  EXPECT_TRUE(parseInt("42", 0, 100, &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parseInt("0", 0, 100, &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(parseInt("100", 0, 100, &v));
+  EXPECT_EQ(v, 100);
+}
+
+TEST(ParseInt, AcceptsSignWhenRangeAllows) {
+  long long v = 0;
+  EXPECT_TRUE(parseInt("-5", -10, 10, &v));
+  EXPECT_EQ(v, -5);
+  EXPECT_TRUE(parseInt("+7", -10, 10, &v));
+  EXPECT_EQ(v, 7);
+}
+
+TEST(ParseInt, RejectsNegativeWhereCountExpected) {
+  // The original bug: "-5" fed to strtoull wrapped to 18446744073709551611.
+  long long v = 77;
+  EXPECT_FALSE(parseInt("-5", 0, 4096, &v));
+  EXPECT_EQ(v, 77) << "*out must be untouched on failure";
+}
+
+TEST(ParseInt, RejectsGarbageAndTrailingJunk) {
+  long long v = 77;
+  EXPECT_FALSE(parseInt("abc", 0, 100, &v));
+  EXPECT_FALSE(parseInt("12abc", 0, 100, &v));
+  EXPECT_FALSE(parseInt("12 ", 0, 100, &v));
+  EXPECT_FALSE(parseInt(" 12", 0, 100, &v));
+  EXPECT_FALSE(parseInt("1.5", 0, 100, &v));
+  EXPECT_FALSE(parseInt("0x10", 0, 100, &v));
+  EXPECT_FALSE(parseInt("-", -10, 10, &v));
+  EXPECT_FALSE(parseInt("+", -10, 10, &v));
+  EXPECT_EQ(v, 77);
+}
+
+TEST(ParseInt, RejectsNullAndEmpty) {
+  long long v = 77;
+  EXPECT_FALSE(parseInt(nullptr, 0, 100, &v));
+  EXPECT_FALSE(parseInt("", 0, 100, &v));
+  EXPECT_EQ(v, 77);
+}
+
+TEST(ParseInt, RejectsOverflow) {
+  long long v = 77;
+  EXPECT_FALSE(parseInt("99999999999999999999999999", 0, 1LL << 62, &v));
+  EXPECT_FALSE(parseInt("-99999999999999999999999999", -(1LL << 62), 0, &v));
+  EXPECT_EQ(v, 77);
+}
+
+TEST(ParseInt, RejectsOutOfRange) {
+  long long v = 77;
+  EXPECT_FALSE(parseInt("101", 0, 100, &v));
+  EXPECT_FALSE(parseInt("-1", 0, 100, &v));
+  EXPECT_EQ(v, 77);
+  EXPECT_TRUE(parseInt("100", 0, 100, &v));  // bounds are inclusive
+  EXPECT_EQ(v, 100);
+}
+
+TEST(EnvInt, UnsetReturnsFallbackSilently) {
+  ScopedEnv e("SIMDCV_TEST_ENVINT", nullptr);
+  EXPECT_EQ(envInt("SIMDCV_TEST_ENVINT", 64, 1, 1 << 20), 64);
+}
+
+TEST(EnvInt, ValidValueWins) {
+  ScopedEnv e("SIMDCV_TEST_ENVINT", "8");
+  EXPECT_EQ(envInt("SIMDCV_TEST_ENVINT", 64, 1, 1 << 20), 8);
+}
+
+TEST(EnvInt, InvalidValueFallsBack) {
+  {
+    ScopedEnv e("SIMDCV_TEST_ENVINT", "banana");
+    EXPECT_EQ(envInt("SIMDCV_TEST_ENVINT", 64, 1, 1 << 20), 64);
+  }
+  {
+    ScopedEnv e("SIMDCV_TEST_ENVINT", "-3");
+    EXPECT_EQ(envInt("SIMDCV_TEST_ENVINT", 64, 1, 1 << 20), 64);
+  }
+  {
+    ScopedEnv e("SIMDCV_TEST_ENVINT", "184467440737095516150");  // overflow
+    EXPECT_EQ(envInt("SIMDCV_TEST_ENVINT", 64, 1, 1 << 20), 64);
+  }
+  {
+    ScopedEnv e("SIMDCV_TEST_ENVINT", "0");  // below min
+    EXPECT_EQ(envInt("SIMDCV_TEST_ENVINT", 64, 1, 1 << 20), 64);
+  }
+}
+
+TEST(EnvFlag, OneAndZeroParse) {
+  {
+    ScopedEnv e("SIMDCV_TEST_ENVFLAG", "1");
+    EXPECT_TRUE(envFlag("SIMDCV_TEST_ENVFLAG", false));
+  }
+  {
+    ScopedEnv e("SIMDCV_TEST_ENVFLAG", "0");
+    EXPECT_FALSE(envFlag("SIMDCV_TEST_ENVFLAG", true));
+  }
+}
+
+TEST(EnvFlag, UnsetAndGarbageFallBack) {
+  {
+    ScopedEnv e("SIMDCV_TEST_ENVFLAG", nullptr);
+    EXPECT_TRUE(envFlag("SIMDCV_TEST_ENVFLAG", true));
+    EXPECT_FALSE(envFlag("SIMDCV_TEST_ENVFLAG", false));
+  }
+  {
+    ScopedEnv e("SIMDCV_TEST_ENVFLAG", "yes");
+    EXPECT_TRUE(envFlag("SIMDCV_TEST_ENVFLAG", true));
+    EXPECT_FALSE(envFlag("SIMDCV_TEST_ENVFLAG", false));
+  }
+}
+
+}  // namespace
+}  // namespace simdcv::platform

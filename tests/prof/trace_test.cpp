@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "imgproc/edge_detail.hpp"
 #include "simdcv.hpp"
 
 namespace simdcv {
@@ -469,6 +470,30 @@ TEST_F(ProfTest, PerfCountersLiveWhenHostAllows) {
   ASSERT_NE(k, nullptr);
   EXPECT_GT(k->instructions, 100000u);  // at least one instr per iteration
   EXPECT_GT(k->cycles, 0u);
+}
+
+TEST_F(ProfTest, GradientMagnitudeBytesMatchRowHelper) {
+  // The trace accounting and the parallel_for fork heuristic must price the
+  // same traffic: rows * magnitudeRowBytes (two s16 gradient reads + one u8
+  // write per element). Before the shared helper the fork decision priced
+  // only the 2*n*sizeof(int16) inputs and disagreed with the trace.
+  constexpr int kRows = 17, kCols = 33;
+  Mat gx(kRows, kCols, S16C1), gy(kRows, kCols, S16C1), mag;
+  for (int r = 0; r < kRows; ++r)
+    for (int c = 0; c < kCols; ++c) {
+      gx.ptr<std::int16_t>(r)[c] = static_cast<std::int16_t>(r - c);
+      gy.ptr<std::int16_t>(r)[c] = static_cast<std::int16_t>(c);
+    }
+  prof::setEnabled(true);
+  imgproc::gradientMagnitude(gx, gy, mag);
+  prof::setEnabled(false);
+  const prof::KernelStat* k =
+      findKernel(prof::snapshot(), "gradientMagnitude");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->bytes,
+            kRows * imgproc::detail::magnitudeRowBytes(kCols));
+  EXPECT_EQ(k->bytes,
+            std::uint64_t(kRows) * kCols * (2 * sizeof(std::int16_t) + 1));
 }
 
 TEST_F(ProfTest, ResetClearsEverything) {

@@ -15,6 +15,12 @@
 namespace simdcv::serve {
 namespace {
 
+TEST(BoundedQueue, CapacityZeroThrows) {
+  // No silent clamp to 1: a zero capacity is a caller bug and must throw
+  // (the old ctor promoted it to 1 before validation could see it).
+  EXPECT_THROW(BoundedQueue<int> q(0), simdcv::Error);
+}
+
 TEST(BoundedQueue, Capacity1Wraparound) {
   BoundedQueue<int> q(1);
   EXPECT_EQ(q.capacity(), 1u);

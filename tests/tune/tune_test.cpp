@@ -1,0 +1,293 @@
+// simdcv::tune — decision machinery, winner selection, trial serialization,
+// cache round-trip (save -> reset -> load -> identical dispatch without
+// re-measuring), fingerprint mismatch, and corrupt-file tolerance. Carries
+// the `tune` ctest label (run under ASan in scripts/verify.sh).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "imgproc/threshold.hpp"
+#include "tune/tune.hpp"
+
+namespace simdcv::tune {
+namespace {
+
+// Every test starts from an empty registry with tuning off and no cache
+// file; the registry is process-global, so cleanup matters.
+class TuneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setEnabled(false);
+    setCachePath("");
+    reset();
+  }
+  void TearDown() override {
+    setEnabled(false);
+    setCachePath("");
+    reset();
+    for (const auto& f : scratch_files_) std::remove(f.c_str());
+  }
+
+  std::string scratchFile(const char* name) {
+    std::string path = ::testing::TempDir() + "simdcv_tune_" + name;
+    scratch_files_.push_back(path);
+    std::remove(path.c_str());
+    return path;
+  }
+
+  std::vector<std::string> scratch_files_;
+};
+
+TEST_F(TuneTest, SizeClassIsLog2Bucket) {
+  EXPECT_EQ(sizeClass(0), 0);
+  EXPECT_EQ(sizeClass(1), 0);
+  EXPECT_EQ(sizeClass(2), 1);
+  EXPECT_EQ(sizeClass(3), 1);
+  EXPECT_EQ(sizeClass(4), 2);
+  EXPECT_EQ(sizeClass(1 << 20), 20);
+  // One class per octave: 640x480 and 2592x1920 u8 images differ.
+  EXPECT_NE(sizeClass(640 * 480), sizeClass(2592 * 1920));
+}
+
+TEST_F(TuneTest, FingerprintIsStableHex) {
+  const std::string fp = fingerprint();
+  EXPECT_EQ(fp.size(), 16u);
+  EXPECT_EQ(fp.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(fingerprint(), fp);
+}
+
+TEST_F(TuneTest, PointKeyShape) {
+  EXPECT_EQ(pointKey("threshold", "grain", KernelPath::Sse2, 13),
+            "threshold|grain|sse2|c13");
+  EXPECT_EQ(pointKeyPathAxis("edgeDetect", 20), "edgeDetect|path|*|c20");
+}
+
+TEST_F(TuneTest, TrialsCycleLeastSampledThenCommitSmallestMedian) {
+  const std::string key = "k|axis|auto|c10";
+  // Feed kTrialSamples samples per candidate: candidate 1 is fastest.
+  for (int s = 0; s < kTrialSamples; ++s) {
+    for (int cand = 0; cand < 3; ++cand) {
+      const Decision d = decide(key, 3, /*fallback=*/0);
+      ASSERT_TRUE(d.measuring);
+      EXPECT_EQ(d.choice, cand);  // least-sampled, ties to lowest index
+      report(key, d.choice, cand == 1 ? 100 : 1000);
+    }
+  }
+  EXPECT_EQ(committedChoice(key), 1);
+  const Decision served = decide(key, 3, 0);
+  EXPECT_EQ(served.choice, 1);
+  EXPECT_FALSE(served.measuring);
+  const Stats st = stats();
+  EXPECT_EQ(st.decisions_committed, 1u);
+  EXPECT_EQ(st.samples_recorded,
+            static_cast<std::uint64_t>(3 * kTrialSamples));
+  EXPECT_GE(st.decisions_served, 1u);
+}
+
+TEST_F(TuneTest, MedianIgnoresOneOutlierSample) {
+  const std::string key = "k|axis|auto|c11";
+  // Candidate 0: samples {10, 10, 5000} (median 10). Candidate 1: {50, 50,
+  // 50} (median 50). The outlier must not flip the winner.
+  const std::uint64_t samples0[] = {10, 5000, 10};
+  const std::uint64_t samples1[] = {50, 50, 50};
+  for (int s = 0; s < kTrialSamples; ++s) {
+    Decision d = decide(key, 2, 0);
+    ASSERT_TRUE(d.measuring);
+    report(key, d.choice, samples0[s]);
+    d = decide(key, 2, 0);
+    ASSERT_TRUE(d.measuring);
+    report(key, d.choice, samples1[s]);
+  }
+  EXPECT_EQ(committedChoice(key), 0);
+}
+
+TEST_F(TuneTest, SingleCandidateNeverTrials) {
+  const Decision d = decide("k|axis|auto|c1", 1, 0);
+  EXPECT_EQ(d.choice, 0);
+  EXPECT_FALSE(d.measuring);
+}
+
+TEST_F(TuneTest, OnlyOneAxisMeasuresPerCallTree) {
+  setEnabled(true);
+  ChoiceScope outer("outerk", "fuse", KernelPath::Auto, 1 << 12, 2, 0);
+  ASSERT_TRUE(outer.measuring());
+  // A nested scope on a different key must serve its fallback unmeasured —
+  // its time would pollute (and be polluted by) the outer trial window.
+  ChoiceScope inner("innerk", "fuse", KernelPath::Auto, 1 << 12, 2, 1);
+  EXPECT_FALSE(inner.measuring());
+  EXPECT_EQ(inner.choice(), 1);
+}
+
+TEST_F(TuneTest, ScopesInertWhenDisabled) {
+  ASSERT_FALSE(enabled());
+  PathScope ps("k", KernelPath::Default, 1 << 12);
+  EXPECT_FALSE(ps.measuring());
+  EXPECT_EQ(ps.path(), resolvePath(KernelPath::Default));
+  GrainScope gs("k", KernelPath::Auto, 1 << 12, 100, 7);
+  EXPECT_FALSE(gs.measuring());
+  EXPECT_EQ(gs.grain(), 7);  // exactly the heuristic, untouched
+  EXPECT_EQ(stats().trials_started, 0u);
+}
+
+TEST_F(TuneTest, PathScopeInertForConcretePathRequests) {
+  setEnabled(true);
+  PathScope ps("k", KernelPath::ScalarNoVec, 1 << 12);
+  EXPECT_FALSE(ps.measuring());
+  EXPECT_EQ(ps.path(), KernelPath::ScalarNoVec);
+  EXPECT_EQ(stats().trials_started, 0u);
+}
+
+TEST_F(TuneTest, GrainForChoiceMapping) {
+  EXPECT_EQ(grainForChoice(0, 8, 1000), 8);
+  EXPECT_EQ(grainForChoice(1, 8, 1000), 16);
+  EXPECT_EQ(grainForChoice(2, 8, 1000), 32);
+  EXPECT_EQ(grainForChoice(3, 8, 1000), 1000);  // serial: one band
+  EXPECT_EQ(grainForChoice(2, 400, 1000), 1000);  // clamped to rows
+  EXPECT_EQ(grainForChoice(0, 0, 1000), 1);       // degenerate heuristic
+  EXPECT_EQ(grainForChoice(3, 8, 0), 1);          // degenerate rows
+}
+
+TEST_F(TuneTest, CacheRoundTripServesWithoutRemeasuring) {
+  const std::string path = scratchFile("roundtrip.txt");
+  const std::string key = "threshold|grain|sse2|c13";
+  for (int s = 0; s < kTrialSamples; ++s)
+    for (int cand = 0; cand < 2; ++cand) {
+      const Decision d = decide(key, 2, 0);
+      report(key, d.choice, cand == 1 ? 10 : 99);
+    }
+  ASSERT_EQ(committedChoice(key), 1);
+  ASSERT_TRUE(saveCache(path));
+
+  reset();
+  ASSERT_EQ(committedChoice(key), -1);
+  ASSERT_TRUE(loadCache(path));
+  EXPECT_EQ(committedChoice(key), 1);
+  // Identical dispatch, no trial: the loaded winner is served immediately.
+  const Decision d = decide(key, 2, 0);
+  EXPECT_EQ(d.choice, 1);
+  EXPECT_FALSE(d.measuring);
+  EXPECT_EQ(stats().trials_started, 0u);
+  EXPECT_GE(stats().file_entries_loaded, 1u);
+}
+
+TEST_F(TuneTest, SetCachePathArmsLazyLoad) {
+  const std::string path = scratchFile("lazy.txt");
+  {
+    std::ofstream os(path);
+    os << "simdcv-tune-cache v1\n"
+       << "host " << fingerprint() << "\n"
+       << "decide some|fuse|auto|c9 1\n";
+  }
+  reset();
+  setCachePath(path);
+  // First decide() triggers the lazy load and serves the cached winner.
+  const Decision d = decide("some|fuse|auto|c9", 2, 0);
+  EXPECT_EQ(d.choice, 1);
+  EXPECT_FALSE(d.measuring);
+}
+
+TEST_F(TuneTest, CommitPersistsWhenCachePathSet) {
+  const std::string path = scratchFile("autosave.txt");
+  setCachePath(path);
+  const std::string key = "auto|fuse|auto|c8";
+  for (int s = 0; s < kTrialSamples; ++s)
+    for (int cand = 0; cand < 2; ++cand) {
+      const Decision d = decide(key, 2, 0);
+      report(key, d.choice, 100);
+    }
+  ASSERT_GE(committedChoice(key), 0);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good()) << "commit should have written the cache file";
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "simdcv-tune-cache v1");
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "host " + fingerprint());
+}
+
+TEST_F(TuneTest, WrongFingerprintIsIgnoredAndRemeasured) {
+  const std::string path = scratchFile("wronghost.txt");
+  {
+    std::ofstream os(path);
+    os << "simdcv-tune-cache v1\n"
+       << "host 0123456789abcdef\n"  // not this machine
+       << "decide k|fuse|auto|c9 1\n";
+  }
+  EXPECT_FALSE(loadCache(path));
+  EXPECT_EQ(committedChoice("k|fuse|auto|c9"), -1);
+  EXPECT_GE(stats().file_load_failures, 1u);
+  // Dispatch re-measures from scratch.
+  const Decision d = decide("k|fuse|auto|c9", 2, 0);
+  EXPECT_TRUE(d.measuring);
+}
+
+TEST_F(TuneTest, CorruptHeaderIsTolerated) {
+  const std::string path = scratchFile("corrupt.txt");
+  {
+    std::ofstream os(path);
+    os << "{\"not\": \"the tune cache format\"}\n";
+  }
+  EXPECT_FALSE(loadCache(path));
+  EXPECT_TRUE(decisions().empty());
+}
+
+TEST_F(TuneTest, MissingFileIsSilentFailure) {
+  EXPECT_FALSE(loadCache(scratchFile("never_written.txt")));
+  EXPECT_GE(stats().file_load_failures, 1u);
+}
+
+TEST_F(TuneTest, MalformedEntriesSkippedGoodOnesKept) {
+  const std::string path = scratchFile("mixed.txt");
+  {
+    std::ofstream os(path);
+    os << "simdcv-tune-cache v1\n"
+       << "host " << fingerprint() << "\n"
+       << "decide good|fuse|auto|c9 1\n"
+       << "garbage line with no meaning\n"
+       << "decide broken|fuse|auto|c9 notanumber\n"
+       << "decide also-good|grain|sse2|c12 3\n";
+  }
+  EXPECT_TRUE(loadCache(path));
+  EXPECT_EQ(committedChoice("good|fuse|auto|c9"), 1);
+  EXPECT_EQ(committedChoice("also-good|grain|sse2|c12"), 3);
+  EXPECT_EQ(decisions().size(), 2u);
+}
+
+TEST_F(TuneTest, EndToEndThresholdCommitsDecisions) {
+  // Drive a real kernel under tuning until its decision points commit; the
+  // path axis (Default request) and the grain axis share one call tree, so
+  // the thread-local guard serializes their trials.
+  ScopedEnable tuned(true);
+  Mat src(64, 64, U8C1), dst;
+  for (int r = 0; r < src.rows(); ++r)
+    for (int c = 0; c < src.cols(); ++c)
+      src.ptr<std::uint8_t>(r)[c] = static_cast<std::uint8_t>(r + c);
+  for (int i = 0; i < 80; ++i)
+    imgproc::threshold(src, dst, 100.0, 255.0,
+                       imgproc::ThresholdType::Binary, KernelPath::Default);
+  const std::uint64_t bytes = 2ull * 64 * 64;
+  EXPECT_GE(committedChoice(pointKeyPathAxis("threshold", sizeClass(bytes))),
+            0);
+  const Stats st = stats();
+  EXPECT_GT(st.samples_recorded, 0u);
+  EXPECT_GT(st.decisions_committed, 0u);
+  // The committed winner computes the same function as every loser: verify
+  // against a fixed-path run.
+  Mat tunedOut, fixedOut;
+  imgproc::threshold(src, tunedOut, 100.0, 255.0,
+                     imgproc::ThresholdType::Binary, KernelPath::Default);
+  setEnabled(false);
+  imgproc::threshold(src, fixedOut, 100.0, 255.0,
+                     imgproc::ThresholdType::Binary, KernelPath::ScalarNoVec);
+  ASSERT_EQ(tunedOut.rows(), fixedOut.rows());
+  for (int r = 0; r < tunedOut.rows(); ++r)
+    for (int c = 0; c < tunedOut.cols(); ++c)
+      ASSERT_EQ(tunedOut.ptr<std::uint8_t>(r)[c],
+                fixedOut.ptr<std::uint8_t>(r)[c])
+          << "tuned dispatch diverged at (" << r << "," << c << ")";
+}
+
+}  // namespace
+}  // namespace simdcv::tune
