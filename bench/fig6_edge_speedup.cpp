@@ -12,14 +12,14 @@ using simdcv::KernelPath;
 ExtraSeriesFn fusedVsUnfusedSeries(KernelPath path) {
   return [path](const Protocol& proto,
                 const std::vector<Resolution>& resolutions) {
-    std::vector<std::string> row{std::string("host fused/unfused ") +
-                                 pathLabel(path)};
+    SpeedupSeries series{std::string("host fused/unfused ") + pathLabel(path),
+                         {}};
     for (const auto& r : resolutions) {
       const auto unfused = measureEdgeVariant(false, path, r.size, proto);
       const auto fused = measureEdgeVariant(true, path, r.size, proto);
-      row.push_back(fmtSpeedup(unfused.stats.mean / fused.stats.mean));
+      series.speedups.push_back(unfused.stats.mean / fused.stats.mean);
     }
-    return row;
+    return series;
   };
 }
 

@@ -13,12 +13,19 @@
 
 namespace simdcv::bench {
 
+/// One host-measured speedup series: label plus one ratio per resolution.
+/// Kept numeric so the driver can both format the table row and emit the
+/// machine-readable BENCH_<slug>.json consumed by scripts/bench_gate.sh.
+struct SpeedupSeries {
+  std::string label;
+  std::vector<double> speedups;
+};
+
 /// Hook for figure-specific host-measured rows (e.g. fig6's fused-vs-unfused
 /// ablation series): called once per series with the protocol and the four
-/// paper resolutions; returns the row label followed by one cell per
-/// resolution.
-using ExtraSeriesFn = std::function<std::vector<std::string>(
-    const Protocol&, const std::vector<Resolution>&)>;
+/// paper resolutions.
+using ExtraSeriesFn =
+    std::function<SpeedupSeries(const Protocol&, const std::vector<Resolution>&)>;
 
 inline int runSpeedupFigure(const char* figureName, const char* csvSlug,
                             platform::BenchKernel kernel, int argc,
@@ -28,43 +35,80 @@ inline int runSpeedupFigure(const char* figureName, const char* csvSlug,
   const auto proto = Protocol::fromArgs(argc, argv);
   const auto& resolutions = paperResolutions();
 
-  // Host-measured speedup series.
+  // Host-measured speedup series, kept numeric for the JSON gate artifact.
   std::printf("-- host-measured HAND/AUTO speedups --\n");
   std::vector<std::string> header{"series"};
   for (const auto& r : resolutions) header.push_back(r.label);
-  Table t(header);
-  std::vector<std::vector<std::string>> csv;
+  std::vector<SpeedupSeries> host;
   for (KernelPath hand : {KernelPath::Sse2, KernelPath::Neon}) {
     if (!pathAvailable(hand)) continue;
-    std::vector<std::string> row{std::string("host ") + pathLabel(hand)};
+    SpeedupSeries series{std::string("host ") + pathLabel(hand), {}};
     for (const auto& r : resolutions) {
       const auto a = measureKernel(kernel, KernelPath::Auto, r.size, proto);
       const auto h = measureKernel(kernel, hand, r.size, proto);
-      row.push_back(fmtSpeedup(speedupOf(a, h)));
+      series.speedups.push_back(speedupOf(a, h));
     }
-    csv.push_back(row);
-    t.addRow(std::move(row));
+    host.push_back(std::move(series));
   }
   // The 2012-style baseline: what the speedup looks like against a compiler
   // that vectorizes nothing (paper-era gcc on these loops).
   {
-    std::vector<std::string> row{"host HAND vs scalar-novec"};
+    SpeedupSeries series{"host HAND vs scalar-novec", {}};
     const KernelPath hand =
         pathAvailable(KernelPath::Sse2) ? KernelPath::Sse2 : KernelPath::Neon;
     for (const auto& r : resolutions) {
       const auto a = measureKernel(kernel, KernelPath::ScalarNoVec, r.size, proto);
       const auto h = measureKernel(kernel, hand, r.size, proto);
-      row.push_back(fmtSpeedup(speedupOf(a, h)));
+      series.speedups.push_back(speedupOf(a, h));
     }
-    csv.push_back(row);
-    t.addRow(std::move(row));
+    host.push_back(std::move(series));
   }
-  for (const auto& series : extraSeries) {
-    std::vector<std::string> row = series(proto, resolutions);
+  for (const auto& fn : extraSeries) host.push_back(fn(proto, resolutions));
+
+  Table t(header);
+  std::vector<std::vector<std::string>> csv;
+  for (const auto& series : host) {
+    std::vector<std::string> row{series.label};
+    for (double s : series.speedups) row.push_back(fmtSpeedup(s));
     csv.push_back(row);
     t.addRow(std::move(row));
   }
   t.print();
+
+  // Machine-readable speedup artifact for the perf-regression gate
+  // (scripts/bench_gate.sh): one row per (series, resolution). Speedups are
+  // within-process ratios, so clock drift mostly cancels — the same property
+  // that makes the fusion suite gateable.
+  {
+    const auto hostInfo = platform::queryHost();
+    const std::string jsonPath = std::string("BENCH_") + csvSlug + ".json";
+    std::FILE* f = std::fopen(jsonPath.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "{\n  \"bench\": \"%s\",\n", csvSlug);
+      std::fprintf(f,
+                   "  \"host\": {\"brand\": \"%s\", \"logical_cpus\": %d, "
+                   "\"l1d_kb\": %d, \"l2_kb\": %d, \"l3_kb\": %d},\n",
+                   hostInfo.brand.c_str(), hostInfo.logical_cpus,
+                   hostInfo.l1d_kb, hostInfo.l2_kb, hostInfo.l3_kb);
+      std::fprintf(f, "  \"protocol\": {\"images\": %d, \"cycles\": %d},\n",
+                   proto.images, proto.cycles);
+      std::fprintf(f, "  \"results\": [\n");
+      bool first = true;
+      for (const auto& series : host) {
+        for (std::size_t i = 0; i < series.speedups.size(); ++i) {
+          std::fprintf(f,
+                       "%s    {\"series\": \"%s\", \"resolution\": \"%s\", "
+                       "\"speedup\": %.3f}",
+                       first ? "" : ",\n", series.label.c_str(),
+                       resolutions[i].label, series.speedups[i]);
+          first = false;
+        }
+      }
+      std::fprintf(f, "\n  ]\n}\n");
+      std::fclose(f);
+      std::printf("wrote %s\n", jsonPath.c_str());
+    }
+  }
 
   // Simulated per-platform series (the figure's ten curves).
   std::printf("\n-- model-simulated speedups (paper platforms) --\n");

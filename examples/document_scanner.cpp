@@ -111,6 +111,25 @@ int main(int argc, char** argv) {
   morphClose(binary, blobs, {9, 3});
   io::writeBmp(dir + "/scan_4_blobs.bmp", blobs);
 
+  // Stages 3-4 declared as a pipeline graph: a real threshold node (the
+  // Otsu level is data-dependent, so the graph is built after measuring it)
+  // feeding an opaque morphology stage. Opaque stages keep the graph on the
+  // staged schedule; the point here is the declared form plus the identity
+  // guarantee, which we assert against the direct calls above.
+  graph::Graph g;
+  const graph::NodeId src = g.source(Depth::U8);
+  const graph::NodeId bin = g.threshold(src, t, 255.0, ThresholdType::BinaryInv);
+  g.sink(g.opaque(bin, "morph-close", Depth::U8,
+                  [](const Mat& a, Mat& d, KernelPath p) {
+                    morphClose(a, d, {9, 3}, p);
+                  }));
+  Mat gblobs;
+  g.run(deskewed, gblobs);
+  SIMDCV_REQUIRE(countMismatches(blobs, gblobs) == 0,
+                 "document_scanner: graph output differs from direct calls");
+  std::printf("graph '%s': output identical to direct calls\n",
+              g.signature().c_str());
+
   // 5. Connected components = word candidates; filter tiny specks.
   Mat labels;
   std::vector<ComponentStats> stats;

@@ -46,6 +46,10 @@ cmake --build build-asan -j --target check_all test_check test_io test_tune
 # The edge family again, deeper: the fused/unfused differential pair is the
 # bit-exactness contract of the fused pipeline (see DESIGN.md, "Fusion").
 ./build-asan/src/check/check_all --only=edge --seed=0xed6ef05e --iters=400
+# The graph engine's fused-vs-staged contract across chains, band partitions
+# and tuned dispatch (see DESIGN.md, "Pipeline graphs"), with ASan watching
+# the per-band ring buffers and seam re-priming.
+./build-asan/src/check/check_all --only=graph --seed=0x9ed6ef05 --iters=200
 # Tuned dispatch vs fixed-path oracles: trials time candidates on live calls,
 # so ASan watches the tuner's scopes, registry, and cache I/O too.
 ./build-asan/src/check/check_all --only=tuned --seed=0x7a5ed15b --iters=150
@@ -54,6 +58,13 @@ ctest --test-dir build-asan -L check --output-on-failure -j"$(nproc)"
 echo
 echo "== autotuner under AddressSanitizer (ctest -L tune) =="
 ctest --test-dir build-asan -L tune --output-on-failure -j"$(nproc)"
+
+echo
+echo "== pipeline graphs under AddressSanitizer (ctest -L graph) =="
+# Builder validation, degenerate geometry (1x1, 1xW, Hx1), all border
+# modes, ksize-1 stages, ROI sources, and adversarial band heights.
+cmake --build build-asan -j --target test_graph
+ctest --test-dir build-asan -L graph --output-on-failure -j"$(nproc)"
 
 echo
 echo "== tune-cache round trip (SIMDCV_TUNE + SIMDCV_TUNE_CACHE) =="
@@ -92,9 +103,16 @@ echo
 echo "== bench smoke (SIMDCV_BENCH_SMOKE=1: 2 images x 1 cycle) =="
 # Run from inside build/ so the smoke CSV/JSON artifacts do not clobber the
 # committed full-protocol results at the repo root.
-cmake --build build -j --target fig6_edge_speedup ablation_fusion
+cmake --build build -j --target fig6_edge_speedup ablation_fusion \
+  ablation_graph
 (cd build && SIMDCV_BENCH_SMOKE=1 ./bench/fig6_edge_speedup)
 (cd build && SIMDCV_BENCH_SMOKE=1 ./bench/ablation_fusion)
+# Graph fused-vs-staged over three chains; the smoke JSON must carry rows
+# for every declared chain.
+(cd build && SIMDCV_BENCH_SMOKE=1 ./bench/ablation_graph)
+grep -q '"chain": "edge"' build/BENCH_graph.json
+grep -q '"chain": "blur-sobel"' build/BENCH_graph.json
+grep -q '"chain": "photo"' build/BENCH_graph.json
 # Traced smoke: per-stage breakdown summary + chrome trace JSON next to the
 # CSV (fig6_edge_speedup_trace.json).
 (cd build && SIMDCV_TRACE=1 SIMDCV_BENCH_SMOKE=1 ./bench/fig6_edge_speedup)

@@ -2,13 +2,16 @@
 // generated CaseSpec + KernelPath to an output Mat. Parameters beyond the
 // Mat contents (thresholds, scale factors, kernel sizes...) are drawn from
 // the case seed so a reproducer line regenerates them exactly.
+#include <algorithm>
 #include <cmath>
 
 #include "check/check.hpp"
 #include "core/array_ops.hpp"
 #include "core/convert.hpp"
+#include "graph/graph.hpp"
 #include "imgproc/edge.hpp"
 #include "imgproc/filter.hpp"
+#include "imgproc/morphology.hpp"
 #include "imgproc/threshold.hpp"
 #include "tune/tune.hpp"
 
@@ -277,6 +280,134 @@ Mat runThresholdTuned(const CaseSpec& c, KernelPath p) {
   return dst;
 }
 
+// ---- pipeline graphs -------------------------------------------------------
+// Differential contract of simdcv::graph: the fused streaming schedule is
+// bit-exact with the staged whole-image schedule. The oracle's reference leg
+// is always (ScalarNoVec, 1 thread), so routing ScalarNoVec to runStaged
+// compares every fused path on every thread count against the staged scalar
+// reference — the same structure as edge.fused-vs-unfused.
+
+graph::Graph genEdgeGraph(const CaseSpec& c) {
+  Rng r(c.seed ^ 0x9ed6ef05edull);
+  const double thresh = r.real(-10.0, 300.0);  // overshoot: degenerate fills
+  const int ksize = r.chance(70) ? 3 : 5;
+  return graph::makeEdgeGraph(Depth::U8, thresh, ksize, borderFor(r));
+}
+
+Mat runGraphEdge(const CaseSpec& c, KernelPath p) {
+  Mat src = genMat(c, kSrcA, U8C1);
+  const graph::Graph g = genEdgeGraph(c);
+  Mat dst;
+  if (p == KernelPath::ScalarNoVec)
+    g.runStaged(src, dst, p);
+  else
+    g.runFused(src, dst, p);
+  return dst;
+}
+
+Mat runGraphBlurSobelThreshold(const CaseSpec& c, KernelPath p) {
+  Mat src = genMat(c, kSrcA, U8C1);
+  Rng r(c.seed ^ 0xb51e5065ull);
+  const int blurKsize = 3 + 2 * r.uniform(0, 2);  // 3, 5, 7
+  const double sigma = r.real(0.6, 2.5);
+  const int sobelKsize = r.chance(70) ? 3 : 5;
+  const double thresh = r.real(-40000.0, 40000.0);  // S16 threshold stage
+  // No Wrap here: a Wrap-border convolution on an interior stage needs random
+  // row access, so the graph would (correctly) refuse to fuse. Wrap coverage
+  // rides on graph.edge, whose convolutions read the source directly.
+  static const std::vector<imgproc::BorderType> streamable = {
+      imgproc::BorderType::Reflect101, imgproc::BorderType::Replicate,
+      imgproc::BorderType::Reflect, imgproc::BorderType::Constant};
+  const graph::Graph g = graph::makeBlurSobelThresholdGraph(
+      Depth::U8, blurKsize, sigma, sobelKsize, thresh, r.pick(streamable));
+  Mat dst;
+  if (p == KernelPath::ScalarNoVec)
+    g.runStaged(src, dst, p);
+  else
+    g.runFused(src, dst, p);
+  return dst;
+}
+
+// The photo chain covers the remaining fused vocabulary: pointwise scaling,
+// addWeighted (a node consumed by BOTH a convolution and the blend — the
+// multi-consumer skewed-window case), and the F32 interior depth.
+Mat runGraphPhoto(const CaseSpec& c, KernelPath p) {
+  Mat src = genMat(c, kSrcA, U8C1);
+  Rng r(c.seed ^ 0x0070b00full);
+  const int toneKsize = 3 + 2 * r.uniform(0, 1);     // 3, 5
+  const int unsharpKsize = 5 + 2 * r.uniform(0, 1);  // 5, 7
+  const graph::Graph g = graph::makePhotoGraph(
+      toneKsize, r.real(0.6, 1.5), unsharpKsize, r.real(0.8, 2.0),
+      r.real(0.8, 1.3), r.real(-20.0, 20.0), r.real(0.2, 2.0));
+  Mat dst;
+  if (p == KernelPath::ScalarNoVec)
+    g.runStaged(src, dst, p);
+  else
+    g.runFused(src, dst, p);
+  return dst;
+}
+
+// Band partitions must be invisible: forced fixed-height serial bands
+// (including 1-row bands, bands straddling the kernel height, and one band
+// of rows-1) against the staged reference.
+Mat runGraphBanded(const CaseSpec& c, KernelPath p) {
+  Mat src = genMat(c, kSrcA, U8C1);
+  const graph::Graph g = genEdgeGraph(c);
+  Mat dst;
+  if (p == KernelPath::ScalarNoVec) {
+    g.runStaged(src, dst, p);
+  } else {
+    Rng r(c.seed ^ 0xba4ded0ull);
+    static const std::vector<int> bands = {1, 2, 3, 4, 5, 16};
+    int bandRows = r.chance(50) ? r.pick(bands) : c.rows - 1;
+    bandRows = std::max(1, std::min(bandRows, c.rows));
+    graph::detail::runFusedBanded(g, src, dst, p, bandRows);
+  }
+  return dst;
+}
+
+// run()'s scheduling (heuristic or measured fuse axis under SIMDCV_TUNE)
+// must be invisible too: tuned run() vs the untuned staged scalar reference.
+Mat runGraphTuned(const CaseSpec& c, KernelPath p) {
+  Mat src = genMat(c, kSrcA, U8C1);
+  const graph::Graph g = genEdgeGraph(c);
+  Mat dst;
+  if (p == KernelPath::ScalarNoVec) {
+    g.runStaged(src, dst, p);
+  } else {
+    tune::ScopedEnable tuned(true);
+    g.run(src, dst, p == KernelPath::Auto ? KernelPath::Default : p);
+  }
+  return dst;
+}
+
+// Band-parallel morphology vs the serial scalar reference, with the tuner's
+// grain axis live on the non-reference legs (morphRect is the sixth kernel
+// on the measured-grain axis, after convertTo/threshold/sepFilter2D/
+// gradientMagnitude/edge.fused).
+Mat runMorphRectTuned(const CaseSpec& c, KernelPath p) {
+  Mat src = genMat(c, kSrcA, U8C1);
+  Rng r(c.seed ^ 0x3030e47ull);
+  const int kw = 1 + 2 * r.uniform(0, 4);  // 1..9
+  const int kh = 1 + 2 * r.uniform(0, 2);  // 1..5
+  const bool er = r.chance(50);
+  Mat dst;
+  if (p == KernelPath::ScalarNoVec) {
+    if (er)
+      imgproc::erode(src, dst, {kw, kh}, p);
+    else
+      imgproc::dilate(src, dst, {kw, kh}, p);
+  } else {
+    tune::ScopedEnable tuned(true);
+    const KernelPath q = p == KernelPath::Auto ? KernelPath::Default : p;
+    if (er)
+      imgproc::erode(src, dst, {kw, kh}, q);
+    else
+      imgproc::dilate(src, dst, {kw, kh}, q);
+  }
+  return dst;
+}
+
 Mat runMagnitude(const CaseSpec& c, KernelPath p) {
   Mat gx = genMat(c, kSrcA, S16C1);
   Mat gy = genMat(c, kSrcB, S16C1);
@@ -326,10 +457,17 @@ const std::vector<KernelCheck>& kernelRegistry() {
     reg.push_back({"edge.detect", &runEdgeDetect, 0.0});
     reg.push_back({"edge.fused", &runEdgeFused, 0.0});
     reg.push_back({"edge.fused-vs-unfused", &runEdgeFusedVsUnfused, 0.0});
+    // pipeline graphs: fused streaming schedule vs the staged scalar oracle.
+    reg.push_back({"graph.edge", &runGraphEdge, 0.0});
+    reg.push_back({"graph.blur-sobel-thr", &runGraphBlurSobelThreshold, 0.0});
+    reg.push_back({"graph.photo", &runGraphPhoto, 0.0});
+    reg.push_back({"graph.banded", &runGraphBanded, 0.0});
+    reg.push_back({"graph.run-tuned", &runGraphTuned, 0.0});
     // Tuned dispatch vs the untuned fixed-path oracle (scheduling-only
     // contract of simdcv::tune).
     reg.push_back({"tuned.edge-detect", &runEdgeDetectTuned, 0.0});
     reg.push_back({"tuned.threshold", &runThresholdTuned, 0.0});
+    reg.push_back({"tuned.morph-rect", &runMorphRectTuned, 0.0});
     return reg;
   }();
   return registry;

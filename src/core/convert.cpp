@@ -3,6 +3,7 @@
 // geometry (row-by-row for non-continuous ROIs).
 #include "core/convert.hpp"
 
+#include "core/convert_detail.hpp"
 #include "core/saturate.hpp"
 #include "prof/prof.hpp"
 #include "runtime/parallel.hpp"
@@ -85,6 +86,10 @@ bool runHandKernel(Depth sd, Depth dd, const void* src, void* dst,
   return false;
 }
 
+}  // namespace
+
+namespace detail {
+
 void cvtRow(Depth sd, Depth dd, const void* src, void* dst, std::size_t n,
             double alpha, double beta, KernelPath path) {
   const bool identity = alpha == 1.0 && beta == 0.0;
@@ -108,7 +113,7 @@ void cvtRow(Depth sd, Depth dd, const void* src, void* dst, std::size_t n,
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 bool hasHandKernel(Depth sdepth, Depth ddepth, KernelPath path) {
   if (path == KernelPath::Avx2) {
@@ -153,12 +158,12 @@ void convertTo(const Mat& src, Mat& dst, Depth ddepth, double alpha,
       {0, src.rows()},
       [&](runtime::Range band) {
         if (flat) {
-          cvtRow(src.depth(), ddepth, src.ptr<std::uint8_t>(band.begin),
+          detail::cvtRow(src.depth(), ddepth, src.ptr<std::uint8_t>(band.begin),
                  out.ptr<std::uint8_t>(band.begin),
                  n * static_cast<std::size_t>(band.size()), alpha, beta, p);
         } else {
           for (int r = band.begin; r < band.end; ++r)
-            cvtRow(src.depth(), ddepth, src.ptr<std::uint8_t>(r),
+            detail::cvtRow(src.depth(), ddepth, src.ptr<std::uint8_t>(r),
                    out.ptr<std::uint8_t>(r), n, alpha, beta, p);
         }
       },

@@ -1,0 +1,25 @@
+// Internal row-level conversion entry point, shared between convertTo's Mat
+// dispatch (convert.cpp) and the pipeline-graph fused executor (graph/).
+// Not part of the public API — the umbrella header does not include this
+// file. The contract mirrors convertTo exactly: identity scales route to the
+// HAND kernel for the (src,dst) pair when the path has one (AVX2 falls back
+// to the SSE2 arm for missing pairs), otherwise to the novec/autovec range
+// kernels; scaled conversions always take the scalar range kernels. The op
+// is element-wise, so any row partition of a Mat conversion through this
+// function is bit-identical to the whole-image call.
+#pragma once
+
+#include <cstddef>
+
+#include "core/types.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::core::detail {
+
+/// dst[i] = saturate_cast<dd>(src[i] * alpha + beta) over one flat row.
+/// `path` must be resolved (not Default/Auto-with-tuning); convertTo resolves
+/// before calling.
+void cvtRow(Depth sd, Depth dd, const void* src, void* dst, std::size_t n,
+            double alpha, double beta, KernelPath path);
+
+}  // namespace simdcv::core::detail

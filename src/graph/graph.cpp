@@ -1,0 +1,546 @@
+// Graph builder, validation, the staged (oracle) executor and the per-size
+// fuse decision. The fused streaming executor lives in graph_fused.cpp.
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <mutex>
+#include <unordered_set>
+
+#include "core/array_ops.hpp"
+#include "core/convert.hpp"
+#include "imgproc/edge.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/kernels.hpp"
+#include "platform/env.hpp"
+#include "platform/platform.hpp"
+#include "prof/prof.hpp"
+#include "tune/tune.hpp"
+
+namespace simdcv::graph {
+
+const char* toString(NodeKind k) noexcept {
+  switch (k) {
+    case NodeKind::Source: return "source";
+    case NodeKind::SepConv: return "sepConv";
+    case NodeKind::Convert: return "convert";
+    case NodeKind::Pointwise: return "pointwise";
+    case NodeKind::Threshold: return "threshold";
+    case NodeKind::Magnitude: return "magnitude";
+    case NodeKind::AddWeighted: return "addWeighted";
+    case NodeKind::Opaque: return "opaque";
+  }
+  return "?";
+}
+
+namespace {
+
+bool supportedDepth(Depth d) {
+  return d == Depth::U8 || d == Depth::S16 || d == Depth::F32;
+}
+
+const char* depthCode(Depth d) {
+  switch (d) {
+    case Depth::U8: return "u8";
+    case Depth::S16: return "s16";
+    case Depth::F32: return "f32";
+    default: return "x";
+  }
+}
+
+// Vertical radius a node requires of its input rows (ky/2 for convolutions,
+// 0 for element-wise stages).
+int inputRadius(const detail::Node& n) {
+  return n.kind == NodeKind::SepConv ? static_cast<int>(n.ky.size()) / 2 : 0;
+}
+
+// prof::addSample keeps the name pointer, so stage labels must outlive every
+// Graph instance: intern them in a process-lifetime pool.
+const char* internLabel(const std::string& s) {
+  static std::mutex mu;
+  static auto* pool = new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lk(mu);
+  return pool->insert(s).first->c_str();
+}
+
+}  // namespace
+
+// ---- building ---------------------------------------------------------------
+
+void Graph::requireBuilding(const char* what) const {
+  SIMDCV_REQUIRE(sink_ < 0, "graph: cannot add nodes after sink()");
+  if (what[0] != 's' || what[1] != 'o')  // every builder but source()
+    SIMDCV_REQUIRE(!nodes_.empty(), "graph: declare source() first");
+}
+
+const detail::Node& Graph::inputNode(NodeId id, const char* what) const {
+  SIMDCV_REQUIRE(id >= 0 && id < numNodes(), "graph: input id out of range");
+  (void)what;
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+NodeId Graph::addNode(detail::Node n) {
+  nodes_.push_back(std::move(n));
+  return numNodes() - 1;
+}
+
+NodeId Graph::source(Depth depth) {
+  SIMDCV_REQUIRE(nodes_.empty() && sink_ < 0, "graph: source() must be first");
+  SIMDCV_REQUIRE(supportedDepth(depth), "graph: source depth must be u8/s16/f32");
+  detail::Node n;
+  n.kind = NodeKind::Source;
+  n.depth = depth;
+  return addNode(std::move(n));
+}
+
+NodeId Graph::sepConv(NodeId input, std::vector<float> kx,
+                      std::vector<float> ky, Depth outDepth,
+                      imgproc::BorderType border, double borderValue) {
+  requireBuilding("sepConv");
+  const detail::Node& in = inputNode(input, "sepConv");
+  SIMDCV_REQUIRE(in.depth == Depth::U8 || in.depth == Depth::F32,
+                 "graph: sepConv input depth must be u8 or f32");
+  SIMDCV_REQUIRE(supportedDepth(outDepth), "graph: sepConv depth must be u8/s16/f32");
+  SIMDCV_REQUIRE(!kx.empty() && !ky.empty() && (kx.size() & 1) && (ky.size() & 1),
+                 "graph: sepConv kernels must have odd length");
+  detail::Node n;
+  n.kind = NodeKind::SepConv;
+  n.in0 = input;
+  n.depth = outDepth;
+  n.kx = std::move(kx);
+  n.ky = std::move(ky);
+  n.border = border;
+  n.borderValue = borderValue;
+  return addNode(std::move(n));
+}
+
+NodeId Graph::convert(NodeId input, Depth outDepth) {
+  return pointwise(input, outDepth, 1.0, 0.0);
+}
+
+NodeId Graph::pointwise(NodeId input, Depth outDepth, double alpha,
+                        double beta) {
+  requireBuilding("pointwise");
+  inputNode(input, "pointwise");
+  SIMDCV_REQUIRE(supportedDepth(outDepth),
+                 "graph: pointwise depth must be u8/s16/f32");
+  detail::Node n;
+  n.kind = (alpha == 1.0 && beta == 0.0) ? NodeKind::Convert
+                                         : NodeKind::Pointwise;
+  n.in0 = input;
+  n.depth = outDepth;
+  n.alpha = alpha;
+  n.beta = beta;
+  return addNode(std::move(n));
+}
+
+NodeId Graph::threshold(NodeId input, double thresh, double maxval,
+                        imgproc::ThresholdType type) {
+  requireBuilding("threshold");
+  const detail::Node& in = inputNode(input, "threshold");
+  detail::Node n;
+  n.kind = NodeKind::Threshold;
+  n.in0 = input;
+  n.depth = in.depth;
+  n.thresh = thresh;
+  n.maxval = maxval;
+  n.ttype = type;
+  return addNode(std::move(n));
+}
+
+NodeId Graph::magnitude(NodeId gx, NodeId gy) {
+  requireBuilding("magnitude");
+  const detail::Node& a = inputNode(gx, "magnitude");
+  const detail::Node& b = inputNode(gy, "magnitude");
+  SIMDCV_REQUIRE(a.depth == Depth::S16 && b.depth == Depth::S16,
+                 "graph: magnitude inputs must be s16");
+  detail::Node n;
+  n.kind = NodeKind::Magnitude;
+  n.in0 = gx;
+  n.in1 = gy;
+  n.depth = Depth::U8;
+  return addNode(std::move(n));
+}
+
+NodeId Graph::addWeighted(NodeId a, double alpha, NodeId b, double beta,
+                          double gamma) {
+  requireBuilding("addWeighted");
+  const detail::Node& na = inputNode(a, "addWeighted");
+  const detail::Node& nb = inputNode(b, "addWeighted");
+  SIMDCV_REQUIRE(na.depth == nb.depth,
+                 "graph: addWeighted input depths must match");
+  detail::Node n;
+  n.kind = NodeKind::AddWeighted;
+  n.in0 = a;
+  n.in1 = b;
+  n.depth = na.depth;
+  n.alpha = alpha;
+  n.beta = beta;
+  n.gamma = gamma;
+  return addNode(std::move(n));
+}
+
+NodeId Graph::opaque(NodeId input, const std::string& name, Depth outDepth,
+                     StageFn fn) {
+  requireBuilding("opaque");
+  inputNode(input, "opaque");
+  SIMDCV_REQUIRE(supportedDepth(outDepth), "graph: opaque depth must be u8/s16/f32");
+  SIMDCV_REQUIRE(static_cast<bool>(fn), "graph: opaque stage needs a function");
+  detail::Node n;
+  n.kind = NodeKind::Opaque;
+  n.in0 = input;
+  n.depth = outDepth;
+  n.name = name;
+  n.fn = std::move(fn);
+  return addNode(std::move(n));
+}
+
+void Graph::sink(NodeId node) {
+  SIMDCV_REQUIRE(sink_ < 0, "graph: sink() already set");
+  SIMDCV_REQUIRE(node >= 0 && node < numNodes(), "graph: sink id out of range");
+  sink_ = node;
+
+  // Consumer counts; every non-sink node must lie on a path to the sink (with
+  // a single sink and acyclic inputs, "every node is consumed" is equivalent).
+  for (auto& n : nodes_) n.consumers = 0;
+  for (const auto& n : nodes_) {
+    if (n.in0 >= 0) ++nodes_[static_cast<std::size_t>(n.in0)].consumers;
+    if (n.in1 >= 0) ++nodes_[static_cast<std::size_t>(n.in1)].consumers;
+  }
+  for (NodeId id = 0; id < numNodes(); ++id) {
+    SIMDCV_REQUIRE(id == sink_ || nodes_[static_cast<std::size_t>(id)].consumers > 0,
+                   "graph: every non-sink node must feed the sink");
+  }
+  SIMDCV_REQUIRE(nodes_[static_cast<std::size_t>(sink_)].consumers == 0,
+                 "graph: the sink node cannot feed another node");
+
+  // Live-window radii, sink -> source: R(sink) = 0 and each consumer c adds
+  // its vertical radius, R(in) = max(R(in), R(c) + ry(c)). Inputs always have
+  // smaller ids, so one reverse sweep suffices.
+  for (auto& n : nodes_) n.radius = 0;
+  for (NodeId id = numNodes() - 1; id >= 0; --id) {
+    const detail::Node& c = nodes_[static_cast<std::size_t>(id)];
+    const int need = c.radius + inputRadius(c);
+    if (c.in0 >= 0) {
+      auto& u = nodes_[static_cast<std::size_t>(c.in0)];
+      u.radius = std::max(u.radius, need);
+    }
+    if (c.in1 >= 0) {
+      auto& u = nodes_[static_cast<std::size_t>(c.in1)];
+      u.radius = std::max(u.radius, need);
+    }
+  }
+  sourceRadius_ = nodes_[0].radius;
+
+  // Fusibility: the streaming schedule covers the fusible vocabulary, and a
+  // Wrap border needs random row access — only the source Mat provides it.
+  fusible_ = true;
+  for (const auto& n : nodes_) {
+    if (n.kind == NodeKind::Opaque) fusible_ = false;
+    if (n.kind == NodeKind::SepConv &&
+        n.border == imgproc::BorderType::Wrap && n.in0 != 0)
+      fusible_ = false;
+  }
+
+  // Conv-load sharing groups: convolutions over the same input with the same
+  // geometry/border and one shared sole consumer advance in lockstep, so the
+  // leader can load+pad each virtual source row once and row-convolve it for
+  // every member (the one-load-two-rowConvs structure of edgeDetectFused).
+  struct GroupKey {
+    NodeId in0;
+    std::size_t kw, kh;
+    imgproc::BorderType border;
+    double bv;
+    NodeId consumer;
+    bool operator==(const GroupKey& o) const {
+      return in0 == o.in0 && kw == o.kw && kh == o.kh && border == o.border &&
+             bv == o.bv && consumer == o.consumer;
+    }
+  };
+  std::vector<std::pair<GroupKey, int>> groups;
+  int nextGroup = 0;
+  // Sole consumer of each node (-1 when shared by several).
+  std::vector<NodeId> soleConsumer(static_cast<std::size_t>(numNodes()), -1);
+  for (NodeId id = 0; id < numNodes(); ++id) {
+    const detail::Node& c = nodes_[static_cast<std::size_t>(id)];
+    for (NodeId in : {c.in0, c.in1}) {
+      if (in < 0) continue;
+      auto& s = soleConsumer[static_cast<std::size_t>(in)];
+      s = (nodes_[static_cast<std::size_t>(in)].consumers == 1) ? id : -1;
+    }
+  }
+  for (NodeId id = 0; id < numNodes(); ++id) {
+    detail::Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.kind != NodeKind::SepConv) continue;
+    const NodeId cons = soleConsumer[static_cast<std::size_t>(id)];
+    if (cons >= 0) {
+      const GroupKey key{n.in0, n.kx.size(), n.ky.size(), n.border,
+                         n.borderValue, cons};
+      int found = -1;
+      for (const auto& [k, g] : groups)
+        if (k == key) { found = g; break; }
+      if (found < 0) {
+        found = nextGroup++;
+        groups.emplace_back(key, found);
+      }
+      n.group = found;
+    } else {
+      n.group = nextGroup++;
+    }
+  }
+
+  // Signature, prof labels and the band-grain cost model.
+  signature_ = "g";
+  maxKh_ = 1;
+  rowOpCost_ = 1.0;
+  for (NodeId id = 1; id < numNodes(); ++id) {
+    detail::Node& n = nodes_[static_cast<std::size_t>(id)];
+    std::string code;
+    switch (n.kind) {
+      case NodeKind::SepConv:
+        code = "sep" + std::to_string(n.kx.size()) + "x" +
+               std::to_string(n.ky.size()) + depthCode(n.depth);
+        maxKh_ = std::max(maxKh_, static_cast<int>(n.ky.size()));
+        rowOpCost_ += static_cast<double>(n.kx.size() + n.ky.size());
+        break;
+      case NodeKind::Convert: code = std::string("cvt") + depthCode(n.depth); rowOpCost_ += 1.0; break;
+      case NodeKind::Pointwise: code = std::string("pw") + depthCode(n.depth); rowOpCost_ += 1.0; break;
+      case NodeKind::Threshold:
+        code = std::string("thr") + depthCode(n.depth) + "t" +
+               std::to_string(static_cast<int>(n.ttype));
+        rowOpCost_ += 1.0;
+        break;
+      case NodeKind::Magnitude: code = "mag"; rowOpCost_ += 1.0; break;
+      case NodeKind::AddWeighted: code = "addw"; rowOpCost_ += 1.0; break;
+      case NodeKind::Opaque: {
+        code = "op-";
+        for (char c : n.name)
+          code += (std::isalnum(static_cast<unsigned char>(c)) ? c : '-');
+        break;
+      }
+      case NodeKind::Source: break;
+    }
+    // Wiring: unary stages off the chain and all binary stages name inputs,
+    // so structurally different graphs never share a tune/prof key.
+    if (n.in1 >= 0)
+      code += "@" + std::to_string(n.in0) + "-" + std::to_string(n.in1);
+    else if (n.in0 != id - 1)
+      code += "@" + std::to_string(n.in0);
+    signature_ += "." + code;
+    n.label = internLabel("graph.fused." + code);
+    if (n.kind == NodeKind::SepConv)
+      n.rowLabel = internLabel("graph.fused." + code + ".rowConv");
+  }
+}
+
+// ---- fuse decision ----------------------------------------------------------
+
+std::size_t Graph::stagedBytes(int width, int rows) const {
+  SIMDCV_REQUIRE(finalized(), "graph: call sink() first");
+  std::size_t total = 0;
+  for (NodeId id = 1; id < numNodes(); ++id) {
+    if (id == sink_) continue;
+    total += static_cast<std::size_t>(width) * static_cast<std::size_t>(rows) *
+             depthSize(nodes_[static_cast<std::size_t>(id)].depth);
+  }
+  return total;
+}
+
+bool Graph::fuseProfitable(int width, int rows, KernelPath path) const {
+  SIMDCV_REQUIRE(finalized(), "graph: call sink() first");
+  if (!fusible_) return false;
+  // Experiment override, mirroring SIMDCV_EDGE_FUSE: =1 always fused, =0
+  // always staged, anything else falls through to the model.
+  static const int forced =
+      static_cast<int>(platform::envInt("SIMDCV_GRAPH_FUSE", -1, 0, 1));
+  if (forced >= 0) return forced == 1;
+  // A sink==source graph is a copy; a single-stage graph has no intermediates
+  // to save — the staged schedule is the plain kernel call either way.
+  if (stagedBytes(width, rows) == 0) return false;
+  // Same model as imgproc::detail::fuseProfitable, generalized from the edge
+  // chain's fixed 5 bytes/px to this graph's declared intermediates: fusion
+  // pays off unless the staged passes re-read those intermediates cache-hot,
+  // which on the fast AVX2 kernels means "they fit in L2".
+  if (resolvePath(path) != KernelPath::Avx2) return true;
+  static const platform::HostInfo host = platform::queryHost();
+  const std::size_t l2 = host.l2_kb > 0
+                             ? static_cast<std::size_t>(host.l2_kb) * 1024
+                             : 512u * 1024u;
+  return stagedBytes(width, rows) > l2;
+}
+
+// ---- execution --------------------------------------------------------------
+
+namespace {
+
+void requireRunnable(const Graph& g, const Mat& src) {
+  SIMDCV_REQUIRE(g.finalized(), "graph: call sink() first");
+  SIMDCV_REQUIRE(!src.empty(), "graph: empty source");
+  SIMDCV_REQUIRE(src.channels() == 1, "graph: single channel only");
+  SIMDCV_REQUIRE(src.depth() == g.node(0).depth,
+                 "graph: source depth does not match the declared source");
+}
+
+}  // namespace
+
+std::uint64_t Graph::ioBytes(const Mat& src) const {
+  return static_cast<std::uint64_t>(src.rows()) * src.cols() *
+         (src.elemSize() +
+          depthSize(nodes_[static_cast<std::size_t>(sink_)].depth));
+}
+
+void Graph::runStaged(const Mat& src, Mat& dst, KernelPath path) const {
+  requireRunnable(*this, src);
+  const KernelPath p = resolvePath(path);
+  SIMDCV_TRACE_SCOPE("graph.staged", p, ioBytes(src));
+  if (sink_ == 0) {
+    Mat tmp;
+    src.copyTo(tmp);
+    dst = std::move(tmp);
+    return;
+  }
+  std::vector<Mat> vals(nodes_.size());
+  vals[0] = src;  // shallow view; stage kernels detach on aliasing themselves
+  for (NodeId id = 1; id < numNodes(); ++id) {
+    const detail::Node& n = nodes_[static_cast<std::size_t>(id)];
+    const Mat& a = vals[static_cast<std::size_t>(n.in0)];
+    Mat& out = vals[static_cast<std::size_t>(id)];
+    switch (n.kind) {
+      case NodeKind::SepConv:
+        imgproc::sepFilter2D(a, out, n.depth, n.kx, n.ky, n.border,
+                             n.borderValue, p);
+        break;
+      case NodeKind::Convert:
+      case NodeKind::Pointwise:
+        core::convertTo(a, out, n.depth, n.alpha, n.beta, p);
+        break;
+      case NodeKind::Threshold:
+        imgproc::threshold(a, out, n.thresh, n.maxval, n.ttype, p);
+        break;
+      case NodeKind::Magnitude:
+        imgproc::gradientMagnitude(a, vals[static_cast<std::size_t>(n.in1)],
+                                   out, p);
+        break;
+      case NodeKind::AddWeighted:
+        core::addWeighted(a, n.alpha, vals[static_cast<std::size_t>(n.in1)],
+                          n.beta, n.gamma, out, p);
+        break;
+      case NodeKind::Opaque:
+        n.fn(a, out, p);
+        break;
+      case NodeKind::Source:
+        break;
+    }
+  }
+  dst = std::move(vals[static_cast<std::size_t>(sink_)]);
+}
+
+void Graph::runFused(const Mat& src, Mat& dst, KernelPath path) const {
+  detail::runFusedImpl(*this, src, dst, path, 0);
+}
+
+void Graph::run(const Mat& src, Mat& dst, KernelPath path) const {
+  requireRunnable(*this, src);
+  if (!fusible_) {
+    runStaged(src, dst, path);
+    return;
+  }
+  // Fused and staged schedules are bit-exact, so this is pure scheduling.
+  // Under SIMDCV_TUNE the model only seeds the trial: the path (for Default
+  // requests) and the fuse choice are measured per graph signature and
+  // size-class, exactly like edgeDetect's fuse axis.
+  const std::uint64_t bytes = ioBytes(src);
+  if (tune::enabled()) {
+    tune::PathScope ps(signature_.c_str(), path, bytes);
+    const KernelPath p = ps.path();
+    const int fallback = fuseProfitable(src.cols(), src.rows(), p) ? 1 : 0;
+    tune::ChoiceScope fuse(signature_.c_str(), "fuse", p, bytes, 2, fallback);
+    if (fuse.choice() == 1)
+      detail::runFusedImpl(*this, src, dst, p, 0);
+    else
+      runStaged(src, dst, p);
+    return;
+  }
+  if (fuseProfitable(src.cols(), src.rows(), path))
+    detail::runFusedImpl(*this, src, dst, path, 0);
+  else
+    runStaged(src, dst, path);
+}
+
+// ---- prebuilt graphs --------------------------------------------------------
+
+Graph makeEdgeGraph(Depth srcDepth, double thresh, int ksize,
+                    imgproc::BorderType border) {
+  std::vector<float> kxx, kyx, kxy, kyy;
+  imgproc::getDerivKernels(kxx, kyx, 1, 0, ksize, /*normalize=*/false);
+  imgproc::getDerivKernels(kxy, kyy, 0, 1, ksize, /*normalize=*/false);
+  Graph g;
+  const NodeId s = g.source(srcDepth);
+  const NodeId gx = g.sepConv(s, std::move(kxx), std::move(kyx), Depth::S16,
+                              border, 0.0);
+  const NodeId gy = g.sepConv(s, std::move(kxy), std::move(kyy), Depth::S16,
+                              border, 0.0);
+  const NodeId mag = g.magnitude(gx, gy);
+  g.sink(g.threshold(mag, thresh, 255.0, imgproc::ThresholdType::Binary));
+  return g;
+}
+
+Graph makeBlurGraph(Depth srcDepth, int kw, int kh, double sigmaX,
+                    double sigmaY, imgproc::BorderType border) {
+  if (sigmaY <= 0) sigmaY = sigmaX;
+  Graph g;
+  const NodeId s = g.source(srcDepth);
+  g.sink(g.sepConv(s, imgproc::getGaussianKernel(kw, sigmaX),
+                   imgproc::getGaussianKernel(kh, sigmaY), srcDepth, border,
+                   0.0));
+  return g;
+}
+
+Graph makeThresholdGraph(Depth srcDepth, double thresh, double maxval,
+                         imgproc::ThresholdType type) {
+  Graph g;
+  const NodeId s = g.source(srcDepth);
+  g.sink(g.threshold(s, thresh, maxval, type));
+  return g;
+}
+
+Graph makeBlurSobelThresholdGraph(Depth srcDepth, int blurKsize, double sigma,
+                                  int sobelKsize, double thresh,
+                                  imgproc::BorderType border) {
+  std::vector<float> kx, ky;
+  imgproc::getDerivKernels(kx, ky, 1, 0, sobelKsize, /*normalize=*/false);
+  Graph g;
+  const NodeId s = g.source(srcDepth);
+  const NodeId blur =
+      g.sepConv(s, imgproc::getGaussianKernel(blurKsize, sigma),
+                imgproc::getGaussianKernel(blurKsize, sigma), srcDepth, border,
+                0.0);
+  const NodeId gx =
+      g.sepConv(blur, std::move(kx), std::move(ky), Depth::S16, border, 0.0);
+  g.sink(g.threshold(gx, thresh, 255.0, imgproc::ThresholdType::Binary));
+  return g;
+}
+
+Graph makePhotoGraph(int toneBlurKsize, double toneSigma, int unsharpKsize,
+                     double unsharpSigma, double toneAlpha, double toneBeta,
+                     double unsharpAmount) {
+  Graph g;
+  const NodeId s = g.source(Depth::U8);
+  const NodeId f = g.convert(s, Depth::F32);
+  const NodeId smooth =
+      g.sepConv(f, imgproc::getGaussianKernel(toneBlurKsize, toneSigma),
+                imgproc::getGaussianKernel(toneBlurKsize, toneSigma),
+                Depth::F32);
+  const NodeId toned = g.pointwise(smooth, Depth::F32, toneAlpha, toneBeta);
+  const NodeId base =
+      g.sepConv(toned, imgproc::getGaussianKernel(unsharpKsize, unsharpSigma),
+                imgproc::getGaussianKernel(unsharpKsize, unsharpSigma),
+                Depth::F32);
+  // Unsharp mask as a weighted blend: toned*(1+a) - base*a.
+  const NodeId sharp =
+      g.addWeighted(toned, 1.0 + unsharpAmount, base, -unsharpAmount, 0.0);
+  g.sink(g.convert(sharp, Depth::U8));
+  return g;
+}
+
+}  // namespace simdcv::graph

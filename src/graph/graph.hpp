@@ -1,0 +1,255 @@
+// simdcv::graph — pipeline-graph fusion engine.
+//
+// A Graph declares an image pipeline as a DAG of stages (separable
+// convolutions, depth conversions, pointwise scaling, thresholding, gradient
+// magnitude, weighted blends, or opaque whole-image functions) between one
+// source and one sink. Execution picks between two bit-identical schedules:
+//
+//   staged  each stage runs its public kernel over the whole image, exactly
+//           as calling sepFilter2D / convertTo / threshold / ... by hand —
+//           this is the reference oracle;
+//   fused   the whole graph streams through ksize-row ring buffers in row
+//           bands, generalizing the edgeDetectFused engine: each stage's
+//           output rows live in an O(radius)-row ring in the stage's declared
+//           depth (the exact bytes its staged intermediate Mat would hold),
+//           so whole-image intermediates are never materialized and the
+//           per-band working set stays cache-resident.
+//
+// Because every fused stage applies the identical per-path kernel to the
+// identical bytes as its staged counterpart (filter_detail / edge_detail /
+// threshold detail / convert_detail selectors), fused output is bit-exact
+// with staged output for every KernelPath, thread count, and band partition —
+// the contract the `graph.*` entries in simdcv::check enforce.
+//
+// run() generalizes the per-size fuse decision of edgeDetect: a staged-bytes
+// model (sum of intermediate-Mat footprints) against the host L2, a
+// SIMDCV_GRAPH_FUSE={0,1} override, and — under SIMDCV_TUNE=1 — a measured
+// tune:: fuse axis keyed by the graph's signature string.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/mat.hpp"
+#include "imgproc/border.hpp"
+#include "imgproc/threshold.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::graph {
+
+/// Node handle. The source is always node 0; builder methods return the new
+/// node's id. Inputs must name already-declared nodes (the graph is a DAG by
+/// construction).
+using NodeId = int;
+
+/// Whole-image stage for operations outside the fusible vocabulary (median,
+/// morphology, Otsu, warps...). Opaque stages always run staged.
+using StageFn = std::function<void(const Mat& src, Mat& dst, KernelPath path)>;
+
+enum class NodeKind : std::uint8_t {
+  Source,
+  SepConv,
+  Convert,
+  Pointwise,
+  Threshold,
+  Magnitude,
+  AddWeighted,
+  Opaque,
+};
+
+const char* toString(NodeKind k) noexcept;
+
+namespace detail {
+
+/// One declared stage. Value type; inspect via Graph::node() in tests.
+struct Node {
+  NodeKind kind = NodeKind::Source;
+  NodeId in0 = -1;
+  NodeId in1 = -1;
+  Depth depth = Depth::U8;  ///< output depth of this stage
+  // SepConv
+  std::vector<float> kx, ky;
+  imgproc::BorderType border = imgproc::BorderType::Reflect101;
+  double borderValue = 0.0;
+  // Pointwise / AddWeighted
+  double alpha = 1.0, beta = 0.0, gamma = 0.0;
+  // Threshold
+  double thresh = 0.0, maxval = 0.0;
+  imgproc::ThresholdType ttype = imgproc::ThresholdType::Binary;
+  // Opaque
+  std::string name;
+  StageFn fn;
+  // Derived at sink(): how many rows of this node's output must stay live
+  // around the current sink row in the fused schedule (0 for element-wise
+  // consumers; grows by ky/2 across each downstream convolution).
+  int radius = 0;
+  int consumers = 0;
+  int group = -1;  ///< conv-load sharing group (see graph_fused.cpp)
+  const char* label = "";     ///< interned prof stage label
+  const char* rowLabel = "";  ///< "<label>.rowConv" for SepConv nodes
+};
+
+}  // namespace detail
+
+class Graph;
+
+namespace detail {
+void runFusedImpl(const Graph& g, const Mat& src, Mat& dst, KernelPath path,
+                  int forcedBandRows);
+std::size_t fusedScratchBytes(const Graph& g, int width);
+}  // namespace detail
+
+class Graph {
+ public:
+  // ---- building ------------------------------------------------------------
+  // Build once (single-threaded), call sink() to freeze, then run() freely
+  // (const, safe to call concurrently). Builder calls validate eagerly via
+  // SIMDCV_REQUIRE: depths are restricted to U8/S16/F32, SepConv inputs to
+  // U8/F32 (the separable engine's contract), kernels to odd lengths.
+
+  /// Declare the source and its expected depth. Must be the first call.
+  NodeId source(Depth depth);
+
+  /// Separable convolution (kx horizontal, ky vertical) into `outDepth`
+  /// (U8/S16/F32) — the sepFilter2D stage. Input depth must be U8 or F32.
+  NodeId sepConv(NodeId input, std::vector<float> kx, std::vector<float> ky,
+                 Depth outDepth,
+                 imgproc::BorderType border = imgproc::BorderType::Reflect101,
+                 double borderValue = 0.0);
+
+  /// Identity depth conversion (convertTo with alpha=1, beta=0).
+  NodeId convert(NodeId input, Depth outDepth);
+
+  /// Scaled conversion: out = saturate<outDepth>(in * alpha + beta).
+  NodeId pointwise(NodeId input, Depth outDepth, double alpha, double beta);
+
+  /// Fixed-level threshold, depth preserved (threshold() semantics including
+  /// the U8 quantization / degenerate-level collapse).
+  NodeId threshold(NodeId input, double thresh, double maxval,
+                   imgproc::ThresholdType type);
+
+  /// |gx|+|gy| saturating gradient magnitude: S16 x S16 -> U8.
+  NodeId magnitude(NodeId gx, NodeId gy);
+
+  /// Weighted blend: out = saturate(a*alpha + b*beta + gamma), depths equal.
+  NodeId addWeighted(NodeId a, double alpha, NodeId b, double beta,
+                     double gamma);
+
+  /// Opaque whole-image stage; `name` labels it in the signature. A graph
+  /// containing opaque stages is never fused.
+  NodeId opaque(NodeId input, const std::string& name, Depth outDepth,
+                StageFn fn);
+
+  /// Freeze the graph with `node` as its output. Every declared node must lie
+  /// on a path to the sink (no dangling stages). Computes radii, fusibility,
+  /// conv groups and the signature. Required before any run.
+  void sink(NodeId node);
+
+  // ---- introspection -------------------------------------------------------
+
+  /// True when every stage is in the fusible vocabulary and every Wrap-border
+  /// convolution reads the source directly (Wrap needs random row access,
+  /// which ring buffers cannot stream for interior stages).
+  bool fusible() const noexcept { return fusible_; }
+
+  /// Stable per-structure identifier ("g.sep3x3s16.mag...") used as the
+  /// tune:: kernel key for the fuse/path axes and as the prof label stem.
+  const std::string& signature() const { return signature_; }
+
+  /// Bytes of intermediate Mats the staged schedule materializes at this
+  /// geometry (the final stage's output is dst in both schedules and is not
+  /// counted) — the footprint the fuse decision weighs against L2.
+  std::size_t stagedBytes(int width, int rows) const;
+
+  /// The per-size scheduling decision run() uses when tuning is off: false
+  /// for non-fusible graphs; SIMDCV_GRAPH_FUSE={0,1} forces; otherwise fused
+  /// except on AVX2 when stagedBytes fits in L2 (generalizing
+  /// imgproc::detail::fuseProfitable's model).
+  bool fuseProfitable(int width, int rows, KernelPath path) const;
+
+  int numNodes() const noexcept { return static_cast<int>(nodes_.size()); }
+  NodeId sinkId() const noexcept { return sink_; }
+  bool finalized() const noexcept { return sink_ >= 0; }
+  const detail::Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+
+  // ---- execution -----------------------------------------------------------
+
+  /// Schedule-and-run: fused or staged per fuseProfitable (or the measured
+  /// tune:: fuse axis under SIMDCV_TUNE=1). Output is bit-identical either
+  /// way. `dst` may alias `src`.
+  void run(const Mat& src, Mat& dst,
+           KernelPath path = KernelPath::Default) const;
+
+  /// Force the stage-by-stage schedule (the reference oracle).
+  void runStaged(const Mat& src, Mat& dst,
+                 KernelPath path = KernelPath::Default) const;
+
+  /// Force the ring-buffer streaming schedule. Requires fusible().
+  void runFused(const Mat& src, Mat& dst,
+                KernelPath path = KernelPath::Default) const;
+
+ private:
+  NodeId addNode(detail::Node n);
+  void requireBuilding(const char* what) const;
+  const detail::Node& inputNode(NodeId id, const char* what) const;
+  std::uint64_t ioBytes(const Mat& src) const;
+
+  std::vector<detail::Node> nodes_;
+  NodeId sink_ = -1;
+  bool fusible_ = false;
+  std::string signature_;
+  int sourceRadius_ = 0;   ///< seam depth: rows of source recomputed per band
+  int maxKh_ = 1;
+  double rowOpCost_ = 1.0; ///< per-row cost estimate for the band grain
+
+  friend void detail::runFusedImpl(const Graph& g, const Mat& src, Mat& dst,
+                                   KernelPath path, int forcedBandRows);
+  friend std::size_t detail::fusedScratchBytes(const Graph& g, int width);
+};
+
+namespace detail {
+
+/// Run the fused schedule serially over fixed-height row bands (>= 1) — the
+/// band-seam test hook, mirroring edgeDetectFusedBanded.
+inline void runFusedBanded(const Graph& g, const Mat& src, Mat& dst,
+                           KernelPath path, int bandRows) {
+  runFusedImpl(g, src, dst, path, bandRows);
+}
+
+}  // namespace detail
+
+// ---- prebuilt graphs -------------------------------------------------------
+// The chains the library itself uses, expressed as graphs. Each returns a
+// finalized Graph; the staged schedule of each is stage-for-stage identical
+// to the direct-call chain it mirrors.
+
+/// edgeDetect as a graph: sobelX/sobelY (S16) -> magnitude -> binary
+/// threshold. Staged == edgeDetectUnfused; fused mirrors edgeDetectFused.
+Graph makeEdgeGraph(Depth srcDepth, double thresh, int ksize,
+                    imgproc::BorderType border);
+
+/// GaussianBlur as a (single-stage) graph.
+Graph makeBlurGraph(Depth srcDepth, int kw, int kh, double sigmaX,
+                    double sigmaY, imgproc::BorderType border);
+
+/// Binary threshold as a (single-stage) graph.
+Graph makeThresholdGraph(Depth srcDepth, double thresh, double maxval,
+                         imgproc::ThresholdType type);
+
+/// Gaussian blur -> Sobel X (S16) -> binary threshold: the classic smoothed
+/// edge chain (a non-edge-pipeline multi-stage fusion target).
+Graph makeBlurSobelThresholdGraph(Depth srcDepth, int blurKsize, double sigma,
+                                  int sobelKsize, double thresh,
+                                  imgproc::BorderType border);
+
+/// The photo_pipeline tone-map + unsharp chain on U8 input:
+/// cvt F32 -> blur(5,0.9) -> tone pointwise(1.12,-8) -> blur(7,1.4) ->
+/// addWeighted(toned*2.4 - blurred*1.4) -> cvt U8.
+Graph makePhotoGraph(int toneBlurKsize, double toneSigma, int unsharpKsize,
+                     double unsharpSigma, double toneAlpha, double toneBeta,
+                     double unsharpAmount);
+
+}  // namespace simdcv::graph

@@ -1,0 +1,555 @@
+// The fused streaming executor: runs an arbitrary fusible Graph through the
+// cache-blocked, ksize-row ring-buffer machinery that edgeDetectFused
+// hard-codes for its one fixed chain.
+//
+// Scheduling model (demand-driven, monotone):
+//   * Every non-source node keeps a ring of its most recent output rows in its
+//     DECLARED depth — the exact bytes its staged intermediate Mat would hold.
+//     The ring height is 2*R+1 where R (Node::radius, derived at sink()) is
+//     how many rows of this node's output must stay live around the current
+//     sink row: 0 for element-wise consumers, growing by ky/2 across each
+//     downstream convolution.
+//   * Each node has a monotone `next` counter; produceUpTo(u, m) produces rows
+//     next..m in order. The sink node has R == 0 and no consumers, so it
+//     writes its rows straight into dst.
+//   * A SepConv node mirrors the separable engine: an internal kh-row float
+//     ring of row-convolved virtual rows (slot(v) = (v+ry) % kh), each
+//     computed by load-as-float + padRow + rowConv through the identical
+//     per-path selectors sepFilter2D uses; the vertical pass gathers kh taps
+//     and colConvs into a float row that storeRowPtr saturates into the ring.
+//     Convolutions over the same input with identical geometry and one shared
+//     sole consumer form a GROUP (Node::group): they advance in lockstep, so
+//     the group loads+pads each virtual source row once and row-convolves it
+//     for every member — the one-load-two-rowConvs structure of the edge
+//     pipeline, generalized to N members.
+//   * Bands: a band initializes every counter to max(0, band.begin - R) and
+//     recomputes its seam rows through the identical sequence, so any row
+//     partition (1 band, parallel bands, or the forced test partition) is
+//     bit-identical — the property the graph.* check entries enforce.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+#include "core/array_ops_detail.hpp"
+#include "core/convert_detail.hpp"
+#include "core/saturate.hpp"
+#include "core/scratch.hpp"
+#include "imgproc/border.hpp"
+#include "imgproc/edge_detail.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/filter_detail.hpp"
+#include "imgproc/threshold.hpp"
+#include "platform/platform.hpp"
+#include "prof/prof.hpp"
+#include "runtime/parallel.hpp"
+#include "tune/tune.hpp"
+
+namespace simdcv::graph {
+namespace detail {
+
+namespace {
+
+using imgproc::BorderType;
+using imgproc::ThresholdType;
+
+using ThreshF32Fn = void (*)(const float*, float*, std::size_t, float, float,
+                             ThresholdType);
+using ThreshS16Fn = void (*)(const std::int16_t*, std::int16_t*, std::size_t,
+                             std::int16_t, std::int16_t, ThresholdType);
+using WeightedFn = void (*)(Depth, const void*, const void*, void*,
+                            std::size_t, double, double, double);
+
+ThreshF32Fn threshF32For(KernelPath p) {
+  switch (p) {
+    case KernelPath::Avx2: return &imgproc::avx2::threshF32;
+    case KernelPath::Sse2: return &imgproc::sse2::threshF32;
+    case KernelPath::Neon: return &imgproc::neon::threshF32;
+    case KernelPath::ScalarNoVec: return &imgproc::novec::threshF32;
+    default: return &imgproc::autovec::threshF32;
+  }
+}
+
+// Per-threshold-node quantization, resolved once per run. Matches
+// imgproc::threshold()'s per-depth prep exactly, including the U8
+// degenerate-level collapse to a per-row fill or copy.
+struct ThreshPrep {
+  enum class Mode : std::uint8_t { U8, U8Fill, U8Copy, S16, F32 } mode =
+      Mode::U8;
+  std::uint8_t t8 = 0, imax8 = 0, fill = 0;
+  std::int16_t t16 = 0, imax16 = 0;
+  float tf = 0, mf = 0;
+  ThresholdType type = ThresholdType::Binary;
+};
+
+ThreshPrep prepThreshold(const Node& n) {
+  ThreshPrep tp;
+  tp.type = n.ttype;
+  switch (n.depth) {
+    case Depth::U8: {
+      const int it = cvFloor(n.thresh);
+      const std::uint8_t imax = saturate_cast<std::uint8_t>(cvRound(n.maxval));
+      if (it < 0 || it >= 255) {
+        const bool noneAbove = it >= 255;
+        tp.mode = ThreshPrep::Mode::U8Fill;
+        switch (n.ttype) {
+          case ThresholdType::Binary: tp.fill = noneAbove ? 0 : imax; break;
+          case ThresholdType::BinaryInv: tp.fill = noneAbove ? imax : 0; break;
+          case ThresholdType::Trunc:
+            if (noneAbove) tp.mode = ThreshPrep::Mode::U8Copy;
+            break;
+          case ThresholdType::ToZero:
+            if (!noneAbove) tp.mode = ThreshPrep::Mode::U8Copy;
+            break;
+          case ThresholdType::ToZeroInv:
+            if (noneAbove) tp.mode = ThreshPrep::Mode::U8Copy;
+            break;
+        }
+      } else {
+        tp.mode = ThreshPrep::Mode::U8;
+        tp.t8 = saturate_cast<std::uint8_t>(it);
+        tp.imax8 = imax;
+      }
+      break;
+    }
+    case Depth::S16:
+      tp.mode = ThreshPrep::Mode::S16;
+      tp.t16 = saturate_cast<std::int16_t>(cvFloor(n.thresh));
+      tp.imax16 = saturate_cast<std::int16_t>(cvRound(n.maxval));
+      break;
+    default:
+      tp.mode = ThreshPrep::Mode::F32;
+      tp.tf = static_cast<float>(n.thresh);
+      tp.mf = static_cast<float>(n.maxval);
+      break;
+  }
+  return tp;
+}
+
+// Conv-load sharing group, densified from Node::group.
+struct GroupInfo {
+  std::vector<NodeId> members;  // id order; all share in0/kw/kh/border/radius
+  NodeId in0 = -1;
+  int kw = 1, kh = 1, rx = 0, ry = 0;
+  BorderType border = BorderType::Reflect101;
+  float bv = 0.0f;
+};
+
+// Immutable per-run context, shared by every band.
+struct RunCtx {
+  const std::vector<Node>& nodes;
+  NodeId sink;
+  const Mat& src;
+  Mat& out;
+  KernelPath p;
+  int rows, width;
+  std::size_t w;
+  imgproc::detail::RowConvFn rowFn;
+  imgproc::detail::ColConvFn colFn;
+  imgproc::detail::MagnitudeFn magFn;
+  imgproc::detail::ThreshU8Fn fn8;
+  ThreshF32Fn fnF32;
+  ThreshS16Fn fnS16;
+  WeightedFn wfn;
+  std::vector<GroupInfo> groups;
+  std::vector<int> groupOf;                   // node -> dense group (-1)
+  std::vector<ThreshPrep> thr;                // node-indexed
+  std::vector<std::vector<float>> constRows;  // node-indexed (Constant border)
+  bool trace = false;
+};
+
+// Per-band executor. All scratch comes from this thread's ScratchArena via
+// one ScratchFrame, exactly like an edgeDetectFused band.
+struct BandExec {
+  const RunCtx& c;
+  core::ScratchFrame frame;
+  std::vector<int> next;                // per node
+  std::vector<std::uint8_t*> ring;      // per node (null: source/sink)
+  std::vector<int> ringH;               // per node
+  std::vector<std::size_t> rowBytes;    // per node
+  std::vector<int> gnext, vnext;        // per group
+  std::vector<float*> padded;           // per group
+  std::vector<std::vector<float*>> convRing;  // per group, per member
+  const float** taps = nullptr;
+  float* fbuf = nullptr;
+  // Stage-time attribution (only touched when c.trace).
+  std::vector<std::uint64_t> ns, rowsOut;        // per node
+  std::vector<std::uint64_t> rowNs, rowsPrimed;  // per group
+
+  BandExec(const RunCtx& ctx, runtime::Range band) : c(ctx) {
+    const int N = static_cast<int>(c.nodes.size());
+    next.assign(static_cast<std::size_t>(N), 0);
+    ring.assign(static_cast<std::size_t>(N), nullptr);
+    ringH.assign(static_cast<std::size_t>(N), 1);
+    rowBytes.assign(static_cast<std::size_t>(N), 0);
+    for (int u = 1; u < N; ++u) {
+      const Node& n = c.nodes[static_cast<std::size_t>(u)];
+      next[static_cast<std::size_t>(u)] = std::max(0, band.begin - n.radius);
+      ringH[static_cast<std::size_t>(u)] = 2 * n.radius + 1;
+      rowBytes[static_cast<std::size_t>(u)] = c.w * depthSize(n.depth);
+      if (u != c.sink)
+        ring[static_cast<std::size_t>(u)] = frame.allocN<std::uint8_t>(
+            static_cast<std::size_t>(ringH[static_cast<std::size_t>(u)]) *
+            rowBytes[static_cast<std::size_t>(u)]);
+    }
+    const std::size_t G = c.groups.size();
+    gnext.resize(G);
+    vnext.resize(G);
+    padded.resize(G);
+    convRing.resize(G);
+    int maxKh = 1;
+    for (std::size_t gi = 0; gi < G; ++gi) {
+      const GroupInfo& g = c.groups[gi];
+      gnext[gi] = next[static_cast<std::size_t>(g.members[0])];
+      vnext[gi] = gnext[gi] - g.ry;
+      padded[gi] =
+          frame.allocN<float>(c.w + static_cast<std::size_t>(g.kw) - 1);
+      convRing[gi].resize(g.members.size());
+      for (std::size_t mi = 0; mi < g.members.size(); ++mi)
+        convRing[gi][mi] =
+            frame.allocN<float>(static_cast<std::size_t>(g.kh) * c.w);
+      maxKh = std::max(maxKh, g.kh);
+    }
+    taps = frame.allocN<const float*>(static_cast<std::size_t>(maxKh));
+    fbuf = frame.allocN<float>(c.w);
+    if (c.trace) {
+      ns.assign(static_cast<std::size_t>(N), 0);
+      rowsOut.assign(static_cast<std::size_t>(N), 0);
+      rowNs.assign(G, 0);
+      rowsPrimed.assign(G, 0);
+    }
+  }
+
+  float* slot(std::size_t gi, std::size_t mi, int v) {
+    const GroupInfo& g = c.groups[gi];
+    return convRing[gi][mi] +
+           static_cast<std::size_t>((v + g.ry) % g.kh) * c.w;
+  }
+
+  const void* inRowPtr(NodeId u, int y) {
+    if (u == 0) return c.src.ptr<std::uint8_t>(y);
+    const auto uu = static_cast<std::size_t>(u);
+    return ring[uu] + static_cast<std::size_t>(y % ringH[uu]) * rowBytes[uu];
+  }
+
+  void* outRowPtr(NodeId u, int y) {
+    if (u == c.sink) return c.out.ptr<std::uint8_t>(y);
+    const auto uu = static_cast<std::size_t>(u);
+    return ring[uu] + static_cast<std::size_t>(y % ringH[uu]) * rowBytes[uu];
+  }
+
+  void produceUpTo(NodeId u, int m) {
+    if (u == 0) return;  // source rows are the Mat itself
+    m = std::min(m, c.rows - 1);
+    const int gi = c.groupOf[static_cast<std::size_t>(u)];
+    if (gi >= 0) {
+      while (gnext[static_cast<std::size_t>(gi)] <= m)
+        produceGroupRow(static_cast<std::size_t>(gi),
+                        gnext[static_cast<std::size_t>(gi)]++);
+      return;
+    }
+    auto& n = next[static_cast<std::size_t>(u)];
+    while (n <= m) produceRow(u, n++);
+  }
+
+  // Load + pad + rowConv virtual row v for every member of group gi — one
+  // source-row load however many members consume it.
+  void computeVirtualRow(std::size_t gi, int v) {
+    const GroupInfo& g = c.groups[gi];
+    const int m = imgproc::borderInterpolate(v, c.rows, g.border);
+    if (m < 0) {  // Constant border, out of range: precomputed constant row
+      const std::uint64_t t0 = c.trace ? prof::nowNs() : 0;
+      for (std::size_t mi = 0; mi < g.members.size(); ++mi)
+        std::memcpy(
+            slot(gi, mi, v),
+            c.constRows[static_cast<std::size_t>(g.members[mi])].data(),
+            c.w * sizeof(float));
+      if (c.trace) rowNs[gi] += prof::nowNs() - t0;
+      return;
+    }
+    produceUpTo(g.in0, m);  // no-op for the source
+    const std::uint64_t t0 = c.trace ? prof::nowNs() : 0;
+    imgproc::detail::loadRowPtrAsFloat(
+        c.nodes[static_cast<std::size_t>(g.in0)].depth, inRowPtr(g.in0, m),
+        padded[gi] + g.rx, c.w, c.p);
+    imgproc::detail::padRow(padded[gi], c.width, g.rx, g.border, g.bv);
+    for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
+      const Node& n = c.nodes[static_cast<std::size_t>(g.members[mi])];
+      c.rowFn(padded[gi], slot(gi, mi, v), c.width, n.kx.data(), g.kw);
+    }
+    if (c.trace) {
+      rowNs[gi] += prof::nowNs() - t0;
+      ++rowsPrimed[gi];
+    }
+  }
+
+  // Produce output row y for EVERY member of group gi (members advance in
+  // lockstep, which is what keeps the shared kh-row virtual ring valid).
+  void produceGroupRow(std::size_t gi, int y) {
+    const GroupInfo& g = c.groups[gi];
+    while (vnext[gi] <= y + g.ry) computeVirtualRow(gi, vnext[gi]++);
+    for (std::size_t mi = 0; mi < g.members.size(); ++mi) {
+      const NodeId u = g.members[mi];
+      const Node& n = c.nodes[static_cast<std::size_t>(u)];
+      for (int r = 0; r < g.kh; ++r)
+        taps[static_cast<std::size_t>(r)] = slot(gi, mi, y - g.ry + r);
+      const std::uint64_t t0 = c.trace ? prof::nowNs() : 0;
+      c.colFn(taps, fbuf, c.width, n.ky.data(), g.kh);
+      imgproc::detail::storeRowPtr(fbuf, n.depth, outRowPtr(u, y), c.w, c.p);
+      if (c.trace) {
+        ns[static_cast<std::size_t>(u)] += prof::nowNs() - t0;
+        ++rowsOut[static_cast<std::size_t>(u)];
+      }
+      next[static_cast<std::size_t>(u)] = y + 1;
+    }
+  }
+
+  // Element-wise stages: demand the input rows, then apply the exact per-row
+  // kernel the staged dispatcher applies (convert_detail / threshold /
+  // edge_detail / array_ops_detail selectors).
+  void produceRow(NodeId u, int y) {
+    const Node& n = c.nodes[static_cast<std::size_t>(u)];
+    produceUpTo(n.in0, y);
+    if (n.in1 >= 0) produceUpTo(n.in1, y);
+    const void* a = inRowPtr(n.in0, y);
+    void* d = outRowPtr(u, y);
+    const std::uint64_t t0 = c.trace ? prof::nowNs() : 0;
+    switch (n.kind) {
+      case NodeKind::Convert:
+      case NodeKind::Pointwise:
+        core::detail::cvtRow(c.nodes[static_cast<std::size_t>(n.in0)].depth,
+                             n.depth, a, d, c.w, n.alpha, n.beta, c.p);
+        break;
+      case NodeKind::Threshold: {
+        const ThreshPrep& tp = c.thr[static_cast<std::size_t>(u)];
+        switch (tp.mode) {
+          case ThreshPrep::Mode::U8:
+            c.fn8(static_cast<const std::uint8_t*>(a),
+                  static_cast<std::uint8_t*>(d), c.w, tp.t8, tp.imax8,
+                  tp.type);
+            break;
+          case ThreshPrep::Mode::U8Fill:
+            std::memset(d, tp.fill, c.w);
+            break;
+          case ThreshPrep::Mode::U8Copy:
+            std::memcpy(d, a, c.w);
+            break;
+          case ThreshPrep::Mode::S16:
+            c.fnS16(static_cast<const std::int16_t*>(a),
+                    static_cast<std::int16_t*>(d), c.w, tp.t16, tp.imax16,
+                    tp.type);
+            break;
+          case ThreshPrep::Mode::F32:
+            c.fnF32(static_cast<const float*>(a), static_cast<float*>(d), c.w,
+                    tp.tf, tp.mf, tp.type);
+            break;
+        }
+        break;
+      }
+      case NodeKind::Magnitude:
+        c.magFn(static_cast<const std::int16_t*>(a),
+                static_cast<const std::int16_t*>(inRowPtr(n.in1, y)),
+                static_cast<std::uint8_t*>(d), c.w);
+        break;
+      case NodeKind::AddWeighted:
+        c.wfn(n.depth, a, inRowPtr(n.in1, y), d, c.w, n.alpha, n.beta,
+              n.gamma);
+        break;
+      case NodeKind::SepConv:  // handled by produceGroupRow
+      case NodeKind::Source:
+      case NodeKind::Opaque:
+        break;
+    }
+    if (c.trace) {
+      ns[static_cast<std::size_t>(u)] += prof::nowNs() - t0;
+      ++rowsOut[static_cast<std::size_t>(u)];
+    }
+  }
+
+  void run(runtime::Range band) {
+    produceUpTo(c.sink, band.end - 1);
+    if (!c.trace) return;
+    // One synthetic sample per stage per band, labeled with the node's
+    // interned signature code, so the VERBOSE=2 summary splits fused time by
+    // stage without per-row span spam. Bytes are the stage's own traffic.
+    for (std::size_t u = 1; u < c.nodes.size(); ++u) {
+      const Node& n = c.nodes[u];
+      if (rowsOut[u] == 0) continue;
+      std::uint64_t bytes = rowsOut[u] * c.w * depthSize(n.depth);
+      if (n.kind == NodeKind::SepConv)
+        bytes += rowsOut[u] * c.w *
+                 (static_cast<std::uint64_t>(n.ky.size()) + 1) * sizeof(float);
+      else if (n.kind == NodeKind::Magnitude)
+        bytes = rowsOut[u] * imgproc::detail::magnitudeRowBytes(c.width);
+      else
+        bytes += rowsOut[u] * c.w *
+                 depthSize(c.nodes[static_cast<std::size_t>(n.in0)].depth) *
+                 (n.in1 >= 0 ? 2 : 1);
+      prof::addSample(n.label, c.p, ns[u], bytes);
+    }
+    for (std::size_t gi = 0; gi < c.groups.size(); ++gi) {
+      const GroupInfo& g = c.groups[gi];
+      if (rowsPrimed[gi] == 0) continue;
+      const Node& leader = c.nodes[static_cast<std::size_t>(g.members[0])];
+      const std::uint64_t inBytes =
+          depthSize(c.nodes[static_cast<std::size_t>(g.in0)].depth);
+      prof::addSample(
+          leader.rowLabel, c.p, rowNs[gi],
+          rowsPrimed[gi] * c.w *
+              (inBytes + g.members.size() * sizeof(float)));
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t fusedScratchBytes(const Graph& g, int width) {
+  SIMDCV_REQUIRE(g.finalized(), "graph: call sink() first");
+  const std::size_t w = static_cast<std::size_t>(width);
+  std::size_t bytes = sizeof(float) * w + 64;  // fbuf
+  for (NodeId id = 1; id < g.numNodes(); ++id) {
+    const Node& n = g.nodes_[static_cast<std::size_t>(id)];
+    if (id != g.sink_)  // output ring
+      bytes += static_cast<std::size_t>(2 * n.radius + 1) * w *
+                   depthSize(n.depth) +
+               64;
+    if (n.kind == NodeKind::SepConv)  // virtual-row ring (+ member rowConv)
+      bytes += sizeof(float) * n.ky.size() * w + 64;
+  }
+  // One padded row + tap table per group; approximate with the widest kernel
+  // (groups share the band's single tap table in practice).
+  std::size_t maxKw = 1, maxKh = 1;
+  for (NodeId id = 1; id < g.numNodes(); ++id) {
+    const Node& n = g.nodes_[static_cast<std::size_t>(id)];
+    if (n.kind != NodeKind::SepConv) continue;
+    maxKw = std::max(maxKw, n.kx.size());
+    maxKh = std::max(maxKh, n.ky.size());
+  }
+  bytes += sizeof(float) * (w + maxKw - 1) + sizeof(void*) * maxKh + 2 * 64;
+  return bytes;
+}
+
+void runFusedImpl(const Graph& g, const Mat& src, Mat& dst, KernelPath path,
+                  int forcedBandRows) {
+  SIMDCV_REQUIRE(g.finalized(), "graph: call sink() first");
+  SIMDCV_REQUIRE(g.fusible_, "graph: runFused requires a fusible graph");
+  SIMDCV_REQUIRE(!src.empty(), "graph: empty source");
+  SIMDCV_REQUIRE(src.channels() == 1, "graph: single channel only");
+  SIMDCV_REQUIRE(src.depth() == g.nodes_[0].depth,
+                 "graph: source depth does not match the declared source");
+
+  const KernelPath p = resolvePath(path);
+  const int rows = src.rows();
+  const int width = src.cols();
+  SIMDCV_TRACE_SCOPE("graph.fused", p, g.ioBytes(src));
+
+  if (g.sink_ == 0) {  // single-node graph: the pipeline is a copy
+    Mat tmp;
+    src.copyTo(tmp);
+    dst = std::move(tmp);
+    return;
+  }
+
+  const Depth sinkDepth = g.nodes_[static_cast<std::size_t>(g.sink_)].depth;
+  Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
+  out.create(rows, width, PixelType(sinkDepth, 1));
+
+  RunCtx ctx{g.nodes_,
+             g.sink_,
+             src,
+             out,
+             p,
+             rows,
+             width,
+             static_cast<std::size_t>(width),
+             imgproc::detail::rowConvFor(p),
+             imgproc::detail::colConvFor(p),
+             imgproc::detail::magnitudeFnFor(p),
+             imgproc::detail::threshU8For(p),
+             threshF32For(p),
+             p == KernelPath::ScalarNoVec ? &imgproc::novec::threshS16
+                                          : &imgproc::autovec::threshS16,
+             p == KernelPath::ScalarNoVec
+                 ? &core::detail::aops_novec::weightedRange
+                 : &core::detail::aops_autovec::weightedRange,
+             {},
+             std::vector<int>(g.nodes_.size(), -1),
+             std::vector<ThreshPrep>(g.nodes_.size()),
+             std::vector<std::vector<float>>(g.nodes_.size()),
+             prof::enabled()};
+
+  // Densify conv groups and resolve per-node prep.
+  std::vector<int> denseOf;  // sparse group id -> dense index
+  for (NodeId id = 1; id < g.numNodes(); ++id) {
+    const Node& n = g.nodes_[static_cast<std::size_t>(id)];
+    if (n.kind == NodeKind::Threshold)
+      ctx.thr[static_cast<std::size_t>(id)] = prepThreshold(n);
+    if (n.kind != NodeKind::SepConv) continue;
+    if (static_cast<std::size_t>(n.group) >= denseOf.size())
+      denseOf.resize(static_cast<std::size_t>(n.group) + 1, -1);
+    int gi = denseOf[static_cast<std::size_t>(n.group)];
+    if (gi < 0) {
+      gi = static_cast<int>(ctx.groups.size());
+      denseOf[static_cast<std::size_t>(n.group)] = gi;
+      GroupInfo info;
+      info.in0 = n.in0;
+      info.kw = static_cast<int>(n.kx.size());
+      info.kh = static_cast<int>(n.ky.size());
+      info.rx = info.kw / 2;
+      info.ry = info.kh / 2;
+      info.border = n.border;
+      info.bv = static_cast<float>(n.borderValue);
+      ctx.groups.push_back(std::move(info));
+    }
+    ctx.groups[static_cast<std::size_t>(gi)].members.push_back(id);
+    ctx.groupOf[static_cast<std::size_t>(id)] = gi;
+    // Fully-constant virtual rows under Constant border: row-convolved once,
+    // shared by every band (identical to what any band would compute).
+    if (n.border == BorderType::Constant) {
+      std::vector<float> pad(
+          static_cast<std::size_t>(width) + n.kx.size() - 1,
+          static_cast<float>(n.borderValue));
+      auto& cr = ctx.constRows[static_cast<std::size_t>(id)];
+      cr.resize(static_cast<std::size_t>(width));
+      ctx.rowFn(pad.data(), cr.data(), width, n.kx.data(),
+                static_cast<int>(n.kx.size()));
+    }
+  }
+
+  auto processBand = [&](runtime::Range band) {
+    BandExec ex(ctx, band);
+    ex.run(band);
+  };
+
+  if (forcedBandRows > 0) {
+    SIMDCV_REQUIRE(forcedBandRows >= 1, "graph: bandRows must be >= 1");
+    for (int b = 0; b < rows; b += forcedBandRows)
+      processBand({b, std::min(rows, b + forcedBandRows)});
+  } else {
+    // Band grain: the separable engine's fork rule with this graph's summed
+    // per-row op cost, a seam-amortization floor of 16x the seam depth (each
+    // band re-primes 2*sourceRadius source rows), raised to 32x when the
+    // band scratch overflows half the L2 — edge_fused's fusedBandGrain with
+    // the chain-specific constants generalized to the declared graph.
+    const int seam = 2 * g.sourceRadius_ + 1;
+    int grain =
+        std::max(runtime::parallelThreshold(
+                     static_cast<std::size_t>(width) * sizeof(float), rows,
+                     g.rowOpCost_),
+                 g.maxKh_);
+    grain = std::max(grain, 16 * seam);
+    static const platform::HostInfo host = platform::queryHost();
+    const std::size_t l2 = host.l2_kb > 0
+                               ? static_cast<std::size_t>(host.l2_kb) * 1024
+                               : 512u * 1024u;
+    if (fusedScratchBytes(g, width) > l2 / 2) grain = std::max(grain, 32 * seam);
+    grain = std::min(grain, std::max(rows, 1));
+    tune::GrainScope gs(g.signature_.c_str(), p, g.ioBytes(src), rows, grain);
+    runtime::parallel_for({0, rows}, processBand, gs.grain());
+  }
+  dst = std::move(out);
+}
+
+}  // namespace detail
+}  // namespace simdcv::graph

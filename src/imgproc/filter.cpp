@@ -46,15 +46,15 @@ ColConvFn colConvFor(KernelPath path) {
   }
 }
 
-// Convert one source row to float using the path-matched kernel so the HAND
+// Convert one flat row to float using the path-matched kernel so the HAND
 // arms measure their own data movement, as in OpenCV.
-void loadRowAsFloat(const Mat& src, int row, float* out, KernelPath p) {
-  const std::size_t n = static_cast<std::size_t>(src.cols());
-  if (src.depth() == Depth::F32) {
-    std::memcpy(out, src.ptr<float>(row), n * sizeof(float));
+void loadRowPtrAsFloat(Depth depth, const void* row, float* out, std::size_t n,
+                       KernelPath p) {
+  if (depth == Depth::F32) {
+    std::memcpy(out, row, n * sizeof(float));
     return;
   }
-  const std::uint8_t* s = src.ptr<std::uint8_t>(row);
+  const std::uint8_t* s = static_cast<const std::uint8_t*>(row);
   switch (resolvePath(p)) {
     case KernelPath::Avx2: core::avx2::cvt8u32f(s, out, n); break;
     case KernelPath::Sse2: core::sse2::cvt8u32f(s, out, n); break;
@@ -64,6 +64,11 @@ void loadRowAsFloat(const Mat& src, int row, float* out, KernelPath p) {
       break;
     default: core::autovec::cvtRange(Depth::U8, Depth::F32, s, out, n); break;
   }
+}
+
+void loadRowAsFloat(const Mat& src, int row, float* out, KernelPath p) {
+  loadRowPtrAsFloat(src.depth(), src.ptr<std::uint8_t>(row), out,
+                    static_cast<std::size_t>(src.cols()), p);
 }
 
 // Fill the horizontal pads of `padded` (rx floats each side around `width`
@@ -89,18 +94,18 @@ CvtS16Fn cvt32f16sFor(KernelPath path) {
   }
 }
 
-void storeRow(const float* row, Mat& dst, int y, KernelPath p) {
-  const std::size_t n = static_cast<std::size_t>(dst.cols());
-  switch (dst.depth()) {
+void storeRowPtr(const float* row, Depth depth, void* dst, std::size_t n,
+                 KernelPath p) {
+  switch (depth) {
     case Depth::F32:
-      std::memcpy(dst.ptr<float>(y), row, n * sizeof(float));
+      std::memcpy(dst, row, n * sizeof(float));
       break;
     case Depth::S16:
-      cvt32f16sFor(p)(row, dst.ptr<std::int16_t>(y), n);
+      cvt32f16sFor(p)(row, static_cast<std::int16_t*>(dst), n);
       break;
     case Depth::U8:
     default: {
-      std::uint8_t* d = dst.ptr<std::uint8_t>(y);
+      std::uint8_t* d = static_cast<std::uint8_t*>(dst);
       switch (resolvePath(p)) {
         case KernelPath::Avx2: core::avx2::cvt32f8u(row, d, n); break;
         case KernelPath::Sse2: core::sse2::cvt32f8u(row, d, n); break;
@@ -115,6 +120,11 @@ void storeRow(const float* row, Mat& dst, int y, KernelPath p) {
       break;
     }
   }
+}
+
+void storeRow(const float* row, Mat& dst, int y, KernelPath p) {
+  storeRowPtr(row, dst.depth(), dst.ptr<std::uint8_t>(y),
+              static_cast<std::size_t>(dst.cols()), p);
 }
 
 }  // namespace detail

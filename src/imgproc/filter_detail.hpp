@@ -29,6 +29,21 @@ void loadRowAsFloat(const Mat& src, int row, float* out,
 void storeRow(const float* row, Mat& dst, int y,
               KernelPath p = KernelPath::Default);
 
+/// Flat-row variant of loadRowAsFloat for stage inputs that live in ring
+/// buffers rather than Mats (the pipeline-graph fused executor). Dispatches
+/// to the exact same per-path conversion kernels as the Mat form, so a graph
+/// edge staged through a Mat and one streamed through a ring load
+/// identically. `depth` must be U8 or F32 (the separable engine's input
+/// contract).
+void loadRowPtrAsFloat(Depth depth, const void* row, float* out, std::size_t n,
+                       KernelPath p = KernelPath::Default);
+
+/// Flat-row variant of storeRow: write `n` floats to `dst` in `depth` (F32
+/// memcpy, saturating S16, rounding U8) through the same per-path kernels as
+/// the Mat form.
+void storeRowPtr(const float* row, Depth depth, void* dst, std::size_t n,
+                 KernelPath p = KernelPath::Default);
+
 /// Fill the horizontal pads of `padded` (rx floats each side around `width`
 /// central elements already in place) according to the border rule.
 void padRow(float* padded, int width, int rx, BorderType border,

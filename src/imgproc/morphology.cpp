@@ -6,11 +6,17 @@
 // pointers — identical structure to the convolution engine's column pass.
 #include "imgproc/morphology.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
+#include "core/scratch.hpp"
 #include "imgproc/filter.hpp"
 #include "imgproc/kernels.hpp"
+#include "prof/prof.hpp"
+#include "runtime/parallel.hpp"
 #include "simd/neon_compat.hpp"
+#include "tune/tune.hpp"
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -84,37 +90,62 @@ void morphRect(const Mat& src, Mat& dst, Size ksize, MinMax mode,
   const int rows = src.rows(), width = src.cols();
   const int kw = ksize.width, kh = ksize.height;
   const int rx = kw / 2, ry = kh / 2;
+  const std::uint64_t bytes =
+      2 * static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(width);
+  SIMDCV_TRACE_SCOPE("morphRect", p, bytes);
 
   Mat out = dst.sharesStorageWith(src) ? Mat() : std::move(dst);
   out.create(rows, width, U8C1);
 
-  std::vector<std::uint8_t> padded(static_cast<std::size_t>(width + kw - 1));
-  std::vector<std::uint8_t> ring(static_cast<std::size_t>(kh) *
-                                 static_cast<std::size_t>(width));
-  std::vector<const std::uint8_t*> taps(static_cast<std::size_t>(kh));
+  // One ring engine per band, exactly like the separable-convolution engine:
+  // min/max over a window is a pure function of the source rows, and each
+  // band recomputes its seam rows through the identical pad + horizontal
+  // pass, so any band partition is bit-identical to the serial walk.
+  auto processBand = [&](runtime::Range band) {
+    core::ScratchFrame frame;
+    std::uint8_t* padded = frame.allocN<std::uint8_t>(
+        static_cast<std::size_t>(width) + static_cast<std::size_t>(kw) - 1);
+    std::uint8_t* ring = frame.allocN<std::uint8_t>(
+        static_cast<std::size_t>(kh) * static_cast<std::size_t>(width));
+    const std::uint8_t** taps =
+        frame.allocN<const std::uint8_t*>(static_cast<std::size_t>(kh));
 
-  auto slot = [&](int v) {
-    return ring.data() +
-           static_cast<std::size_t>((v + ry) % kh) * static_cast<std::size_t>(width);
-  };
-  auto computeVirtualRow = [&](int v) {
-    const int m = borderInterpolate(v, rows, BorderType::Replicate);
-    const std::uint8_t* s = src.ptr<std::uint8_t>(m);
-    std::memcpy(padded.data() + rx, s, static_cast<std::size_t>(width));
-    for (int j = 0; j < rx; ++j) {
-      padded[static_cast<std::size_t>(j)] = s[0];
-      padded[static_cast<std::size_t>(rx + width + j)] = s[width - 1];
+    auto slot = [&](int v) {
+      return ring + static_cast<std::size_t>((v + ry) % kh) *
+                        static_cast<std::size_t>(width);
+    };
+    auto computeVirtualRow = [&](int v) {
+      const int m = borderInterpolate(v, rows, BorderType::Replicate);
+      const std::uint8_t* s = src.ptr<std::uint8_t>(m);
+      std::memcpy(padded + rx, s, static_cast<std::size_t>(width));
+      for (int j = 0; j < rx; ++j) {
+        padded[j] = s[0];
+        padded[rx + width + j] = s[width - 1];
+      }
+      horizontalMinMax(padded, slot(v), width, kw, mode);
+    };
+
+    for (int v = band.begin - ry; v < band.begin + ry; ++v)
+      computeVirtualRow(v);
+    for (int y = band.begin; y < band.end; ++y) {
+      computeVirtualRow(y + ry);
+      for (int r = 0; r < kh; ++r)
+        taps[static_cast<std::size_t>(r)] = slot(y - ry + r);
+      verticalMinMax(taps, out.ptr<std::uint8_t>(y), width, kh, mode, p);
     }
-    horizontalMinMax(padded.data(), slot(v), width, kw, mode);
   };
 
-  for (int v = -ry; v < ry; ++v) computeVirtualRow(v);
-  for (int y = 0; y < rows; ++y) {
-    computeVirtualRow(y + ry);
-    for (int r = 0; r < kh; ++r)
-      taps[static_cast<std::size_t>(r)] = slot(y - ry + r);
-    verticalMinMax(taps.data(), out.ptr<std::uint8_t>(y), width, kh, mode, p);
-  }
+  // Fork rule: the separable engine's threshold with this kernel's per-row
+  // cost (kw-window horizontal + kh-row vertical min/max), floored at the
+  // kernel height so a band is at least one full window tall. Band grain is
+  // pure scheduling (seams re-prime), so it is tunable like the other ring
+  // engines ("morphRect" axis, SIMDCV_TUNE=1).
+  const int heuristic =
+      std::max(runtime::parallelThreshold(static_cast<std::size_t>(width),
+                                          rows, 1.0 * (kw + kh)),
+               kh);
+  tune::GrainScope gs("morphRect", p, bytes, rows, heuristic);
+  runtime::parallel_for({0, rows}, processBand, gs.grain());
   dst = std::move(out);
 }
 

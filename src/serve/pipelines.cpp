@@ -8,6 +8,7 @@
 #include <mutex>
 #include <utility>
 
+#include "graph/graph.hpp"
 #include "imgproc/edge.hpp"
 #include "imgproc/filter.hpp"
 #include "imgproc/histogram.hpp"
@@ -31,36 +32,74 @@ void registerLocked(const std::string& name, PipelineFn fn) {
   registryLocked()[name] = std::move(fn);
 }
 
-// The built-in presets, installed once before the first lookup. Thresholds
-// and kernel shapes mirror the examples they were lifted from
-// (examples/edge_detection.cpp, photo_pipeline.cpp, document_scanner.cpp).
+// The built-in presets, installed once before the first lookup, each
+// expressed as a pipeline Graph (a graph's staged schedule is stage-for-stage
+// the direct kernel chain, and its fused schedule is bit-identical to staged,
+// so served responses stay bit-identical to calling the chain directly —
+// the guarantee tests/serve asserts per preset). Graphs declare the source
+// depth, so depth-polymorphic presets keep one frozen Graph per accepted
+// depth and select by src.depth(). Thresholds and kernel shapes mirror the
+// examples they were lifted from (examples/edge_detection.cpp,
+// photo_pipeline.cpp, document_scanner.cpp).
 void ensurePresets() {
   static std::once_flag once;
   std::call_once(once, [] {
     std::lock_guard<std::mutex> lk(g_registry_mu);
     registerLocked("edge", [](const Mat& src, Mat& dst, KernelPath path) {
-      imgproc::edgeDetect(src, dst, 100.0, 3, imgproc::BorderType::Reflect101,
-                          path);
+      static const graph::Graph g8 = graph::makeEdgeGraph(
+          Depth::U8, 100.0, 3, imgproc::BorderType::Reflect101);
+      static const graph::Graph g32 = graph::makeEdgeGraph(
+          Depth::F32, 100.0, 3, imgproc::BorderType::Reflect101);
+      (src.depth() == Depth::F32 ? g32 : g8).run(src, dst, path);
     });
     registerLocked("blur", [](const Mat& src, Mat& dst, KernelPath path) {
-      imgproc::GaussianBlur(src, dst, {7, 7}, 1.6, 1.6,
-                            imgproc::BorderType::Reflect101, path);
+      static const graph::Graph g8 = graph::makeBlurGraph(
+          Depth::U8, 7, 7, 1.6, 1.6, imgproc::BorderType::Reflect101);
+      static const graph::Graph g32 = graph::makeBlurGraph(
+          Depth::F32, 7, 7, 1.6, 1.6, imgproc::BorderType::Reflect101);
+      (src.depth() == Depth::F32 ? g32 : g8).run(src, dst, path);
     });
     registerLocked("threshold", [](const Mat& src, Mat& dst, KernelPath path) {
-      imgproc::threshold(src, dst, 128.0, 255.0,
-                         imgproc::ThresholdType::Binary, path);
+      auto make = [](Depth d) {
+        return graph::makeThresholdGraph(d, 128.0, 255.0,
+                                         imgproc::ThresholdType::Binary);
+      };
+      static const graph::Graph g8 = make(Depth::U8);
+      static const graph::Graph g16 = make(Depth::S16);
+      static const graph::Graph g32 = make(Depth::F32);
+      const graph::Graph& g = src.depth() == Depth::F32   ? g32
+                              : src.depth() == Depth::S16 ? g16
+                                                          : g8;
+      g.run(src, dst, path);
     });
     registerLocked("scanner", [](const Mat& src, Mat& dst, KernelPath path) {
       // Document binarization: impulse denoise, automatic threshold (text is
       // dark -> BinaryInv), then a morphological close to merge dashes into
       // word blobs — the document_scanner chain minus its search stages.
-      Mat den;
-      imgproc::medianBlur(src, den, 3, path);
-      const double t = imgproc::otsuThreshold(den, path);
-      Mat bin;
-      imgproc::threshold(den, bin, t, 255.0, imgproc::ThresholdType::BinaryInv,
-                         path);
-      imgproc::morphClose(bin, dst, {9, 3}, path);
+      // Every stage is outside the fusible vocabulary (median is a rank
+      // filter, Otsu's level is data-dependent, close is two rank passes), so
+      // the graph declares them opaque and always runs staged.
+      static const graph::Graph g = [] {
+        graph::Graph b;
+        const graph::NodeId s = b.source(Depth::U8);
+        const graph::NodeId den = b.opaque(
+            s, "median3", Depth::U8, [](const Mat& a, Mat& d, KernelPath p) {
+              imgproc::medianBlur(a, d, 3, p);
+            });
+        const graph::NodeId bin = b.opaque(
+            den, "otsu-binarize", Depth::U8,
+            [](const Mat& a, Mat& d, KernelPath p) {
+              const double t = imgproc::otsuThreshold(a, p);
+              imgproc::threshold(a, d, t, 255.0,
+                                 imgproc::ThresholdType::BinaryInv, p);
+            });
+        b.sink(b.opaque(bin, "morph-close", Depth::U8,
+                        [](const Mat& a, Mat& d, KernelPath p) {
+                          imgproc::morphClose(a, d, {9, 3}, p);
+                        }));
+        return b;
+      }();
+      g.run(src, dst, path);
     });
   });
 }

@@ -54,6 +54,11 @@
 #include "imgproc/distance.hpp"
 #include "imgproc/iir.hpp"
 
+// graph: the pipeline-graph fusion engine — declare a DAG of stages once,
+// execute it staged (whole-image kernels) or fused (cache-blocked single-pass
+// ring-buffer streaming) with bit-identical results.
+#include "graph/graph.hpp"
+
 // io: BMP/PNM image read/write.
 #include "io/image_io.hpp"
 

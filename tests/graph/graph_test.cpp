@@ -1,0 +1,356 @@
+// Pipeline-graph engine: builder validation, fusibility rules, fused-vs-
+// staged bit-exactness on edge-case geometries (1x1, 1xW, Hx1), all border
+// modes, ROI/non-contiguous sources, ksize-1 stages, adversarial band
+// heights, and the fuse-decision model.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "core/convert.hpp"
+#include "graph/graph.hpp"
+#include "imgproc/edge.hpp"
+#include "imgproc/filter.hpp"
+#include "imgproc/threshold.hpp"
+#include "platform/platform.hpp"
+#include "simd/features.hpp"
+
+namespace simdcv::graph {
+namespace {
+
+std::vector<KernelPath> paths() {
+  return {KernelPath::ScalarNoVec, KernelPath::Auto, KernelPath::Sse2,
+          KernelPath::Avx2, KernelPath::Neon};
+}
+
+std::vector<imgproc::BorderType> allBorders() {
+  return {imgproc::BorderType::Constant, imgproc::BorderType::Replicate,
+          imgproc::BorderType::Reflect, imgproc::BorderType::Reflect101,
+          imgproc::BorderType::Wrap};
+}
+
+Mat randomMat(int rows, int cols, Depth d, unsigned seed) {
+  Mat m(rows, cols, PixelType(d, 1));
+  std::mt19937 rng(seed);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const std::uint32_t v = rng();
+      switch (d) {
+        case Depth::U8:
+          m.at<std::uint8_t>(r, c) = static_cast<std::uint8_t>(v & 0xff);
+          break;
+        case Depth::S16:
+          m.at<std::int16_t>(r, c) = static_cast<std::int16_t>(v & 0xffff);
+          break;
+        default:
+          m.at<float>(r, c) =
+              static_cast<float>(static_cast<int>(v & 0xffff) - 32768) / 64.0f;
+          break;
+      }
+    }
+  return m;
+}
+
+// The test pipeline exercising every fused stage kind plus a multi-consumer
+// node: cvt F32 -> blur -> pointwise -> {conv, blend} -> cvt U8.
+Graph photoGraph() { return makePhotoGraph(5, 0.9, 7, 1.4, 1.12, -8.0, 1.4); }
+
+void expectFusedMatchesStaged(const Graph& g, const Mat& src,
+                              const char* what) {
+  Mat ref;
+  g.runStaged(src, ref, KernelPath::ScalarNoVec);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    Mat staged, fused;
+    g.runStaged(src, staged, p);
+    EXPECT_EQ(countMismatches(ref, staged), 0u)
+        << what << " staged " << toString(p);
+    g.runFused(src, fused, p);
+    EXPECT_EQ(countMismatches(ref, fused), 0u)
+        << what << " fused " << toString(p);
+  }
+}
+
+// ---- builder validation ----------------------------------------------------
+
+TEST(GraphBuild, ValidatesEagerly) {
+  Graph g;
+  EXPECT_THROW(g.sepConv(0, {1.f}, {1.f}, Depth::U8), Error);  // no source yet
+  const NodeId s = g.source(Depth::U8);
+  EXPECT_THROW(g.source(Depth::U8), Error);  // second source
+  EXPECT_THROW(g.sepConv(s, {1.f, 1.f}, {1.f}, Depth::U8), Error);  // even kx
+  EXPECT_THROW(g.sepConv(s, {}, {1.f}, Depth::U8), Error);          // empty kx
+  EXPECT_THROW(g.sepConv(7, {1.f}, {1.f}, Depth::U8), Error);  // bad input id
+  EXPECT_THROW(g.magnitude(s, s), Error);  // magnitude wants s16 inputs
+  const NodeId t = g.threshold(s, 10, 255, imgproc::ThresholdType::Binary);
+  const NodeId dangling = g.convert(s, Depth::F32);
+  (void)dangling;
+  EXPECT_THROW(g.sink(t), Error);  // dangling node never reaches the sink
+}
+
+TEST(GraphBuild, S16ConvInputRejected) {
+  Graph g;
+  const NodeId s = g.source(Depth::U8);
+  const NodeId c = g.convert(s, Depth::S16);
+  EXPECT_THROW(g.sepConv(c, {1.f}, {1.f}, Depth::S16), Error);
+}
+
+TEST(GraphBuild, FrozenAfterSink) {
+  Graph g;
+  const NodeId s = g.source(Depth::U8);
+  g.sink(g.threshold(s, 10, 255, imgproc::ThresholdType::Binary));
+  EXPECT_TRUE(g.finalized());
+  EXPECT_THROW(g.convert(0, Depth::F32), Error);
+  EXPECT_THROW(g.sink(0), Error);
+}
+
+TEST(GraphBuild, AddWeightedDepthsMustMatch) {
+  Graph g;
+  const NodeId s = g.source(Depth::U8);
+  const NodeId f = g.convert(s, Depth::F32);
+  EXPECT_THROW(g.addWeighted(s, 0.5, f, 0.5, 0.0), Error);
+}
+
+// ---- fusibility + introspection --------------------------------------------
+
+TEST(GraphIntrospect, OpaqueNeverFusible) {
+  Graph g;
+  const NodeId s = g.source(Depth::U8);
+  g.sink(g.opaque(s, "nop", Depth::U8,
+                  [](const Mat& a, Mat& d, KernelPath) { a.copyTo(d); }));
+  EXPECT_FALSE(g.fusible());
+  const Mat src = randomMat(9, 11, Depth::U8, 1);
+  Mat run, staged;
+  g.run(src, run);  // dispatches staged
+  g.runStaged(src, staged);
+  EXPECT_EQ(countMismatches(run, staged), 0u);
+  EXPECT_THROW(g.runFused(src, run), Error);
+}
+
+TEST(GraphIntrospect, WrapOnInteriorStageNotFusible) {
+  Graph src0;  // Wrap reading the source: streamable
+  NodeId s = src0.source(Depth::U8);
+  src0.sink(src0.sepConv(s, {1.f, 2.f, 1.f}, {1.f, 0.f, -1.f}, Depth::S16,
+                         imgproc::BorderType::Wrap));
+  EXPECT_TRUE(src0.fusible());
+
+  Graph inner;  // Wrap reading an interior stage: needs random access
+  s = inner.source(Depth::U8);
+  const NodeId blur = inner.sepConv(s, {0.25f, 0.5f, 0.25f},
+                                    {0.25f, 0.5f, 0.25f}, Depth::U8);
+  inner.sink(inner.sepConv(blur, {1.f, 2.f, 1.f}, {1.f, 0.f, -1.f},
+                           Depth::S16, imgproc::BorderType::Wrap));
+  EXPECT_FALSE(inner.fusible());
+  // run() still works — it degrades to the staged schedule.
+  const Mat m = randomMat(8, 9, Depth::U8, 2);
+  Mat a, b;
+  inner.run(m, a);
+  inner.runStaged(m, b);
+  EXPECT_EQ(countMismatches(a, b), 0u);
+}
+
+TEST(GraphIntrospect, SignatureAndStagedBytes) {
+  const Graph g = makeEdgeGraph(Depth::U8, 100.0, 3,
+                                imgproc::BorderType::Reflect101);
+  EXPECT_EQ(g.signature(), "g.sep3x3s16.sep3x3s16@0.mag@1-2.thru8t0");
+  // Intermediates: two S16 gradients + the U8 magnitude = 5 bytes/px — the
+  // exact footprint edgeDetect's fuse heuristic prices.
+  EXPECT_EQ(g.stagedBytes(640, 480), 640u * 480u * 5u);
+  // Per-node introspection: derived live-window radii.
+  EXPECT_EQ(g.node(1).radius, 0);  // gx feeds element-wise magnitude only
+  EXPECT_EQ(g.node(g.sinkId()).radius, 0);
+}
+
+TEST(GraphIntrospect, RadiiAccumulateAcrossConvolutions) {
+  const Graph g = photoGraph();
+  // source -> cvt(1) -> blur5(2) -> pointwise(3) -> blur7(4) ->
+  // addWeighted(5, reads 3 and 4) -> cvt(6, sink)
+  EXPECT_EQ(g.node(3).radius, 3);  // kept live across the 7-tap blur
+  EXPECT_EQ(g.node(1).radius, 5);  // blur5's window plus blur5's own hold
+  EXPECT_EQ(g.node(0).radius, 5);  // seam depth: both blurs stacked
+  EXPECT_TRUE(g.fusible());
+}
+
+TEST(GraphIntrospect, FuseProfitableModel) {
+  const Graph g = makeEdgeGraph(Depth::U8, 100.0, 3,
+                                imgproc::BorderType::Reflect101);
+  // Non-AVX2 paths: always fused (matches imgproc::detail::fuseProfitable).
+  EXPECT_TRUE(g.fuseProfitable(640, 480, KernelPath::Sse2));
+  EXPECT_TRUE(g.fuseProfitable(64, 48, KernelPath::ScalarNoVec));
+  if (pathAvailable(KernelPath::Avx2)) {
+    const std::size_t l2 = platform::queryHost().l2_kb * 1024u;
+    // Tiny image: intermediates fit in L2 -> staged wins on AVX2.
+    EXPECT_FALSE(g.fuseProfitable(64, 48, KernelPath::Avx2));
+    // Huge image: intermediates spill -> fused.
+    const int bigRows = static_cast<int>(l2 / (5 * 1024)) + 64;
+    EXPECT_TRUE(g.fuseProfitable(1024, bigRows, KernelPath::Avx2));
+  }
+  // A single-stage graph has no intermediates to save.
+  const Graph one = makeThresholdGraph(Depth::U8, 128, 255,
+                                       imgproc::ThresholdType::Binary);
+  EXPECT_EQ(one.stagedBytes(640, 480), 0u);
+}
+
+// ---- fused == staged: stage vocabulary & prebuilt chains --------------------
+
+TEST(GraphExec, EdgeGraphMatchesEdgeDetectUnfused) {
+  const Mat src = randomMat(31, 29, Depth::U8, 3);
+  for (int ksize : {3, 5}) {
+    const Graph g = makeEdgeGraph(Depth::U8, 120.0, ksize,
+                                  imgproc::BorderType::Reflect101);
+    Mat ref;
+    imgproc::edgeDetectUnfused(src, ref, 120.0, ksize,
+                               imgproc::BorderType::Reflect101,
+                               KernelPath::ScalarNoVec);
+    Mat staged, fused;
+    g.runStaged(src, staged, KernelPath::ScalarNoVec);
+    EXPECT_EQ(countMismatches(ref, staged), 0u) << "ksize=" << ksize;
+    expectFusedMatchesStaged(g, src, "edge");
+  }
+}
+
+TEST(GraphExec, PhotoGraphAllStageKinds) {
+  const Graph g = photoGraph();
+  expectFusedMatchesStaged(g, randomMat(37, 41, Depth::U8, 4), "photo");
+}
+
+TEST(GraphExec, BlurSobelThreshold) {
+  const Graph g = makeBlurSobelThresholdGraph(
+      Depth::U8, 5, 1.1, 3, 700.0, imgproc::BorderType::Replicate);
+  expectFusedMatchesStaged(g, randomMat(26, 33, Depth::U8, 5), "bst");
+}
+
+TEST(GraphExec, SingleNodeGraphIsACopy) {
+  Graph g;
+  g.sink(g.source(Depth::S16));
+  const Mat src = randomMat(7, 9, Depth::S16, 6);
+  Mat a, b;
+  g.run(src, a);
+  g.runFused(src, b);
+  EXPECT_EQ(countMismatches(src, a), 0u);
+  EXPECT_EQ(countMismatches(src, b), 0u);
+}
+
+TEST(GraphExec, KsizeOneStages) {
+  // 1x1 "convolutions" (pure scaling taps) still stream: radius 0, ring
+  // height 1, no padding.
+  Graph g;
+  const NodeId s = g.source(Depth::U8);
+  const NodeId a = g.sepConv(s, {2.0f}, {1.5f}, Depth::F32);
+  g.sink(g.threshold(a, 300.0, 999.0, imgproc::ThresholdType::Trunc));
+  EXPECT_TRUE(g.fusible());
+  expectFusedMatchesStaged(g, randomMat(13, 17, Depth::U8, 7), "ksize1");
+}
+
+TEST(GraphExec, MixedKernelWidths1x5And5x1) {
+  Graph g;
+  const NodeId s = g.source(Depth::F32);
+  const NodeId h = g.sepConv(s, {.1f, .2f, .4f, .2f, .1f}, {1.f}, Depth::F32);
+  g.sink(g.sepConv(h, {1.f}, {.1f, .2f, .4f, .2f, .1f}, Depth::F32));
+  expectFusedMatchesStaged(g, randomMat(12, 19, Depth::F32, 8), "separated");
+}
+
+// ---- geometry edge cases ---------------------------------------------------
+
+TEST(GraphExec, DegenerateGeometries) {
+  for (const auto& [rows, cols] : std::vector<std::pair<int, int>>{
+           {1, 1}, {1, 37}, {37, 1}, {2, 2}, {3, 5}}) {
+    const Mat src = randomMat(rows, cols, Depth::U8, 9);
+    expectFusedMatchesStaged(
+        makeEdgeGraph(Depth::U8, 90.0, 3, imgproc::BorderType::Reflect101),
+        src, "edge-geometry");
+    expectFusedMatchesStaged(photoGraph(), src, "photo-geometry");
+  }
+}
+
+TEST(GraphExec, AllBorderModes) {
+  const Mat src = randomMat(11, 14, Depth::U8, 10);
+  for (imgproc::BorderType b : allBorders()) {
+    expectFusedMatchesStaged(makeEdgeGraph(Depth::U8, 90.0, 5, b), src,
+                             toString(b));
+  }
+}
+
+TEST(GraphExec, RoiNonContiguousSource) {
+  const Mat parent = randomMat(40, 50, Depth::U8, 11);
+  for (const Rect& r : std::vector<Rect>{
+           {5, 3, 30, 20}, {1, 0, 40, 1}, {0, 7, 1, 30}, {1, 1, 48, 38}}) {
+    const Mat roi = parent.roi(r);
+    ASSERT_TRUE(roi.rows() == 1 || !roi.isContinuous());
+    expectFusedMatchesStaged(
+        makeEdgeGraph(Depth::U8, 120.0, 3, imgproc::BorderType::Replicate),
+        roi, "roi-edge");
+    expectFusedMatchesStaged(photoGraph(), roi, "roi-photo");
+  }
+}
+
+TEST(GraphExec, InPlaceDstAliasingSrc) {
+  const Graph g = makeThresholdGraph(Depth::U8, 100, 255,
+                                     imgproc::ThresholdType::Binary);
+  const Mat src = randomMat(15, 21, Depth::U8, 12);
+  Mat ref;
+  g.runStaged(src, ref);
+  Mat inplace;
+  src.copyTo(inplace);
+  g.runFused(inplace, inplace);
+  EXPECT_EQ(countMismatches(ref, inplace), 0u);
+}
+
+// ---- band partitions -------------------------------------------------------
+
+TEST(GraphExec, BandSeamsBitExactAllHeights) {
+  const Graph g = photoGraph();  // seam depth 5: deepest prebuilt chain
+  const Mat src = randomMat(23, 17, Depth::U8, 13);
+  Mat ref;
+  g.runStaged(src, ref, KernelPath::ScalarNoVec);
+  for (KernelPath p : paths()) {
+    if (!pathAvailable(p)) continue;
+    // Heights splitting inside the 7-row kernel footprint (1, 2, 6), at it
+    // (7), and a single seam (rows-1).
+    for (int bandRows : {1, 2, 6, 7, src.rows() - 1, src.rows()}) {
+      Mat got;
+      detail::runFusedBanded(g, src, got, p, bandRows);
+      EXPECT_EQ(countMismatches(ref, got), 0u)
+          << toString(p) << " bandRows=" << bandRows;
+    }
+  }
+}
+
+TEST(GraphExec, ThresholdDegenerateLevels) {
+  // Degenerate U8 levels collapse to fills/copies; the fused executor must
+  // reproduce the staged dispatcher's per-type table.
+  const Mat src = randomMat(9, 13, Depth::U8, 14);
+  for (double thresh : {-5.0, 255.0, 300.0}) {
+    for (auto t : {imgproc::ThresholdType::Binary,
+                   imgproc::ThresholdType::BinaryInv,
+                   imgproc::ThresholdType::Trunc,
+                   imgproc::ThresholdType::ToZero,
+                   imgproc::ThresholdType::ToZeroInv}) {
+      Graph g;
+      const NodeId s = g.source(Depth::U8);
+      const NodeId blur = g.sepConv(s, {.25f, .5f, .25f}, {.25f, .5f, .25f},
+                                    Depth::U8);
+      g.sink(g.threshold(blur, thresh, 255.0, t));
+      expectFusedMatchesStaged(g, src, "degenerate-threshold");
+    }
+  }
+}
+
+// run() must be pure scheduling: same bits whichever side the decision takes.
+TEST(GraphExec, RunDispatchMatchesBothSchedules) {
+  const Graph g = makeEdgeGraph(Depth::U8, 100.0, 3,
+                                imgproc::BorderType::Reflect101);
+  for (const auto& [rows, cols] :
+       std::vector<std::pair<int, int>>{{48, 64}, {480, 640}}) {
+    const Mat src = randomMat(rows, cols, Depth::U8, 15);
+    Mat run, staged;
+    g.run(src, run);
+    g.runStaged(src, staged);
+    EXPECT_EQ(countMismatches(run, staged), 0u) << rows << "x" << cols;
+  }
+}
+
+}  // namespace
+}  // namespace simdcv::graph
